@@ -1,0 +1,117 @@
+"""E10 — §2.3: cheater-code boundary behaviour and evaluation cost.
+
+Verifies each measured rule exactly at its published boundary and
+benchmarks the per-check-in cost of the rule engine (it runs on every
+check-in the service processes).
+"""
+
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.cheater_code import CheaterCode, RuleAction
+from repro.lbsn.models import CheckIn, CheckInStatus
+
+ORIGIN = GeoPoint(35.0844, -106.6504)
+
+
+def make_history(entries):
+    return [
+        CheckIn(
+            checkin_id=index + 1,
+            user_id=1,
+            venue_id=venue_id,
+            timestamp=timestamp,
+            reported_location=location,
+            status=CheckInStatus.VALID,
+        )
+        for index, (venue_id, timestamp, location) in enumerate(entries)
+    ]
+
+
+def boundary_table():
+    code = CheaterCode()
+    rows = ["rule boundary checks (paper's measured thresholds):"]
+
+    # Frequent check-ins: same venue at 59 vs 61 minutes.
+    history = make_history([(7, 0.0, ORIGIN)])
+    for minutes, expect in ((59, "reject"), (61, "allow")):
+        verdict = code.evaluate(
+            7, ORIGIN, minutes * 60.0, history, lambda v: ORIGIN
+        )
+        outcome = verdict.action.value
+        rows.append(
+            f"  same venue after {minutes} min: {outcome} (expect {expect})"
+        )
+        assert outcome == expect
+
+    # The safe envelope: 1 mile apart after 5 minutes.
+    near = destination_point(ORIGIN, 0.0, 0.99 * METERS_PER_MILE)
+    verdict = code.evaluate(
+        8, near, 300.0, history, {7: ORIGIN, 8: near}.get
+    )
+    rows.append(
+        f"  1 mile hop after 5 min: {verdict.action.value} (expect allow)"
+    )
+    assert verdict.action is RuleAction.ALLOW
+
+    # Super-human speed: 1430 km in 10 minutes.
+    far = GeoPoint(37.7749, -122.4194)
+    verdict = code.evaluate(9, far, 600.0, history, {7: ORIGIN, 9: far}.get)
+    rows.append(
+        f"  1430 km hop after 10 min: {verdict.action.value} (expect flag)"
+    )
+    assert verdict.action is RuleAction.FLAG
+
+    # Rapid-fire: 4th check-in in a 150 m square at 1-min spacing.
+    square = {
+        1: ORIGIN,
+        2: destination_point(ORIGIN, 90.0, 70.0),
+        3: destination_point(ORIGIN, 0.0, 70.0),
+        4: destination_point(ORIGIN, 45.0, 90.0),
+    }
+    history = make_history(
+        [(1, 0.0, square[1]), (2, 55.0, square[2]), (3, 110.0, square[3])]
+    )
+    verdict = code.evaluate(4, square[4], 165.0, history, square.get)
+    rows.append(
+        f"  4th rapid check-in in 150 m square: {verdict.action.value} "
+        "(expect flag, 'rapid-fire check-ins' warning)"
+    )
+    assert verdict.action is RuleAction.FLAG
+    assert "rapid-fire" in verdict.warnings[0]
+
+    # 3rd check-in in the same square: still fine.
+    history3 = make_history([(1, 0.0, square[1]), (2, 55.0, square[2])])
+    verdict = code.evaluate(3, square[3], 110.0, history3, square.get)
+    rows.append(
+        f"  3rd rapid check-in in square: {verdict.action.value} "
+        "(expect allow — warning comes 'on the fourth check-in')"
+    )
+    assert verdict.action is RuleAction.ALLOW
+    return rows
+
+
+def test_e10_rule_boundaries(report_out, benchmark):
+    rows = benchmark.pedantic(boundary_table, rounds=1, iterations=1)
+    report_out("E10_cheater_code", rows)
+
+
+def test_e10_evaluation_throughput(benchmark):
+    """Rule-engine cost per check-in with a realistic history length."""
+    code = CheaterCode()
+    history = make_history(
+        [
+            (index % 40, index * 1_900.0, destination_point(ORIGIN, index * 7.0, 400.0))
+            for index in range(500)
+        ]
+    )
+    locations = {
+        checkin.venue_id: checkin.reported_location for checkin in history
+    }
+    next_venue = destination_point(ORIGIN, 10.0, 600.0)
+    locations[999] = next_venue
+    timestamp = history[-1].timestamp + 310.0
+
+    verdict = benchmark(
+        lambda: code.evaluate(999, next_venue, timestamp, history, locations.get)
+    )
+    assert verdict.action is RuleAction.ALLOW

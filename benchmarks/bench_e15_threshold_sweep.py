@@ -1,0 +1,150 @@
+"""E15 (extension) — cheater-code parameter sensitivity.
+
+The thesis reverse-engineers Foursquare's thresholds but never asks how
+they were chosen.  This sweep shows the operator's tradeoff: the
+super-human-speed threshold trades teleporter detection against false
+flags on honest air travelers, and the rapid-fire window trades mall-blitz
+detection against false flags on genuine mall-crawlers.
+"""
+
+import pytest
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.geo.regions import US_CITIES
+from repro.lbsn.cheater_code import CheaterCode, CheaterCodeConfig
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+#: Cruise speed of a commercial flight, m/s (~550 mph).
+FLIGHT_SPEED_MPS = 246.0
+
+
+def run_traveler(service, legs, speed_mps):
+    """An honest traveler: checks in, travels at ``speed_mps``, repeats."""
+    user = service.register_user("Traveler")
+    flagged = 0
+    timestamp = 0.0
+    previous = None
+    for venue in legs:
+        if previous is not None:
+            distance = haversine_m(previous.location, venue.location)
+            timestamp += distance / speed_mps + 1_800.0  # +boarding etc.
+        result = service.check_in(
+            user.user_id, venue.venue_id, venue.location, timestamp=timestamp
+        )
+        if result.checkin.status is not CheckInStatus.VALID:
+            flagged += 1
+        previous = venue
+    return flagged
+
+
+def run_teleporter(service, legs, interval_s=600.0):
+    """A spoofing teleporter: same venues, ten minutes apart."""
+    user = service.register_user("Teleporter")
+    flagged = 0
+    timestamp = 0.0
+    for venue in legs:
+        timestamp += interval_s
+        result = service.check_in(
+            user.user_id, venue.venue_id, venue.location, timestamp=timestamp
+        )
+        if result.checkin.status is not CheckInStatus.VALID:
+            flagged += 1
+    return flagged
+
+
+def test_e15_speed_threshold_sweep(report_out, benchmark):
+    def sweep():
+        results = []
+        for max_speed in (30.0, 67.0, 150.0, 300.0, 500.0):
+            service = LbsnService()
+            service.cheater_code = CheaterCode(
+                CheaterCodeConfig(
+                    max_speed_mps=max_speed, shadow_ban_threshold=0
+                )
+            )
+            legs = [
+                service.create_venue(f"Airport {i}", city.center)
+                for i, city in enumerate(US_CITIES[:8])
+            ]
+            honest_flags = run_traveler(service, legs, FLIGHT_SPEED_MPS)
+            cheat_flags = run_teleporter(service, legs)
+            results.append((max_speed, cheat_flags, honest_flags, len(legs)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        "max speed (m/s)  teleporter flagged  honest flyer flagged  (of 8)"
+    ]
+    for max_speed, cheat, honest, n in results:
+        rows.append(
+            f"{max_speed:>15.0f}  {cheat:>18}  {honest:>20}"
+        )
+    rows.append(
+        "(below flight speed the rule flags genuine air travel — real "
+        "Foursquare was notorious for this; far above it, teleporting at "
+        "longer hops starts slipping through)"
+    )
+    report_out("E15_speed_threshold", rows)
+    # At the default 67 m/s: teleport hops flagged, but most flights too
+    # (short hops with generous ground time stay under the threshold).
+    default = next(r for r in results if r[0] == 67.0)
+    assert default[1] >= 6
+    assert default[2] >= 4
+    # At 500 m/s the honest flyer is clean but the cheater mostly escapes
+    # slower-looking hops (short city pairs pass).
+    fast = next(r for r in results if r[0] == 500.0)
+    assert fast[2] == 0
+    assert fast[1] <= default[1]
+
+
+def test_e15_rapid_fire_window_sweep(report_out, benchmark):
+    anchor = GeoPoint(40.75, -73.98)
+
+    def mall_user(service, count, gap_s):
+        user = service.register_user(f"Mall {gap_s}")
+        flagged = 0
+        timestamp = 0.0
+        for index in range(count):
+            venue = service.create_venue(
+                f"Shop {gap_s}-{index}",
+                destination_point(anchor, index * 31.0, 70.0),
+            )
+            timestamp += gap_s
+            result = service.check_in(
+                user.user_id, venue.venue_id, venue.location, timestamp=timestamp
+            )
+            if result.checkin.status is not CheckInStatus.VALID:
+                flagged += 1
+        return flagged
+
+    def sweep():
+        results = []
+        for interval in (30.0, 60.0, 120.0, 300.0):
+            service = LbsnService()
+            service.cheater_code = CheaterCode(
+                CheaterCodeConfig(
+                    rapid_fire_interval_s=interval, shadow_ban_threshold=0
+                )
+            )
+            bot_flags = mall_user(service, 10, gap_s=40.0)
+            # A genuine mall crawl: a shop every 6 minutes.
+            honest_flags = mall_user(service, 10, gap_s=360.0)
+            results.append((interval, bot_flags, honest_flags))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["rapid-fire window (s)  40s-bot flagged  6-min shopper flagged"]
+    for interval, bot, honest in results:
+        rows.append(f"{interval:>21.0f}  {bot:>15}  {honest:>21}")
+    rows.append(
+        "(the published 60 s window catches the bot and spares the "
+        "shopper; stretch it to 5 minutes and genuine mall visits flag)"
+    )
+    report_out("E15_rapid_fire_window", rows)
+    default = next(r for r in results if r[0] == 60.0)
+    assert default[1] > 0
+    assert default[2] == 0
+    widest = next(r for r in results if r[0] == 300.0)
+    assert widest[2] > 0

@@ -1,0 +1,44 @@
+"""E3 — §3.3 / Fig 3.4: the Starbucks map from crawled data.
+
+``SELECT Longitude, Latitude FROM VenueInfo WHERE Name LIKE "%Starbucks%"``
+over the crawl database; the scatter "forms the shape of the United States
+territory".
+"""
+
+from conftest import ascii_scatter
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import contiguous_us_bbox, in_contiguous_us
+
+
+def test_e3_starbucks_scatter(bench_crawl, report_out, benchmark):
+    database, _, _ = bench_crawl
+
+    def query():
+        return database.venue_coordinates_like("%Starbucks%")
+
+    coordinates = benchmark(query)
+    assert len(coordinates) > 30
+
+    us_points = [
+        (lon, lat)
+        for lon, lat in coordinates
+        if in_contiguous_us(GeoPoint(lat, lon))
+    ]
+    box = contiguous_us_bbox()
+    rows = [f"Fig 3.4 — {len(coordinates)} Starbucks branches crawled:"]
+    rows += ascii_scatter(
+        us_points, bbox=(box.south, box.west, box.north, box.east)
+    )
+    # Shape checks: branches span the continent, coast to coast.
+    lons = [lon for lon, _ in us_points]
+    lats = [lat for _, lat in us_points]
+    rows.append(
+        f"coverage: lon span {max(lons) - min(lons):.1f} deg, "
+        f"lat span {max(lats) - min(lats):.1f} deg, "
+        f"{len(us_points)}/{len(coordinates)} in the contiguous US"
+    )
+    report_out("E3_starbucks_map", rows)
+    assert max(lons) - min(lons) > 40.0  # coast to coast
+    assert max(lats) - min(lats) > 15.0
+    assert len(us_points) / len(coordinates) > 0.85

@@ -1,0 +1,90 @@
+"""E7 — §4.3 / Figs 4.3-4.4: suspicious vs normal check-in patterns."""
+
+from conftest import ascii_scatter
+
+from repro.analysis.detection import CheaterDetector, DetectorConfig
+from repro.analysis.patterns import analyze_pattern, scan_patterns
+
+
+def test_e7_cheater_vs_normal_maps(bench_crawl, bench_world, report_out, benchmark):
+    database, _, _ = bench_crawl
+    mega_id = bench_world.roster.mega_cheater.user_id
+
+    def analyze_both():
+        mega = analyze_pattern(database, mega_id)
+        # A "normal" heavy user: the most recent-visible organic account.
+        persona_ids = {s.user_id for s in bench_world.roster.all_specs()}
+        organic = max(
+            (
+                u
+                for u in database.users()
+                if u.user_id not in persona_ids and u.recent_checkins >= 20
+            ),
+            key=lambda u: u.recent_checkins,
+        )
+        normal = analyze_pattern(database, organic.user_id)
+        return mega, normal
+
+    mega, normal = benchmark.pedantic(analyze_both, rounds=1, iterations=1)
+
+    rows = [
+        "Fig 4.3 — suspected cheater's recent check-in locations:",
+    ]
+    rows += ascii_scatter(
+        [(p.longitude, p.latitude) for p in mega.points], width=64, height=18
+    )
+    rows += [
+        f"verdict={mega.verdict.value}  cities={mega.city_count}  "
+        f"diameter={mega.diameter_m / 1000.0:.0f} km",
+        "(paper: venues scattered over 30+ cities incl. Alaska and Europe)",
+        "",
+        "Fig 4.4 — 'normal' user's recent check-in locations:",
+    ]
+    rows += ascii_scatter(
+        [(p.longitude, p.latitude) for p in normal.points], width=64, height=18
+    )
+    rows += [
+        f"verdict={normal.verdict.value}  cities={normal.city_count}  "
+        f"concentration={normal.concentration:.2f}",
+        "(paper: concentrated in ~3 cities plus the odd vacation)",
+    ]
+    report_out("E7_patterns", rows)
+    assert mega.verdict.value == "suspicious"
+    assert normal.verdict.value == "normal"
+    assert mega.city_count > 3 * max(1, normal.city_count)
+
+
+def test_e7_population_scan(bench_crawl, bench_world, report_out, benchmark):
+    database, _, _ = bench_crawl
+
+    def scan():
+        return scan_patterns(database, min_recent_checkins=40)
+
+    reports = benchmark(scan)
+    suspicious = [r for r in reports if r.verdict.value == "suspicious"]
+    rows = [
+        f"users scanned (>=40 recent check-ins): {len(reports)}",
+        f"suspicious patterns: {len(suspicious)}",
+    ]
+    for report in suspicious[:5]:
+        rows.append(
+            f"  user {report.user_id}: {report.city_count} cities, "
+            f"{report.point_count} mapped check-ins"
+        )
+    detector = CheaterDetector(
+        database, DetectorConfig(min_total_checkins=150)
+    )
+    new_discoveries = detector.undetected_mayor_holders(min_mayorships=10)
+    rows.append(
+        f"suspicious users still holding >=10 mayorships (the §4.3 'new "
+        f"discoveries'): {len(new_discoveries)}"
+    )
+    farmer = bench_world.roster.mayor_farmer.user_id
+    rows.append(
+        f"mayor farmer among them: "
+        f"{farmer in {r.user_id for r in new_discoveries}}"
+    )
+    report_out("E7_scan", rows)
+    assert bench_world.roster.mega_cheater.user_id in {
+        r.user_id for r in suspicious
+    }

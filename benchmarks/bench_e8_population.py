@@ -1,0 +1,33 @@
+"""E8 — the inline population statistics (§2.1, §3.2, §4.2).
+
+Every number the thesis quotes about its crawled corpus, recomputed from
+our crawl at the bench scale, with the paper's value alongside.
+"""
+
+from repro.analysis.stats import compute_population_stats, format_stats_table
+
+
+def test_e8_population_statistics(bench_crawl, bench_world, report_out, benchmark):
+    database, _, _ = bench_crawl
+
+    stats = benchmark(lambda: compute_population_stats(database))
+    rows = [f"world scale: {bench_world.scale} of the 2010 corpus", ""]
+    rows += format_stats_table(stats)
+    farmer = bench_world.roster.mayor_farmer
+    farmer_row = database.user(farmer.user_id)
+    rows.append(
+        f"mayor farmer: {farmer_row.total_mayors} mayorships from "
+        f"{farmer_row.total_checkins} check-ins "
+        "(paper: 865 mayorships from 1,265 check-ins)"
+    )
+    report_out("E8_population", rows)
+
+    # The anchors the generator is calibrated to.
+    assert abs(stats.zero_checkin_fraction - 0.363) < 0.04
+    assert abs(stats.light_checkin_fraction - 0.204) < 0.04
+    assert stats.under_six_fraction > 0.5
+    assert abs(stats.username_fraction - 0.261) < 0.05
+    assert stats.mayor_only_special_fraction > 0.9
+    assert stats.venues_with_one_visitor > stats.venues_with_one_checkin
+    assert 0.0 < stats.heavy_user_fraction < 0.01
+    assert farmer_row.total_mayors / max(1, farmer_row.total_checkins) > 0.5

@@ -1,0 +1,95 @@
+"""Shared benchmark fixtures.
+
+A single session-scoped world serves the read-only experiments (crawl,
+analyses, defense evaluation); mutating experiments (spoofing, tours,
+harvests) build their own small worlds so results stay order-independent.
+
+Every experiment writes its paper-style output rows to
+``benchmarks/out/E<n>_<name>.txt`` and echoes them to stdout, so
+``pytest benchmarks/ --benchmark-only`` regenerates the full set of
+figures/tables alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.crawler import crawl_full_site
+from repro.workload import build_web_stack, build_world
+
+#: 0.002 of the paper's corpus: ~3,800 users, ~11,200 venues.  Override
+#: with REPRO_BENCH_SCALE for bigger runs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+BENCH_SEED = 20_100_801  # the crawl month, 2010-08
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The shared, read-only benchmark world."""
+    return build_world(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_stack(bench_world):
+    """Its web stack (non-blocking transport: analyses, not throughput)."""
+    return build_web_stack(bench_world, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bench_crawl(bench_world, bench_stack):
+    """A completed crawl of the shared world."""
+    machines = [bench_stack.network.create_egress() for _ in range(3)]
+    database, user_stats, venue_stats = crawl_full_site(
+        bench_stack.transport, machines
+    )
+    return database, user_stats, venue_stats
+
+
+@pytest.fixture(scope="session")
+def report_out():
+    """Writer for experiment outputs: report_out(exp_id, rows)."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(exp_id: str, rows):
+        text = "\n".join(str(row) for row in rows) + "\n"
+        (OUT_DIR / f"{exp_id}.txt").write_text(text)
+        print(f"\n===== {exp_id} =====")
+        print(text)
+
+    return write
+
+
+def ascii_scatter(points, width=72, height=24, bbox=None):
+    """Render (longitude, latitude) pairs as an ASCII scatter plot.
+
+    Used for the map figures (3.4, 3.5, 4.3, 4.4): the output is a crude
+    but recognisable reproduction of the thesis's matplotlib scatters.
+    """
+    if not points:
+        return ["(no points)"]
+    lons = [p[0] for p in points]
+    lats = [p[1] for p in points]
+    if bbox is None:
+        west, east = min(lons), max(lons)
+        south, north = min(lats), max(lats)
+    else:
+        south, west, north, east = bbox
+    lon_span = max(1e-9, east - west)
+    lat_span = max(1e-9, north - south)
+    grid = [[" "] * width for _ in range(height)]
+    for lon, lat in points:
+        col = int((lon - west) / lon_span * (width - 1))
+        row = int((north - lat) / lat_span * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(
+        f"lon [{west:.2f}, {east:.2f}]  lat [{south:.2f}, {north:.2f}]  "
+        f"n={len(points)}"
+    )
+    return lines

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The full §3.3-§3.4 attack pipeline, end to end.
+
+1. Crawl the site's numeric-ID profile pages into the attacker's database.
+2. Plan a Fig 3.5 spiral tour through a city and execute it without
+   tripping the cheater code.
+3. Mine the crawl for venues offering mayor-only specials with no mayor,
+   and harvest their mayorships (plus the real-world rewards).
+4. Deny a victim user their mayorships by out-daying them.
+
+Run:  python examples/automated_cheating_tour.py
+"""
+
+from repro import build_world
+from repro.attack import (
+    CheatingCampaign,
+    CheckInScheduler,
+    TourPlanner,
+    VenueCatalog,
+    VenueProfileAnalyzer,
+    build_emulator_attacker,
+)
+from repro.crawler import crawl_full_site
+from repro.geo import city_by_name
+from repro.workload import build_web_stack
+
+
+def main() -> None:
+    print("=== act 0: the world ===")
+    world = build_world(scale=0.001, seed=23)
+    service = world.service
+    print(
+        f"{service.store.user_count()} users / "
+        f"{service.store.venue_count()} venues"
+    )
+
+    print("\n=== act 1: crawl the site (§3.2) ===")
+    stack = build_web_stack(world, seed=4)
+    machines = [stack.network.create_egress() for _ in range(3)]
+    database, user_stats, venue_stats = crawl_full_site(
+        stack.transport, machines
+    )
+    print(
+        f"crawled {database.user_count()} user and "
+        f"{database.venue_count()} venue profiles "
+        f"({user_stats.threads}+{venue_stats.threads} threads)"
+    )
+
+    print("\n=== act 2: the spiral tour (§3.3, Fig 3.5) ===")
+    user, emulator, channel = build_emulator_attacker(service)
+    catalog = VenueCatalog.from_crawl_database(database)
+    planner = TourPlanner(catalog)
+    scheduler = CheckInScheduler(service.clock)
+    start = city_by_name("New York, NY").center
+    tour = planner.plan_city_spiral(start, steps=50)
+    schedule = scheduler.build(tour)
+    report = scheduler.execute(schedule, channel)
+    print(f"planned {len(tour.stops)} stops, drift {tour.mean_drift_m():.0f} m")
+    print(
+        f"executed: {report.rewarded}/{report.attempts} rewarded, "
+        f"{report.detected} detected, {report.points} points, "
+        f"{len(report.badges)} badges"
+    )
+
+    print("\n=== act 3: harvest mayor-only specials (§3.4) ===")
+    analyzer = VenueProfileAnalyzer(database)
+    targets = analyzer.easy_mayor_specials()
+    print(f"crawl shows {len(targets)} mayor-less venues offering specials")
+    campaign = CheatingCampaign(service.clock, channel, scheduler=scheduler)
+    harvest = campaign.harvest(targets[:15])
+    print(
+        f"harvested {harvest.mayorships_won} mayorships and "
+        f"{len(harvest.specials)} real-world rewards, "
+        f"{harvest.detected} detections"
+    )
+    for special in harvest.specials[:5]:
+        print(f"  unlocked: {special}")
+
+    print("\n=== act 4: mayorship denial (§3.4) ===")
+    victim_id = world.roster.mayor_farmer.user_id
+    before = service.mayorship_count(victim_id)
+    victim_venues = analyzer.mayorships_of_victim(victim_id)[:8]
+    denial = campaign.mayorship_denial(victim_venues, days=3)
+    after = service.mayorship_count(victim_id)
+    print(
+        f"victim user {victim_id}: {before} -> {after} mayorships "
+        f"({denial.mayorships_won} crowns captured, "
+        f"{denial.detected} detections)"
+    )
+
+    print(
+        f"\nattacker final state: {service.store.get_user(user.user_id).points}"
+        f" points, {service.mayorship_count(user.user_id)} mayorships, "
+        f"never flagged"
+    )
+
+
+if __name__ == "__main__":
+    main()

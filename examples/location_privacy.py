@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""§6.2.1 as a script: what daily crawling learns about everyone.
+
+Crawls the site once a day for a week while the population keeps checking
+in, then reconstructs location timelines, infers home cities, and finds
+repeatedly co-located pairs — all from public pages.  Finishes by turning
+on the §5.2 hashing defense and showing the leak collapse to zero.
+
+Run:  python examples/location_privacy.py
+"""
+
+from repro import build_world
+from repro.analysis import (
+    build_timelines,
+    infer_home,
+    privacy_exposure_report,
+)
+from repro.crawler import SnapshotStore
+from repro.defense import hashed_visitor_obfuscator
+from repro.simnet.clock import SECONDS_PER_DAY
+from repro.workload import BehaviorGenerator, EventReplayer, build_web_stack
+
+DAYS = 7
+
+
+def live_one_week(world, stack):
+    """Daily crawls while ~100 active users go about their routines."""
+    service = world.service
+    store = SnapshotStore(
+        stack.transport,
+        [stack.network.create_egress() for _ in range(2)],
+        service.clock,
+    )
+    behavior = BehaviorGenerator(world.venues, horizon_days=1.0, seed=7)
+    replayer = EventReplayer(service)
+    actives = [
+        spec for spec in world.population.specs if spec.target_checkins >= 20
+    ][:100]
+    store.take_snapshot()
+    for day in range(DAYS):
+        day_start = service.clock.now()
+        events = []
+        for spec in actives:
+            for event in behavior.events_for(spec)[:3]:
+                events.append(
+                    type(event)(
+                        timestamp=day_start
+                        + (event.timestamp % SECONDS_PER_DAY),
+                        user_id=event.user_id,
+                        venue_id=event.venue_id,
+                    )
+                )
+        replayer.replay(events)
+        if service.clock.now() < day_start + SECONDS_PER_DAY:
+            service.clock.advance_to(day_start + SECONDS_PER_DAY)
+        store.take_snapshot()
+    return store
+
+
+def main() -> None:
+    world = build_world(scale=0.001, seed=17)
+    print("--- surveillance on the undefended site ---")
+    stack = build_web_stack(world, seed=18)
+    store = live_one_week(world, stack)
+    diffs = store.diffs()
+    database = store.latest().database
+    report = privacy_exposure_report(diffs, database)
+    print(f"crawled daily for {DAYS} days; from public pages alone:")
+    print(f"  location timelines reconstructed: {report.users_with_timelines}")
+    print(f"  time-bounded sightings: {report.total_sightings}")
+    print(
+        f"  median sighting precision: "
+        f"{report.median_time_bound_s / 3600.0:.0f} hours"
+    )
+    print(
+        f"  homes inferred: {report.homes_inferred} "
+        f"({report.high_confidence_homes} high-confidence)"
+    )
+    print(f"  repeatedly co-located pairs: {report.co_located_pairs}")
+
+    # Show one reconstructed life.
+    timelines = build_timelines(diffs, database)
+    victim = max(timelines.values(), key=lambda t: t.sightings)
+    inference = infer_home(victim)
+    print(
+        f"\nmost-exposed user (id {victim.user_id}): "
+        f"{victim.sightings} sightings; inferred home at "
+        f"({inference.home_center.latitude:.3f}, "
+        f"{inference.home_center.longitude:.3f}) "
+        f"with {inference.confidence:.0%} confidence"
+    )
+    for entry in victim.entries[:5]:
+        print(
+            f"  day {entry.window_start / SECONDS_PER_DAY:.0f}: "
+            f"venue {entry.venue_id} at "
+            f"({entry.location.latitude:.3f}, {entry.location.longitude:.3f})"
+        )
+
+    print("\n--- same week with §5.2 keyed visitor hashing deployed ---")
+    fresh_world = build_world(scale=0.001, seed=17)
+    hashed_stack = build_web_stack(
+        fresh_world,
+        seed=19,
+        visitor_obfuscator=hashed_visitor_obfuscator(b"server-secret"),
+    )
+    hashed_store = live_one_week(fresh_world, hashed_stack)
+    hashed_report = privacy_exposure_report(
+        hashed_store.diffs(), hashed_store.latest().database
+    )
+    print(f"  timelines reconstructed: {hashed_report.users_with_timelines}")
+    print(f"  sightings: {hashed_report.total_sightings}")
+    print(f"  co-located pairs: {hashed_report.co_located_pairs}")
+    print("\nthe entire leak rides on the recent-visitor join; hash it and")
+    print("the surveillance pipeline starves while the page stays useful.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path via
+``--no-use-pep517`` when PEP 660 wheels cannot be built offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Reproduction of *Location Cheating: A Security Challenge to
+Location-based Social Network Services* (Ren, ICDCS 2011 / UNL thesis).
+
+The live 2011 Foursquare service the paper attacked no longer exists, so
+this library ships the entire ecosystem as a simulator and runs the paper's
+attacks, crawler, analyses, and defenses against it:
+
+* :mod:`repro.lbsn` — the Foursquare-like service (rewards, mayorships,
+  the "cheater code", the public website and developer API).
+* :mod:`repro.device` — smartphones, GPS modules, the Android-style
+  emulator, and the client app.
+* :mod:`repro.attack` — the paper's contribution: the four GPS-spoofing
+  channels, the cheater-code-evading scheduler, virtual tours, and
+  crawl-driven targeting.
+* :mod:`repro.crawler` — the multi-threaded profile crawler and its
+  three-table database.
+* :mod:`repro.analysis` — the Chapter-4 evaluation (Figs 4.1-4.4 and the
+  population statistics).
+* :mod:`repro.defense` — the Chapter-5 countermeasures.
+* :mod:`repro.workload` — synthetic world generation calibrated to the
+  paper's measured distributions.
+* :mod:`repro.geo`, :mod:`repro.simnet` — geodesy and simulation
+  substrates.
+
+Quick start::
+
+    from repro import build_world, build_emulator_attacker
+    from repro.geo import GeoPoint
+
+    world = build_world(scale=0.001)
+    user, emulator, channel = build_emulator_attacker(world.service)
+    channel.set_location(GeoPoint(37.8080, -122.4177))  # Fisherman's Wharf
+    venue = world.service.nearby_venues(GeoPoint(37.8080, -122.4177))[0]
+    outcome = channel.check_in(venue.venue_id)
+    assert outcome.rewarded  # the spoofed check-in passes verification
+"""
+
+from repro.attack import (
+    CheatingCampaign,
+    CheckInScheduler,
+    EmulatorSpoofer,
+    TourPlanner,
+    VenueCatalog,
+    VenueProfileAnalyzer,
+    build_emulator_attacker,
+)
+from repro.crawler import (
+    CrawlDatabase,
+    CrawlMode,
+    MultiThreadedCrawler,
+    crawl_full_site,
+)
+from repro.lbsn import CheaterCode, CheaterCodeConfig, LbsnService
+from repro.workload import World, build_web_stack, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheatingCampaign",
+    "CheckInScheduler",
+    "EmulatorSpoofer",
+    "TourPlanner",
+    "VenueCatalog",
+    "VenueProfileAnalyzer",
+    "build_emulator_attacker",
+    "CrawlDatabase",
+    "CrawlMode",
+    "MultiThreadedCrawler",
+    "crawl_full_site",
+    "CheaterCode",
+    "CheaterCodeConfig",
+    "LbsnService",
+    "World",
+    "build_web_stack",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Chapter-4 evaluation pipeline over crawled data."""
+
+from repro.analysis.activity import (
+    CurvePoint,
+    high_ratio_users,
+    recent_vs_total_curve,
+    trackable_users,
+)
+from repro.analysis.detection import (
+    CheaterDetector,
+    DetectorConfig,
+    SuspicionReport,
+)
+from repro.analysis.patterns import (
+    CITY_CLUSTER_RADIUS_M,
+    SUSPICIOUS_CITY_COUNT,
+    PatternReport,
+    PatternVerdict,
+    analyze_pattern,
+    checkin_map,
+    cluster_cities,
+    scan_patterns,
+)
+from repro.analysis.reward_rate import (
+    BadgeCurvePoint,
+    ExtremeClubReport,
+    badges_vs_total_curve,
+    extreme_club,
+    low_reward_users,
+)
+from repro.analysis.stats import (
+    PopulationStats,
+    compute_population_stats,
+    format_stats_table,
+)
+
+__all__ = [
+    "CurvePoint",
+    "high_ratio_users",
+    "recent_vs_total_curve",
+    "trackable_users",
+    "CheaterDetector",
+    "DetectorConfig",
+    "SuspicionReport",
+    "CITY_CLUSTER_RADIUS_M",
+    "SUSPICIOUS_CITY_COUNT",
+    "PatternReport",
+    "PatternVerdict",
+    "analyze_pattern",
+    "checkin_map",
+    "cluster_cities",
+    "scan_patterns",
+    "BadgeCurvePoint",
+    "ExtremeClubReport",
+    "badges_vs_total_curve",
+    "extreme_club",
+    "low_reward_users",
+    "PopulationStats",
+    "compute_population_stats",
+    "format_stats_table",
+]
+
+from repro.analysis.privacy import (
+    CoLocation,
+    HomeInference,
+    LocationTimeline,
+    PrivacyReport,
+    TimelineEntry,
+    build_timelines,
+    find_co_locations,
+    infer_home,
+    privacy_exposure_report,
+)
+
+__all__ += [
+    "CoLocation",
+    "HomeInference",
+    "LocationTimeline",
+    "PrivacyReport",
+    "TimelineEntry",
+    "build_timelines",
+    "find_co_locations",
+    "infer_home",
+    "privacy_exposure_report",
+]
+
+from repro.analysis.figures import (
+    FigureData,
+    all_figures,
+    fig_3_4_starbucks,
+    fig_3_5_tour,
+    fig_4_1_recent_vs_total,
+    fig_4_2_badges,
+    fig_4_3_user_map,
+)
+
+__all__ += [
+    "FigureData",
+    "all_figures",
+    "fig_3_4_starbucks",
+    "fig_3_5_tour",
+    "fig_4_1_recent_vs_total",
+    "fig_4_2_badges",
+    "fig_4_3_user_map",
+]
+
+from repro.analysis.evaluation import (
+    DetectionQuality,
+    best_f1,
+    format_sweep_table,
+    quality_at_threshold,
+    score_population,
+    threshold_sweep,
+)
+
+__all__ += [
+    "DetectionQuality",
+    "best_f1",
+    "format_sweep_table",
+    "quality_at_threshold",
+    "score_population",
+    "threshold_sweep",
+]
+
+from repro.analysis.privacy import FriendshipSignal, friendship_signal
+
+__all__ += ["FriendshipSignal", "friendship_signal"]
+
+from repro.analysis.growth import (
+    ActivityRateReport,
+    GrowthModel,
+    activity_rates,
+    growth_model_from_crawl,
+)
+
+__all__ += [
+    "ActivityRateReport",
+    "GrowthModel",
+    "activity_rates",
+    "growth_model_from_crawl",
+]

@@ -1,0 +1,147 @@
+"""Combined cheater detection: the three identifying factors of Chapter 4.
+
+"(1) above normal level of activity, (2) below normal level of rewards,
+and (3) suspicious check-in patterns."  Each factor contributes a score in
+[0, 1]; users above a combined threshold are reported as suspects.  This is
+the "find cheaters Foursquare hasn't found" future-work tool the thesis
+sketches at the end of §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.patterns import (
+    PatternVerdict,
+    analyze_pattern,
+)
+from repro.crawler.database import CrawlDatabase, UserInfoRow
+from repro.errors import ReproError
+
+
+@dataclass
+class SuspicionReport:
+    """Per-user factor scores and the combined verdict."""
+
+    user_id: int
+    total_checkins: int
+    activity_score: float = 0.0
+    reward_score: float = 0.0
+    pattern_score: float = 0.0
+    city_count: int = 0
+
+    @property
+    def combined_score(self) -> float:
+        """Mean of the three factor scores."""
+        return (self.activity_score + self.reward_score + self.pattern_score) / 3.0
+
+    @property
+    def strongest_factor(self) -> float:
+        """The most incriminating single factor."""
+        return max(self.activity_score, self.reward_score, self.pattern_score)
+
+
+@dataclass
+class DetectorConfig:
+    """Thresholds for the three factors."""
+
+    #: Minimum total check-ins to be worth scoring at all.
+    min_total_checkins: int = 200
+    #: recent/total ratio that saturates the activity factor.
+    saturating_ratio: float = 0.8
+    #: Expected badges per 100 check-ins for honest users...
+    expected_badges_per_100: float = 8.0
+    #: ...saturating at the catalogue's practical ceiling (the Fig 4.2
+    #: curve plateaus near 90 for heavy legitimate users).
+    badge_ceiling: float = 90.0
+    #: City count that saturates the pattern factor.
+    saturating_city_count: int = 20
+    #: Combined score above which a user is reported.
+    report_threshold: float = 0.45
+    #: A single factor at or above this also reports the user: each of
+    #: Chapter 4's three signals is individually incriminating.
+    strong_factor_threshold: float = 0.8
+
+
+class CheaterDetector:
+    """Scores users over a crawl database."""
+
+    def __init__(
+        self,
+        database: CrawlDatabase,
+        config: Optional[DetectorConfig] = None,
+    ) -> None:
+        self.database = database
+        self.config = config or DetectorConfig()
+
+    def score_user(self, user: UserInfoRow) -> SuspicionReport:
+        """Score one user on all three factors."""
+        config = self.config
+        report = SuspicionReport(
+            user_id=user.user_id, total_checkins=user.total_checkins
+        )
+        if user.total_checkins <= 0:
+            return report
+
+        # Factor 1 — above-normal activity: the recent/total ratio.
+        ratio = user.recent_checkins / user.total_checkins
+        report.activity_score = min(1.0, ratio / config.saturating_ratio)
+
+        # Factor 2 — below-normal rewards: badge shortfall against a
+        # saturating expectation (badges plateau for heavy honest users).
+        expected = max(
+            1.0,
+            min(
+                config.badge_ceiling,
+                user.total_checkins * config.expected_badges_per_100 / 100.0,
+            ),
+        )
+        shortfall = max(0.0, 1.0 - user.total_badges / expected)
+        report.reward_score = shortfall
+
+        # Factor 3 — suspicious pattern: geographic dispersion.
+        pattern = analyze_pattern(self.database, user.user_id)
+        report.city_count = pattern.city_count
+        if pattern.verdict is not PatternVerdict.INSUFFICIENT_DATA:
+            report.pattern_score = min(
+                1.0, pattern.city_count / config.saturating_city_count
+            )
+        return report
+
+    def find_suspects(self) -> List[SuspicionReport]:
+        """All users above the reporting threshold, strongest first."""
+        suspects: List[SuspicionReport] = []
+        for user in self.database.users():
+            if user.total_checkins < self.config.min_total_checkins:
+                continue
+            report = self.score_user(user)
+            if self._reportable(report):
+                suspects.append(report)
+        suspects.sort(key=lambda r: r.combined_score, reverse=True)
+        return suspects
+
+    def _reportable(self, report: SuspicionReport) -> bool:
+        """Combined score over the bar, or any single factor screaming."""
+        if report.combined_score >= self.config.report_threshold:
+            return True
+        return report.strongest_factor >= self.config.strong_factor_threshold
+
+    def undetected_mayor_holders(
+        self, min_mayorships: int = 10
+    ) -> List[SuspicionReport]:
+        """Suspicious users who currently hold mayorships (§4.3's closing).
+
+        "By the time this work was conducted, all mayors passed the
+        scrutiny of the cheater code. So any cheaters we found in this
+        group of users were new discoveries."
+        """
+        reports: List[SuspicionReport] = []
+        for user in self.database.select_users(
+            lambda u: u.total_mayors >= min_mayorships
+        ):
+            report = self.score_user(user)
+            if self._reportable(report):
+                reports.append(report)
+        reports.sort(key=lambda r: r.combined_score, reverse=True)
+        return reports

@@ -1,0 +1,126 @@
+"""Detector quality evaluation against planted ground truth (§6.2.2).
+
+The thesis's second future-work direction: "find better solutions to
+identify possible cheaters, especially those whom haven't been found by
+the existing anti-cheating mechanisms."  The simulator knows exactly which
+accounts cheat, so detector quality is measurable: precision/recall at a
+threshold, and the full tradeoff curve as the threshold sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.analysis.detection import CheaterDetector, SuspicionReport
+from repro.crawler.database import CrawlDatabase
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Confusion-matrix summary at one operating point."""
+
+    threshold: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); vacuously 1.0 with no positives reported."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); vacuously 1.0 with no actual positives."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN)."""
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+
+def score_population(
+    detector: CheaterDetector, min_total_checkins: int = 0
+) -> List[SuspicionReport]:
+    """Score every sufficiently active user (no threshold filtering)."""
+    reports = []
+    for user in detector.database.users():
+        if user.total_checkins < max(
+            min_total_checkins, detector.config.min_total_checkins
+        ):
+            continue
+        reports.append(detector.score_user(user))
+    return reports
+
+
+def quality_at_threshold(
+    reports: Sequence[SuspicionReport],
+    cheater_ids: Set[int],
+    threshold: float,
+) -> DetectionQuality:
+    """Confusion matrix when reporting ``combined_score >= threshold``."""
+    tp = fp = fn = tn = 0
+    for report in reports:
+        predicted = report.combined_score >= threshold
+        actual = report.user_id in cheater_ids
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    return DetectionQuality(
+        threshold=threshold,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def threshold_sweep(
+    reports: Sequence[SuspicionReport],
+    cheater_ids: Set[int],
+    thresholds: Iterable[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+) -> List[DetectionQuality]:
+    """Quality at every threshold — the detector's tradeoff curve."""
+    if not reports:
+        raise ReproError("no scored reports to evaluate")
+    return [
+        quality_at_threshold(reports, cheater_ids, threshold)
+        for threshold in thresholds
+    ]
+
+
+def best_f1(sweep: Sequence[DetectionQuality]) -> DetectionQuality:
+    """The operating point with the highest F1."""
+    if not sweep:
+        raise ReproError("empty sweep")
+    return max(sweep, key=lambda quality: quality.f1)
+
+
+def format_sweep_table(sweep: Sequence[DetectionQuality]) -> List[str]:
+    """Printable rows for the E17 bench."""
+    rows = ["threshold  precision  recall     F1   FPR"]
+    for quality in sweep:
+        rows.append(
+            f"{quality.threshold:9.2f}  {quality.precision:9.2f}  "
+            f"{quality.recall:6.2f}  {quality.f1:5.2f}  "
+            f"{quality.false_positive_rate:5.3f}"
+        )
+    return rows

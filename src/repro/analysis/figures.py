@@ -1,0 +1,159 @@
+"""Figure-series export: the paper's plots as plain data.
+
+Downstream users regenerate the thesis's figures with their own plotting
+stack; each function here returns the exact (x, y) series or point cloud a
+figure needs, plus a ``to_csv`` helper for flat files.  The benchmark
+harness renders the same series as ASCII; this module is the
+programmatic surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.activity import recent_vs_total_curve
+from repro.analysis.patterns import checkin_map
+from repro.analysis.reward_rate import badges_vs_total_curve
+from repro.crawler.database import CrawlDatabase
+from repro.errors import ReproError
+
+
+@dataclass
+class FigureData:
+    """One figure's data: named columns of equal length."""
+
+    figure: str
+    title: str
+    columns: Dict[str, List[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ReproError(
+                f"figure {self.figure}: ragged columns {sorted(lengths)}"
+            )
+
+    @property
+    def rows(self) -> int:
+        """Number of data rows."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def to_csv(self) -> str:
+        """Render as CSV text (header + rows)."""
+        names = list(self.columns)
+        lines = [",".join(names)]
+        for index in range(self.rows):
+            lines.append(
+                ",".join(
+                    f"{self.columns[name][index]:.6g}" for name in names
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+def fig_3_4_starbucks(
+    database: CrawlDatabase, pattern: str = "%Starbucks%"
+) -> FigureData:
+    """Fig 3.4: (longitude, latitude) of every name-matched venue."""
+    coordinates = database.venue_coordinates_like(pattern)
+    return FigureData(
+        figure="3.4",
+        title=f"Locations of venues matching {pattern!r}",
+        columns={
+            "longitude": [lon for lon, _ in coordinates],
+            "latitude": [lat for _, lat in coordinates],
+        },
+    )
+
+
+def fig_3_5_tour(tour) -> FigureData:
+    """Fig 3.5: intended waypoints vs snapped venues of a planned tour.
+
+    ``tour`` is a :class:`repro.attack.tour.PlannedTour`.
+    """
+    return FigureData(
+        figure="3.5",
+        title="Location cheating check-ins along a virtual path",
+        columns={
+            "intended_longitude": [s.intended.longitude for s in tour.stops],
+            "intended_latitude": [s.intended.latitude for s in tour.stops],
+            "actual_longitude": [
+                s.venue_location.longitude for s in tour.stops
+            ],
+            "actual_latitude": [s.venue_location.latitude for s in tour.stops],
+        },
+    )
+
+
+def fig_4_1_recent_vs_total(
+    database: CrawlDatabase,
+    max_total: int = 2_000,
+    bucket_width: int = 25,
+) -> FigureData:
+    """Fig 4.1: average recent check-ins per total-check-in bucket."""
+    curve = recent_vs_total_curve(
+        database, max_total=max_total, bucket_width=bucket_width
+    )
+    return FigureData(
+        figure="4.1",
+        title="Recent check-ins vs. total check-ins",
+        columns={
+            "total_checkins": [float(p.total_checkins) for p in curve],
+            "average_recent_checkins": [p.average_recent for p in curve],
+            "users": [float(p.users) for p in curve],
+        },
+    )
+
+
+def fig_4_2_badges(
+    database: CrawlDatabase,
+    max_total: int = 14_000,
+    bucket_width: int = 100,
+) -> FigureData:
+    """Fig 4.2: average badges per total-check-in bucket."""
+    curve = badges_vs_total_curve(
+        database, max_total=max_total, bucket_width=bucket_width
+    )
+    return FigureData(
+        figure="4.2",
+        title="Number of badges vs. number of check-ins",
+        columns={
+            "total_checkins": [float(p.total_checkins) for p in curve],
+            "average_badges": [p.average_badges for p in curve],
+            "users": [float(p.users) for p in curve],
+        },
+    )
+
+
+def fig_4_3_user_map(database: CrawlDatabase, user_id: int) -> FigureData:
+    """Figs 4.3/4.4: one user's reconstructed check-in locations."""
+    points = checkin_map(database, user_id)
+    return FigureData(
+        figure="4.3/4.4",
+        title=f"Check-in locations of user {user_id}",
+        columns={
+            "longitude": [p.longitude for p in points],
+            "latitude": [p.latitude for p in points],
+        },
+    )
+
+
+def all_figures(
+    database: CrawlDatabase,
+    cheater_user_id: Optional[int] = None,
+    normal_user_id: Optional[int] = None,
+) -> List[FigureData]:
+    """Every corpus figure in one call (tour figures need a tour)."""
+    figures = [
+        fig_3_4_starbucks(database),
+        fig_4_1_recent_vs_total(database),
+        fig_4_2_badges(database),
+    ]
+    if cheater_user_id is not None:
+        figures.append(fig_4_3_user_map(database, cheater_user_id))
+    if normal_user_id is not None:
+        figures.append(fig_4_3_user_map(database, normal_user_id))
+    return figures

@@ -1,0 +1,146 @@
+"""Figs 4.3/4.4: geographic check-in patterns (§4.3).
+
+The thesis reconstructs a user's "visited" map by joining the venues whose
+recent-visitor lists contain the user with those venues' coordinates — all
+public data.  A user scattered over 30+ cities in under a year (Fig 4.3) is
+a suspected cheater; one concentrated in ~3 cities with a vacation or two
+(Fig 4.4) is normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.crawler.database import CrawlDatabase
+from repro.errors import ReproError
+from repro.geo.coordinates import BoundingBox, GeoPoint
+from repro.geo.distance import haversine_m, pairwise_max_distance_m
+
+#: Two check-in points within this distance belong to the same "city".
+CITY_CLUSTER_RADIUS_M = 60_000.0
+
+#: Fig 4.3's cheater spans "over 30 different cities"; Fig 4.4's normal
+#: user concentrates in three.  The default boundary sits between them.
+SUSPICIOUS_CITY_COUNT = 10
+
+
+class PatternVerdict(Enum):
+    """Outcome of the check-in pattern classifier."""
+
+    NORMAL = "normal"
+    SUSPICIOUS = "suspicious"
+    INSUFFICIENT_DATA = "insufficient-data"
+
+
+def cluster_cities(
+    points: List[GeoPoint],
+    radius_m: float = CITY_CLUSTER_RADIUS_M,
+) -> List[List[GeoPoint]]:
+    """Greedy leader clustering of check-in points into "cities".
+
+    Each point joins the first existing cluster whose leader is within
+    ``radius_m``; otherwise it founds a new cluster.  Simple, deterministic
+    and entirely adequate for metro-scale separation (cities are hundreds
+    of kilometers apart; metros tens of kilometers wide).
+    """
+    if radius_m <= 0:
+        raise ReproError(f"radius must be positive: {radius_m}")
+    leaders: List[GeoPoint] = []
+    clusters: List[List[GeoPoint]] = []
+    for point in points:
+        placed = False
+        for index, leader in enumerate(leaders):
+            if haversine_m(leader, point) <= radius_m:
+                clusters[index].append(point)
+                placed = True
+                break
+        if not placed:
+            leaders.append(point)
+            clusters.append([point])
+    return clusters
+
+
+@dataclass
+class PatternReport:
+    """Everything the §4.3 analysis derives from one user's check-in map."""
+
+    user_id: int
+    points: List[GeoPoint] = field(default_factory=list)
+    city_count: int = 0
+    #: Points in the largest city cluster / total (concentration measure).
+    concentration: float = 0.0
+    diameter_m: float = 0.0
+    bbox: Optional[BoundingBox] = None
+    verdict: PatternVerdict = PatternVerdict.INSUFFICIENT_DATA
+
+    @property
+    def point_count(self) -> int:
+        """Number of mapped check-in locations."""
+        return len(self.points)
+
+
+def checkin_map(database: CrawlDatabase, user_id: int) -> List[GeoPoint]:
+    """The user's publicly reconstructible check-in locations.
+
+    Joins RecentCheckin rows against VenueInfo coordinates — exactly the
+    thesis's method ("we draw the venues to which a user has checked in on
+    a map").
+    """
+    points: List[GeoPoint] = []
+    for venue_id in database.recent_venues_of_user(user_id):
+        venue = database.venue(venue_id)
+        if venue is not None:
+            points.append(GeoPoint(venue.latitude, venue.longitude))
+    return points
+
+
+def analyze_pattern(
+    database: CrawlDatabase,
+    user_id: int,
+    min_points: int = 5,
+    suspicious_city_count: int = SUSPICIOUS_CITY_COUNT,
+) -> PatternReport:
+    """Build the full Fig 4.3/4.4 report for one user."""
+    points = checkin_map(database, user_id)
+    report = PatternReport(user_id=user_id, points=points)
+    if len(points) < min_points:
+        return report
+    clusters = cluster_cities(points)
+    report.city_count = len(clusters)
+    report.concentration = max(len(c) for c in clusters) / len(points)
+    report.diameter_m = pairwise_max_distance_m(points)
+    report.bbox = BoundingBox.around(points)
+    if report.city_count >= suspicious_city_count:
+        report.verdict = PatternVerdict.SUSPICIOUS
+    else:
+        report.verdict = PatternVerdict.NORMAL
+    return report
+
+
+def scan_patterns(
+    database: CrawlDatabase,
+    min_recent_checkins: int = 50,
+    suspicious_city_count: int = SUSPICIOUS_CITY_COUNT,
+) -> List[PatternReport]:
+    """Run the pattern analysis over every sufficiently visible user.
+
+    The thesis examined "users with more than 1,000 recent check-in
+    records, users with more than 2000 total check-ins, and users with
+    more than 100 mayorships"; the threshold here scales to smaller
+    corpora.
+    """
+    reports: List[PatternReport] = []
+    for user in database.users():
+        if user.recent_checkins < min_recent_checkins:
+            continue
+        reports.append(
+            analyze_pattern(
+                database,
+                user.user_id,
+                suspicious_city_count=suspicious_city_count,
+            )
+        )
+    reports.sort(key=lambda r: r.city_count, reverse=True)
+    return reports

@@ -1,0 +1,264 @@
+"""Privacy leakage from public profiles (§6.2.1, the thesis's future work).
+
+"After we crawled webpages for all venues, we built a personal location
+history for each user on Foursquare."  Given a series of crawl snapshots,
+this module reconstructs per-user location timelines, infers home cities,
+and detects co-location between users — all from data the site exposes to
+anyone.  The point is not the attack itself but the demonstration that the
+§5.2 information-hiding defenses have something real to protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.patterns import cluster_cities
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.snapshots import ObservedCheckIn, SnapshotDiff
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint, centroid
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One reconstructed sighting: where a user was, within a time bound."""
+
+    venue_id: int
+    location: GeoPoint
+    window_start: float
+    window_end: float
+
+
+@dataclass
+class LocationTimeline:
+    """A user's reconstructed location history."""
+
+    user_id: int
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def sightings(self) -> int:
+        """Number of reconstructed sightings."""
+        return len(self.entries)
+
+    def locations(self) -> List[GeoPoint]:
+        """All sighting locations."""
+        return [entry.location for entry in self.entries]
+
+    def between(self, start: float, end: float) -> List[TimelineEntry]:
+        """Entries whose time bounds overlap [start, end]."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.window_end >= start and entry.window_start <= end
+        ]
+
+
+def build_timelines(
+    diffs: Sequence[SnapshotDiff], database: CrawlDatabase
+) -> Dict[int, LocationTimeline]:
+    """Assemble per-user timelines from snapshot diffs.
+
+    ``database`` supplies venue coordinates (any snapshot's will do: venues
+    don't move).
+    """
+    timelines: Dict[int, LocationTimeline] = {}
+    for diff in diffs:
+        for observation in diff.observed_checkins:
+            venue = database.venue(observation.venue_id)
+            if venue is None:
+                continue
+            timeline = timelines.setdefault(
+                observation.user_id,
+                LocationTimeline(user_id=observation.user_id),
+            )
+            timeline.entries.append(
+                TimelineEntry(
+                    venue_id=observation.venue_id,
+                    location=GeoPoint(venue.latitude, venue.longitude),
+                    window_start=observation.window_start,
+                    window_end=observation.window_end,
+                )
+            )
+    for timeline in timelines.values():
+        timeline.entries.sort(key=lambda entry: entry.window_start)
+    return timelines
+
+
+@dataclass
+class HomeInference:
+    """Where a user most plausibly lives, and how confident we are."""
+
+    user_id: int
+    home_center: Optional[GeoPoint]
+    #: Fraction of sightings inside the inferred home cluster.
+    confidence: float
+    sightings: int
+
+
+def infer_home(timeline: LocationTimeline) -> HomeInference:
+    """Infer the home metro as the largest sighting cluster."""
+    points = timeline.locations()
+    if not points:
+        return HomeInference(
+            user_id=timeline.user_id,
+            home_center=None,
+            confidence=0.0,
+            sightings=0,
+        )
+    clusters = cluster_cities(points)
+    largest = max(clusters, key=len)
+    return HomeInference(
+        user_id=timeline.user_id,
+        home_center=centroid(largest),
+        confidence=len(largest) / len(points),
+        sightings=len(points),
+    )
+
+
+@dataclass(frozen=True)
+class CoLocation:
+    """Two users observed at the same venue in the same crawl window."""
+
+    user_a: int
+    user_b: int
+    venue_id: int
+    window_start: float
+    window_end: float
+
+
+def find_co_locations(
+    diffs: Sequence[SnapshotDiff], min_occurrences: int = 2
+) -> Dict[Tuple[int, int], List[CoLocation]]:
+    """Pairs of users repeatedly surfacing at the same venue together.
+
+    One shared sighting is coincidence; ``min_occurrences`` repeated
+    co-appearances suggest an offline relationship — the kind of inference
+    §5.2's hashing defense is meant to kill.
+    """
+    if min_occurrences < 1:
+        raise ReproError(f"min_occurrences must be >= 1: {min_occurrences}")
+    events: Dict[Tuple[int, int], List[CoLocation]] = {}
+    for diff in diffs:
+        by_venue: Dict[int, List[ObservedCheckIn]] = {}
+        for observation in diff.observed_checkins:
+            by_venue.setdefault(observation.venue_id, []).append(observation)
+        for venue_id, observations in by_venue.items():
+            users = sorted({obs.user_id for obs in observations})
+            for index, user_a in enumerate(users):
+                for user_b in users[index + 1 :]:
+                    events.setdefault((user_a, user_b), []).append(
+                        CoLocation(
+                            user_a=user_a,
+                            user_b=user_b,
+                            venue_id=venue_id,
+                            window_start=diff.window_start,
+                            window_end=diff.window_end,
+                        )
+                    )
+    return {
+        pair: occurrences
+        for pair, occurrences in events.items()
+        if len(occurrences) >= min_occurrences
+    }
+
+
+@dataclass
+class FriendshipSignal:
+    """How strongly co-location predicts friendship.
+
+    The §5.2-cited literature (Heatherly et al.; Zheleva & Getoor) infers
+    private attributes from public social data; here the direction is
+    reversed and measurable: pairs repeatedly co-located in crawl windows
+    are friends at ``lift`` times the population's base friendship rate.
+    """
+
+    co_located_pairs: int
+    co_located_friend_pairs: int
+    baseline_friend_rate: float
+
+    @property
+    def co_located_friend_rate(self) -> float:
+        """Fraction of co-located pairs that are listed friends."""
+        if not self.co_located_pairs:
+            return 0.0
+        return self.co_located_friend_pairs / self.co_located_pairs
+
+    @property
+    def lift(self) -> float:
+        """Co-located friend rate over the population base rate."""
+        if self.baseline_friend_rate <= 0:
+            return 0.0
+        return self.co_located_friend_rate / self.baseline_friend_rate
+
+
+def friendship_signal(
+    diffs: Sequence[SnapshotDiff],
+    database: CrawlDatabase,
+    min_occurrences: int = 2,
+) -> FriendshipSignal:
+    """Measure co-location's power to predict (crawled) friendships."""
+    pairs = find_co_locations(diffs, min_occurrences=min_occurrences)
+    friend_edges = set()
+    users = database.users()
+    for user in users:
+        for friend_id in user.friend_ids:
+            friend_edges.add(
+                (min(user.user_id, friend_id), max(user.user_id, friend_id))
+            )
+    total_users = len(users)
+    possible_pairs = total_users * (total_users - 1) / 2.0
+    baseline = len(friend_edges) / possible_pairs if possible_pairs else 0.0
+    hits = sum(1 for pair in pairs if pair in friend_edges)
+    return FriendshipSignal(
+        co_located_pairs=len(pairs),
+        co_located_friend_pairs=hits,
+        baseline_friend_rate=baseline,
+    )
+
+
+@dataclass
+class PrivacyReport:
+    """Corpus-level summary of what repeated crawling exposes."""
+
+    users_with_timelines: int = 0
+    total_sightings: int = 0
+    median_time_bound_s: float = 0.0
+    homes_inferred: int = 0
+    high_confidence_homes: int = 0
+    co_located_pairs: int = 0
+
+
+def privacy_exposure_report(
+    diffs: Sequence[SnapshotDiff],
+    database: CrawlDatabase,
+    home_confidence_threshold: float = 0.6,
+    co_location_min: int = 2,
+) -> PrivacyReport:
+    """One-call summary of the §6.2.1 exposure on a crawled corpus."""
+    timelines = build_timelines(diffs, database)
+    report = PrivacyReport()
+    report.users_with_timelines = len(timelines)
+    bounds: List[float] = []
+    for timeline in timelines.values():
+        report.total_sightings += timeline.sightings
+        bounds.extend(
+            entry.window_end - entry.window_start
+            for entry in timeline.entries
+        )
+        inference = infer_home(timeline)
+        if inference.home_center is not None:
+            report.homes_inferred += 1
+            if (
+                inference.confidence >= home_confidence_threshold
+                and inference.sightings >= 3
+            ):
+                report.high_confidence_homes += 1
+    if bounds:
+        bounds.sort()
+        report.median_time_bound_s = bounds[len(bounds) // 2]
+    report.co_located_pairs = len(
+        find_co_locations(diffs, min_occurrences=co_location_min)
+    )
+    return report

@@ -1,0 +1,107 @@
+"""Fig 4.2: badges vs. total check-ins — the low-reward-rate signal (§4.2).
+
+For honest users, badges rise steadily with check-ins.  Users whose
+check-ins were invalidated by the cheater code keep accumulating *totals*
+but not *rewards*, so heavy accounts with almost no badges are caught
+cheaters: "many users with more than 1000 check-ins only have less than 10
+badges ... they are location cheaters and were caught by Foursquare."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.crawler.database import CrawlDatabase, UserInfoRow
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BadgeCurvePoint:
+    """One aggregated point of the Fig 4.2 curve."""
+
+    total_checkins: int
+    average_badges: float
+    users: int
+
+
+def badges_vs_total_curve(
+    database: CrawlDatabase,
+    max_total: int = 14_000,
+    bucket_width: int = 100,
+) -> List[BadgeCurvePoint]:
+    """Compute the Fig 4.2 series (mean badges per total-check-in bucket)."""
+    if bucket_width < 1:
+        raise ReproError(f"bucket_width must be >= 1: {bucket_width}")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for user in database.users():
+        if user.total_checkins < 1 or user.total_checkins > max_total:
+            continue
+        bucket = (user.total_checkins // bucket_width) * bucket_width
+        sums[bucket] = sums.get(bucket, 0.0) + user.total_badges
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return [
+        BadgeCurvePoint(
+            total_checkins=bucket + bucket_width // 2,
+            average_badges=sums[bucket] / counts[bucket],
+            users=counts[bucket],
+        )
+        for bucket in sorted(sums)
+    ]
+
+
+def low_reward_users(
+    database: CrawlDatabase,
+    min_total: int = 1_000,
+    max_badges: int = 10,
+) -> List[UserInfoRow]:
+    """Heavy accounts with almost no badges — the caught-cheater signature."""
+    return sorted(
+        database.select_users(
+            lambda u: u.total_checkins >= min_total
+            and u.total_badges <= max_badges
+        ),
+        key=lambda u: u.total_checkins,
+        reverse=True,
+    )
+
+
+@dataclass
+class ExtremeClubReport:
+    """§4.2's analysis of the >= 5000-check-in club.
+
+    "These 11 users ... can be divided into two distinct groups by the
+    number of mayorships they have": mayored power users vs. caught
+    cheaters with none.
+    """
+
+    members: List[UserInfoRow]
+    with_mayorships: List[UserInfoRow]
+    without_mayorships: List[UserInfoRow]
+
+    @property
+    def size(self) -> int:
+        """Club membership count."""
+        return len(self.members)
+
+
+def extreme_club(
+    database: CrawlDatabase, min_total: int = 5_000
+) -> ExtremeClubReport:
+    """Split the heaviest accounts by mayorship holdings.
+
+    Requires :meth:`CrawlDatabase.recompute_derived` (TotalMayors).
+    """
+    members = sorted(
+        database.select_users(lambda u: u.total_checkins >= min_total),
+        key=lambda u: u.total_checkins,
+        reverse=True,
+    )
+    with_m = [u for u in members if u.total_mayors > 0]
+    without_m = [u for u in members if u.total_mayors == 0]
+    return ExtremeClubReport(
+        members=members,
+        with_mayorships=with_m,
+        without_mayorships=without_m,
+    )

@@ -1,0 +1,147 @@
+"""Population statistics: every inline number the thesis reports (E8).
+
+Computed from the *crawl database*, like the thesis's own analysis.  At
+reduced world scale the absolute counts shrink; the proportions are what
+the EXPERIMENTS.md comparison tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.crawler.database import CrawlDatabase
+
+
+@dataclass
+class PopulationStats:
+    """The §2.1/§3.2/§4.2 corpus statistics."""
+
+    users: int = 0
+    venues: int = 0
+    recent_checkin_records: int = 0
+
+    users_with_zero_checkins: int = 0
+    users_with_1_to_5: int = 0
+    users_with_1000_plus: int = 0
+    users_with_5000_plus: int = 0
+    users_with_usernames: int = 0
+
+    venues_with_one_checkin: int = 0
+    venues_with_one_visitor: int = 0
+    venues_with_specials: int = 0
+    mayor_only_specials: int = 0
+
+    users_with_mayorships: int = 0
+    venues_with_mayors: int = 0
+
+    # Derived fractions -------------------------------------------------
+
+    @property
+    def zero_checkin_fraction(self) -> float:
+        """Thesis: 36.3%."""
+        return self.users_with_zero_checkins / max(1, self.users)
+
+    @property
+    def light_checkin_fraction(self) -> float:
+        """Thesis: 20.4% with one to five check-ins."""
+        return self.users_with_1_to_5 / max(1, self.users)
+
+    @property
+    def under_six_fraction(self) -> float:
+        """Thesis: "more than half of the users have ... less than six"."""
+        return self.zero_checkin_fraction + self.light_checkin_fraction
+
+    @property
+    def heavy_user_fraction(self) -> float:
+        """Thesis: 0.2% with at least 1,000 check-ins."""
+        return self.users_with_1000_plus / max(1, self.users)
+
+    @property
+    def username_fraction(self) -> float:
+        """Thesis: 26.1% of users have usernames."""
+        return self.users_with_usernames / max(1, self.users)
+
+    @property
+    def mayor_only_special_fraction(self) -> float:
+        """Thesis: "more than 90% of the rewards were only for mayors"."""
+        return self.mayor_only_specials / max(1, self.venues_with_specials)
+
+    @property
+    def average_mayorships_per_mayor(self) -> float:
+        """Thesis: 5.45 venues per mayor-holding user."""
+        return self.venues_with_mayors / max(1, self.users_with_mayorships)
+
+    @property
+    def average_recent_checkins_per_user(self) -> float:
+        """Thesis: >= 10 check-ins per user from the 20 M crawled records."""
+        return self.recent_checkin_records / max(1, self.users)
+
+
+def compute_population_stats(database: CrawlDatabase) -> PopulationStats:
+    """Tally everything in one pass over the crawl tables.
+
+    Requires :meth:`CrawlDatabase.recompute_derived` for the mayor counts.
+    """
+    stats = PopulationStats()
+    users = database.users()
+    stats.users = len(users)
+    for user in users:
+        if user.total_checkins == 0:
+            stats.users_with_zero_checkins += 1
+        elif user.total_checkins <= 5:
+            stats.users_with_1_to_5 += 1
+        if user.total_checkins >= 1_000:
+            stats.users_with_1000_plus += 1
+        if user.total_checkins >= 5_000:
+            stats.users_with_5000_plus += 1
+        if user.user_name is not None:
+            stats.users_with_usernames += 1
+        if user.total_mayors > 0:
+            stats.users_with_mayorships += 1
+
+    venues = database.venues()
+    stats.venues = len(venues)
+    for venue in venues:
+        if venue.checkins_here == 1:
+            stats.venues_with_one_checkin += 1
+        if venue.unique_visitors == 1:
+            stats.venues_with_one_visitor += 1
+        if venue.special is not None:
+            stats.venues_with_specials += 1
+            if venue.special_mayor_only:
+                stats.mayor_only_specials += 1
+        if venue.mayor_id is not None:
+            stats.venues_with_mayors += 1
+
+    stats.recent_checkin_records = len(database.recent_checkins())
+    return stats
+
+
+def format_stats_table(stats: PopulationStats) -> List[str]:
+    """Paper-vs-measured rows for the E8 bench output."""
+    rows = [
+        f"users: {stats.users}",
+        f"venues: {stats.venues}",
+        f"recent check-in records: {stats.recent_checkin_records}",
+        f"zero-check-in users: {stats.zero_checkin_fraction:.1%} (paper 36.3%)",
+        f"1-5 check-in users: {stats.light_checkin_fraction:.1%} (paper 20.4%)",
+        f"under-six users: {stats.under_six_fraction:.1%} (paper >50%)",
+        f">=1000-check-in users: {stats.heavy_user_fraction:.2%} (paper 0.2%)",
+        f">=5000-check-in users: {stats.users_with_5000_plus} (paper 11)",
+        f"username users: {stats.username_fraction:.1%} (paper 26.1%)",
+        f"one-check-in venues: {stats.venues_with_one_checkin}"
+        f" ({stats.venues_with_one_checkin / max(1, stats.venues):.1%};"
+        f" paper 1,291,125 of 5.6M = 23.1%)",
+        f"one-visitor venues: {stats.venues_with_one_visitor}"
+        f" ({stats.venues_with_one_visitor / max(1, stats.venues):.1%};"
+        f" paper 2,014,305 of 5.6M = 36.0%)",
+        f"mayor-only specials: {stats.mayor_only_special_fraction:.1%}"
+        f" (paper >90%)",
+        f"users with mayorships: {stats.users_with_mayorships}"
+        f" (paper 425,196)",
+        f"venues with mayors: {stats.venues_with_mayors} (paper 2,315,747)",
+        f"avg mayorships per mayor: {stats.average_mayorships_per_mayor:.2f}"
+        f" (paper 5.45)",
+    ]
+    return rows

@@ -1,0 +1,83 @@
+"""The paper's core contribution: the location-cheating attack toolkit."""
+
+from repro.attack.campaign import (
+    CampaignReport,
+    CheatingCampaign,
+    greedy_route,
+    tour_from_targets,
+)
+from repro.attack.scheduler import (
+    BASE_INTERVAL_S,
+    SAME_VENUE_HOLD_S,
+    CheckInScheduler,
+    ExecutionReport,
+    Schedule,
+    ScheduledCheckIn,
+    interval_for_distance,
+)
+from repro.attack.spoofing import (
+    ApiHookSpoofer,
+    BluetoothSpoofer,
+    EmulatorSpoofer,
+    GpsModuleSpoofer,
+    ServerApiSpoofer,
+    SpoofingChannel,
+    SpoofOutcome,
+    build_emulator_attacker,
+)
+from repro.attack.targeting import TargetVenue, VenueProfileAnalyzer
+from repro.attack.tour import PlannedTour, TourPlanner, TourStop, VenueCatalog
+
+__all__ = [
+    "CampaignReport",
+    "CheatingCampaign",
+    "greedy_route",
+    "tour_from_targets",
+    "BASE_INTERVAL_S",
+    "SAME_VENUE_HOLD_S",
+    "CheckInScheduler",
+    "ExecutionReport",
+    "Schedule",
+    "ScheduledCheckIn",
+    "interval_for_distance",
+    "ApiHookSpoofer",
+    "BluetoothSpoofer",
+    "EmulatorSpoofer",
+    "GpsModuleSpoofer",
+    "ServerApiSpoofer",
+    "SpoofingChannel",
+    "SpoofOutcome",
+    "build_emulator_attacker",
+    "TargetVenue",
+    "VenueProfileAnalyzer",
+]
+
+from repro.attack.fleet import AttackFleet, FleetReport, partition_targets
+from repro.attack.naive import NaiveAutoCheckinBot, NaiveBotConfig
+
+__all__ += [
+    "AttackFleet",
+    "FleetReport",
+    "partition_targets",
+    "NaiveAutoCheckinBot",
+    "NaiveBotConfig",
+]
+
+from repro.attack.badmouth import (
+    DEFAULT_SMEARS,
+    BadmouthCampaign,
+    BadmouthReport,
+)
+
+__all__ += [
+    "DEFAULT_SMEARS",
+    "BadmouthCampaign",
+    "BadmouthReport",
+]
+
+from repro.attack.probing import ProbedEnvelope, RuleProber
+
+__all__ += [
+    "ProbedEnvelope",
+    "RuleProber",
+]

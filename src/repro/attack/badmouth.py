@@ -1,0 +1,99 @@
+"""The §2.2 badmouthing attack: remote reputation sabotage.
+
+"A business owner may use location cheating to check into a competing
+business, and badmouth that business by leaving negative comments."
+
+Tips require a valid check-in at the venue — a gate that means nothing to
+a location cheater.  The campaign spoofs a cheater-code-safe check-in at
+each competitor, then posts the negative comment from an account that, to
+every reader, "was really there".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.attack.campaign import greedy_route, tour_from_targets
+from repro.attack.scheduler import CheckInScheduler
+from repro.attack.spoofing import SpoofingChannel
+from repro.attack.targeting import TargetVenue
+from repro.errors import ReproError, ServiceError
+from repro.lbsn.service import LbsnService
+
+#: Stock negative comments a sabotage campaign rotates through.
+DEFAULT_SMEARS = (
+    "Terrible service, waited forever.",
+    "Found a hair in my food. Never again.",
+    "Way overpriced for what you get.",
+    "The place was filthy. Avoid.",
+    "Rude staff, cold coffee.",
+)
+
+TextPicker = Callable[[TargetVenue, int], str]
+
+
+def _default_texts(target: TargetVenue, index: int) -> str:
+    return DEFAULT_SMEARS[index % len(DEFAULT_SMEARS)]
+
+
+@dataclass
+class BadmouthReport:
+    """What the sabotage run accomplished."""
+
+    checkins_attempted: int = 0
+    checkins_rewarded: int = 0
+    detected: int = 0
+    tips_posted: int = 0
+    tips_refused: int = 0
+    posted_texts: List[str] = field(default_factory=list)
+
+
+class BadmouthCampaign:
+    """Spoofed check-ins plus negative tips at competitor venues."""
+
+    def __init__(
+        self,
+        service: LbsnService,
+        channel: SpoofingChannel,
+        author_user_id: int,
+        scheduler: Optional[CheckInScheduler] = None,
+    ) -> None:
+        self.service = service
+        self.channel = channel
+        self.author_user_id = author_user_id
+        self.scheduler = scheduler or CheckInScheduler(service.clock)
+
+    def smear(
+        self,
+        competitors: Sequence[TargetVenue],
+        text_picker: TextPicker = _default_texts,
+    ) -> BadmouthReport:
+        """Check into each competitor (safely spaced) and leave a tip."""
+        if not competitors:
+            raise ReproError("no competitor venues to badmouth")
+        report = BadmouthReport()
+        route = greedy_route(list(competitors))
+        tour = tour_from_targets(route)
+        schedule = self.scheduler.build(tour)
+        for index, entry in enumerate(schedule):
+            if entry.fire_at > self.service.clock.now():
+                self.service.clock.advance_to(entry.fire_at)
+            self.channel.set_location(entry.location)
+            outcome = self.channel.check_in(entry.venue_id)
+            report.checkins_attempted += 1
+            if outcome.rewarded:
+                report.checkins_rewarded += 1
+            else:
+                report.detected += 1
+            text = text_picker(route[index], index)
+            try:
+                self.service.post_tip(
+                    self.author_user_id, entry.venue_id, text
+                )
+                report.tips_posted += 1
+                report.posted_texts.append(text)
+            except ServiceError:
+                # No valid check-in landed here; the tip gate held.
+                report.tips_refused += 1
+        return report

@@ -1,0 +1,176 @@
+"""End-to-end automated cheating campaigns (§3.3-§3.4).
+
+Composes the pieces the way an attacker would: crawl intelligence
+(:mod:`repro.attack.targeting`) picks victims, a greedy nearest-neighbour
+route keeps inter-venue distances (and therefore the T = D x 5 min waits)
+small, the scheduler enforces the cheater-code-safe envelope, and any
+spoofing channel executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.attack.scheduler import CheckInScheduler, ExecutionReport, Schedule
+from repro.attack.spoofing import SpoofingChannel
+from repro.attack.targeting import TargetVenue
+from repro.attack.tour import PlannedTour, TourStop
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+from repro.simnet.clock import SECONDS_PER_DAY, SimClock
+
+
+def greedy_route(
+    targets: Sequence[TargetVenue], start: Optional[GeoPoint] = None
+) -> List[TargetVenue]:
+    """Order targets by repeated nearest-neighbour hops.
+
+    Minimising hop distance minimises total schedule time, because the
+    scheduler's wait grows linearly with distance (T = D x 5 minutes).
+    """
+    remaining = list(targets)
+    if not remaining:
+        return []
+    route: List[TargetVenue] = []
+    if start is None:
+        current = remaining.pop(0)
+        route.append(current)
+        position = GeoPoint(current.latitude, current.longitude)
+    else:
+        position = start
+    while remaining:
+        best_index = min(
+            range(len(remaining)),
+            key=lambda i: haversine_m(
+                position,
+                GeoPoint(remaining[i].latitude, remaining[i].longitude),
+            ),
+        )
+        nxt = remaining.pop(best_index)
+        route.append(nxt)
+        position = GeoPoint(nxt.latitude, nxt.longitude)
+    return route
+
+
+def tour_from_targets(targets: Sequence[TargetVenue]) -> PlannedTour:
+    """Wrap explicit targets as a tour (no snapping: these ARE the venues)."""
+    tour = PlannedTour()
+    for target in targets:
+        location = GeoPoint(target.latitude, target.longitude)
+        tour.stops.append(
+            TourStop(
+                intended=location,
+                venue_id=target.venue_id,
+                venue_location=location,
+            )
+        )
+    return tour
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate result of a multi-phase campaign."""
+
+    phases: List[ExecutionReport] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        """Total check-in attempts across phases."""
+        return sum(phase.attempts for phase in self.phases)
+
+    @property
+    def rewarded(self) -> int:
+        """Total rewarded check-ins across phases."""
+        return sum(phase.rewarded for phase in self.phases)
+
+    @property
+    def detected(self) -> int:
+        """Total flagged/rejected attempts across phases."""
+        return sum(phase.detected for phase in self.phases)
+
+    @property
+    def mayorships_won(self) -> int:
+        """Total crowns captured across phases."""
+        return sum(phase.mayorships_won for phase in self.phases)
+
+    @property
+    def specials(self) -> List[str]:
+        """All real-world rewards unlocked across phases."""
+        collected: List[str] = []
+        for phase in self.phases:
+            collected.extend(phase.specials)
+        return collected
+
+
+class CheatingCampaign:
+    """Drives one attacker account through multi-day cheating operations."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        channel: SpoofingChannel,
+        scheduler: Optional[CheckInScheduler] = None,
+    ) -> None:
+        self.clock = clock
+        self.channel = channel
+        # Reusing a scheduler carries over its last-check-in position, so a
+        # campaign chained after a tour stays speed-plausible end to end.
+        self.scheduler = scheduler or CheckInScheduler(clock)
+
+    def harvest(
+        self,
+        targets: Sequence[TargetVenue],
+        start: Optional[GeoPoint] = None,
+    ) -> ExecutionReport:
+        """Sweep a target list once, in greedy nearest-neighbour order.
+
+        For mayor-less venues a single valid check-in wins the mayorship
+        on the spot, so one sweep is the whole §3.4 harvest.
+        """
+        if not targets:
+            raise ReproError("no targets to harvest")
+        route = greedy_route(targets, start=start)
+        tour = tour_from_targets(route)
+        schedule = self.scheduler.build(tour)
+        return self.scheduler.execute(schedule, self.channel)
+
+    def mayorship_denial(
+        self,
+        victim_venues: Sequence[TargetVenue],
+        days: int,
+    ) -> CampaignReport:
+        """Attack a victim's mayorships by out-daying them (§3.4).
+
+        Checks into every victim venue once per day for ``days`` days.
+        The mayorship rule counts distinct days, so after exceeding the
+        victim's recent day-count at each venue, each crown transfers.
+        """
+        if days < 1:
+            raise ReproError(f"days must be >= 1: {days}")
+        if not victim_venues:
+            raise ReproError("victim holds no attackable venues")
+        report = CampaignReport()
+        route = greedy_route(list(victim_venues))
+        tour = tour_from_targets(route)
+        for day in range(days):
+            day_start = self.clock.now()
+            schedule = self.scheduler.build(tour)
+            report.phases.append(self.scheduler.execute(schedule, self.channel))
+            next_day = day_start + SECONDS_PER_DAY
+            if day < days - 1 and self.clock.now() < next_day:
+                self.clock.advance_to(next_day)
+        return report
+
+    def maintain_mayorships(
+        self, targets: Sequence[TargetVenue], days: int
+    ) -> CampaignReport:
+        """Keep checking in daily so nobody can take the crowns back.
+
+        §2.1: "if an attacker got the mayorship of this venue and kept
+        checking in to it every day, no other user can get the mayorship
+        from the attacker."  Mechanically identical to denial — the point
+        is the incumbent-retention property it exploits.
+        """
+        return self.mayorship_denial(targets, days)

@@ -1,0 +1,142 @@
+"""Multi-account attack orchestration (§3.3's scale-up).
+
+"To achieve significant benefits from location cheating, attackers need to
+be able to control a large number of users and make them check in
+automatically."  The cheater code "detects cheating behavior on a per user
+basis", so N accounts obeying the single-user envelope multiply the
+attacker's coverage N-fold: the fleet partitions a target list
+geographically and runs one cheater-code-safe campaign per account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.attack.campaign import greedy_route, tour_from_targets
+from repro.attack.scheduler import CheckInScheduler, ExecutionReport
+from repro.attack.spoofing import SpoofingChannel, build_emulator_attacker
+from repro.attack.targeting import TargetVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+
+ChannelFactory = Callable[[LbsnService, str], SpoofingChannel]
+
+
+def _default_channel_factory(service: LbsnService, name: str) -> SpoofingChannel:
+    _, _, channel = build_emulator_attacker(service, display_name=name)
+    return channel
+
+
+def partition_targets(
+    targets: Sequence[TargetVenue], accounts: int
+) -> List[List[TargetVenue]]:
+    """Split targets into geographically coherent per-account batches.
+
+    Orders the list with a nearest-neighbour sweep, then slices it into
+    contiguous chunks, so each account works one region and its schedule's
+    inter-venue waits (T = D x 5 min) stay short.
+    """
+    if accounts < 1:
+        raise ReproError(f"need at least one account: {accounts}")
+    route = greedy_route(list(targets))
+    if not route:
+        return [[] for _ in range(accounts)]
+    size = max(1, (len(route) + accounts - 1) // accounts)
+    return [route[start : start + size] for start in range(0, len(route), size)]
+
+
+@dataclass
+class FleetReport:
+    """Aggregate of all accounts' campaigns."""
+
+    per_account: List[ExecutionReport] = field(default_factory=list)
+
+    @property
+    def accounts(self) -> int:
+        """Number of attacker accounts that ran."""
+        return len(self.per_account)
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts across the fleet."""
+        return sum(r.attempts for r in self.per_account)
+
+    @property
+    def rewarded(self) -> int:
+        """Total rewarded check-ins across the fleet."""
+        return sum(r.rewarded for r in self.per_account)
+
+    @property
+    def detected(self) -> int:
+        """Total detections across the fleet."""
+        return sum(r.detected for r in self.per_account)
+
+    @property
+    def mayorships_won(self) -> int:
+        """Total crowns captured across the fleet."""
+        return sum(r.mayorships_won for r in self.per_account)
+
+    @property
+    def specials(self) -> List[str]:
+        """All specials unlocked across the fleet."""
+        collected: List[str] = []
+        for report in self.per_account:
+            collected.extend(report.specials)
+        return collected
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock (simulated) duration of the slowest account's sweep.
+
+        Accounts run in parallel in the real attack; the simulation
+        executes them sequentially against the shared clock, so per-account
+        durations are tracked separately.
+        """
+        return max((r.duration_s for r in self.per_account), default=0.0)
+
+
+class AttackFleet:
+    """N spoofing accounts sweeping a partitioned target list."""
+
+    def __init__(
+        self,
+        service: LbsnService,
+        accounts: int,
+        channel_factory: ChannelFactory = _default_channel_factory,
+    ) -> None:
+        if accounts < 1:
+            raise ReproError(f"need at least one account: {accounts}")
+        self.service = service
+        self.channels: List[SpoofingChannel] = [
+            channel_factory(service, f"Fleet Account {index + 1}")
+            for index in range(accounts)
+        ]
+
+    def sweep(self, targets: Sequence[TargetVenue]) -> FleetReport:
+        """Partition targets and run one campaign per account.
+
+        Each account gets its own scheduler (its own position history);
+        within the shared simulated clock the sweeps are interleaved, but
+        every account's schedule independently satisfies the single-user
+        rules, which is all the per-user cheater code checks.
+        """
+        batches = partition_targets(targets, len(self.channels))
+        report = FleetReport()
+        start_time = self.service.clock.now()
+        for channel, batch in zip(self.channels, batches):
+            if not batch:
+                report.per_account.append(ExecutionReport())
+                continue
+            scheduler = CheckInScheduler(self.service.clock)
+            tour = tour_from_targets(batch)
+            schedule = scheduler.build(tour, start_at=self.service.clock.now())
+            execution = scheduler.execute(schedule, channel)
+            report.per_account.append(execution)
+            # Real fleets run accounts in parallel; the shared simulated
+            # clock only moves forward, so later accounts simply begin
+            # later — which is *more* conservative for detection, and the
+            # per-account duration_s still measures each parallel sweep.
+        del start_time
+        return report

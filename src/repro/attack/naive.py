@@ -1,0 +1,72 @@
+"""The baseline attacker: an Autosquare-style auto-check-in bot (§2.2).
+
+"Software tools are available on the market that can automatically check
+people into their desired venues, e.g., 'Autosquare' for Android.  The
+basic cheating method worked in the early days of Foursquare ... and
+obviously does not work now after the introduction of location verification
+mechanism."
+
+The bot spoofs GPS like the sophisticated attack (so it passes the GPS
+check), but fires check-ins at a fixed short interval with no awareness of
+the cheater code — the baseline the scheduler is compared against in the
+E12 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.attack.scheduler import ExecutionReport, ScheduledCheckIn
+from repro.attack.spoofing import SpoofingChannel
+from repro.attack.targeting import TargetVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.simnet.clock import SimClock
+
+
+@dataclass
+class NaiveBotConfig:
+    """How recklessly the bot fires."""
+
+    #: Fixed interval between check-ins, seconds.  Autosquare-era tools
+    #: hammered every few minutes regardless of distance.
+    interval_s: float = 120.0
+    #: Whether the bot retries a venue it already hit (it doesn't track).
+    revisit: bool = True
+
+
+class NaiveAutoCheckinBot:
+    """Fires down a target list at a fixed cadence, oblivious to rules."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        channel: SpoofingChannel,
+        config: NaiveBotConfig = None,
+    ) -> None:
+        self.clock = clock
+        self.channel = channel
+        self.config = config or NaiveBotConfig()
+        if self.config.interval_s <= 0:
+            raise ReproError(
+                f"interval must be positive: {self.config.interval_s}"
+            )
+
+    def run(self, targets: Sequence[TargetVenue]) -> ExecutionReport:
+        """Check into every target, one per interval, in list order."""
+        if not targets:
+            raise ReproError("no targets")
+        report = ExecutionReport()
+        for target in targets:
+            self.clock.advance(self.config.interval_s)
+            location = GeoPoint(target.latitude, target.longitude)
+            self.channel.set_location(location)
+            outcome = self.channel.check_in(target.venue_id)
+            entry = ScheduledCheckIn(
+                venue_id=target.venue_id,
+                location=location,
+                fire_at=self.clock.now(),
+            )
+            report.record(entry, outcome)
+        return report

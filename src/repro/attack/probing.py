@@ -1,0 +1,224 @@
+"""Experimental rule discovery — the thesis's own methodology (§2.3).
+
+"The details of the cheater code are concealed from users. But we managed
+to detect a few rules, through experiments."  The prober automates those
+experiments with disposable accounts against any live service:
+
+* the same-venue hold-down, by bisecting the revisit gap;
+* the speed ceiling, by bisecting the implied travel speed over a fixed
+  long hop;
+* the rapid-fire interval, by bisecting the spacing of a 4-stop square
+  blitz.
+
+Discovered parameters feed a :class:`ProbedEnvelope` the scheduler can use
+against services whose thresholds differ from Foursquare's published ones
+— the generalisation the paper claims ("the methods may also apply to
+other similar LBSs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+#: A deserted probing ground far from organic traffic.
+_PROBE_ANCHOR = GeoPoint(44.0, -101.5)
+
+
+@dataclass
+class ProbedEnvelope:
+    """What the prober learned: the safe operating envelope."""
+
+    #: Smallest revisit gap (seconds) the service accepted.
+    same_venue_hold_s: float
+    #: Highest implied speed (m/s) that went unflagged.
+    safe_speed_mps: float
+    #: Smallest burst spacing (seconds) that avoided the rapid-fire flag.
+    rapid_fire_safe_gap_s: float
+
+    def interval_for(self, distance_m: float, margin: float = 0.8) -> float:
+        """A scheduler interval with a safety margin under the ceiling."""
+        if distance_m <= 0:
+            return self.rapid_fire_safe_gap_s
+        return max(
+            self.rapid_fire_safe_gap_s,
+            distance_m / (self.safe_speed_mps * margin),
+        )
+
+
+class RuleProber:
+    """Black-box discovery of the cheater code's thresholds.
+
+    Each probe spins up disposable accounts and venues in an isolated
+    area, so probing does not contaminate the attacker's real accounts —
+    just as the thesis used a dedicated test user.
+    """
+
+    def __init__(
+        self,
+        service: LbsnService,
+        resolution: float = 0.05,
+        max_iterations: int = 24,
+    ) -> None:
+        if not 0 < resolution < 1:
+            raise ReproError(f"resolution must be in (0,1): {resolution}")
+        self.service = service
+        self.resolution = resolution
+        self.max_iterations = max_iterations
+        self._probe_count = 0
+
+    # Individual probes ---------------------------------------------------
+
+    def probe_same_venue_hold(
+        self, low_s: float = 60.0, high_s: float = 4.0 * 3_600.0
+    ) -> float:
+        """Bisect the smallest accepted revisit gap at one venue."""
+
+        def accepted(gap_s: float) -> bool:
+            user, venue = self._fresh_pair()
+            base = self.service.clock.now()
+            first = self.service.check_in(
+                user.user_id, venue.venue_id, venue.location, timestamp=base
+            )
+            assert first.checkin.status is CheckInStatus.VALID
+            second = self.service.check_in(
+                user.user_id,
+                venue.venue_id,
+                venue.location,
+                timestamp=base + gap_s,
+            )
+            return second.checkin.status is CheckInStatus.VALID
+
+        return self._bisect_up(accepted, low_s, high_s)
+
+    def probe_speed_ceiling(
+        self,
+        hop_m: float = 500_000.0,
+        low_mps: float = 0.5,
+        high_mps: float = 5_000.0,
+    ) -> float:
+        """Bisect the highest unflagged implied speed over a long hop."""
+
+        def accepted(speed_mps: float) -> bool:
+            user, venue = self._fresh_pair()
+            other = self._fresh_venue(offset_m=hop_m)
+            base = self.service.clock.now()
+            first = self.service.check_in(
+                user.user_id, venue.venue_id, venue.location, timestamp=base
+            )
+            assert first.checkin.status is CheckInStatus.VALID
+            elapsed = haversine_m(venue.location, other.location) / speed_mps
+            second = self.service.check_in(
+                user.user_id,
+                other.venue_id,
+                other.location,
+                timestamp=base + elapsed,
+            )
+            return second.checkin.status is CheckInStatus.VALID
+
+        return self._bisect_down(accepted, low_mps, high_mps)
+
+    def probe_rapid_fire_gap(
+        self, low_s: float = 5.0, high_s: float = 1_800.0
+    ) -> float:
+        """Bisect the smallest safe spacing for a 4-stop square blitz."""
+
+        def accepted(gap_s: float) -> bool:
+            user, _ = self._fresh_pair()
+            # Four venues inside one small square (well under 180 m).
+            corner = self._fresh_venue()
+            venues = [corner] + [
+                self.service.create_venue(
+                    f"Probe Corner {self._probe_count}-{index}",
+                    destination_point(
+                        corner.location, index * 90.0, 40.0 + 10.0 * index
+                    ),
+                )
+                for index in range(1, 4)
+            ]
+            base = self.service.clock.now()
+            for index, venue in enumerate(venues):
+                result = self.service.check_in(
+                    user.user_id,
+                    venue.venue_id,
+                    venue.location,
+                    timestamp=base + index * gap_s,
+                )
+                if result.checkin.status is not CheckInStatus.VALID:
+                    return False
+            return True
+
+        return self._bisect_up(accepted, low_s, high_s)
+
+    def probe_all(self) -> ProbedEnvelope:
+        """Run every probe and assemble the envelope."""
+        return ProbedEnvelope(
+            same_venue_hold_s=self.probe_same_venue_hold(),
+            safe_speed_mps=self.probe_speed_ceiling(),
+            rapid_fire_safe_gap_s=self.probe_rapid_fire_gap(),
+        )
+
+    # Bisection plumbing ---------------------------------------------------
+
+    def _bisect_up(self, accepted, low, high) -> float:
+        """Find the smallest accepted value in [low, high].
+
+        Precondition: low rejected (or barely), high accepted.  Returns a
+        value guaranteed accepted, within ``resolution`` of the boundary.
+        """
+        if accepted(low):
+            return low
+        if not accepted(high):
+            raise ReproError("upper probe bound is still rejected")
+        for _ in range(self.max_iterations):
+            if (high - low) / max(high, 1e-9) <= self.resolution:
+                break
+            mid = (low + high) / 2.0
+            if accepted(mid):
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def _bisect_down(self, accepted, low, high) -> float:
+        """Find the largest accepted value in [low, high]."""
+        if accepted(high):
+            return high
+        if not accepted(low):
+            raise ReproError("lower probe bound is already rejected")
+        for _ in range(self.max_iterations):
+            if (high - low) / max(high, 1e-9) <= self.resolution:
+                break
+            mid = (low + high) / 2.0
+            if accepted(mid):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    # Disposable fixtures ---------------------------------------------------
+
+    def _fresh_pair(self):
+        self._probe_count += 1
+        user = self.service.register_user(f"Probe {self._probe_count}")
+        venue = self._fresh_venue()
+        return user, venue
+
+    def _fresh_venue(self, offset_m: float = 0.0):
+        self._probe_count += 1
+        # Spread probe venues out so probes never interact.
+        base = destination_point(
+            _PROBE_ANCHOR, (self._probe_count * 13) % 360, self._probe_count * 777.0
+        )
+        location = (
+            destination_point(base, 90.0, offset_m) if offset_m else base
+        )
+        return self.service.create_venue(
+            f"Probe Venue {self._probe_count}", location
+        )

@@ -1,0 +1,190 @@
+"""Cheater-code-evading check-in scheduling (§3.3).
+
+"An attacker needs to organize coordinates ... into a schedule, which
+states the sequence of venues to check into and the time interval between
+the check-ins; and the schedule must follow all rules from the cheater
+code."  The timing rule is the thesis's measured safe envelope:
+
+    "we can check into venues less than 1 mile apart with a 5-minute
+    interval without being detected as a cheater. So for distance D less
+    than 1 mile, we should set T to 5 minutes, if D > 1 mile, we let
+    T = D * 5 minutes."
+
+The scheduler applies that rule, plus a one-hour hold-down per venue (the
+frequent-check-in rule) and a rapid-fire guard, then executes the schedule
+through any spoofing channel, advancing the simulated clock between stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.attack.spoofing import SpoofingChannel, SpoofOutcome
+from repro.attack.tour import PlannedTour, TourStop, VenueCatalog
+from repro.errors import ReproError
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import haversine_m
+from repro.lbsn.models import CheckInStatus
+from repro.simnet.clock import SimClock
+
+#: The thesis's base interval for sub-mile hops.
+BASE_INTERVAL_S = 5.0 * 60.0
+#: One-hour hold-down before revisiting the same venue.
+SAME_VENUE_HOLD_S = 3_600.0
+
+
+@dataclass(frozen=True)
+class ScheduledCheckIn:
+    """One schedule entry: venue, claimed location, fire time."""
+
+    venue_id: int
+    location: GeoPoint
+    fire_at: float
+
+
+@dataclass
+class Schedule:
+    """An ordered check-in plan."""
+
+    entries: List[ScheduledCheckIn] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Time from first to last scheduled check-in."""
+        if len(self.entries) < 2:
+            return 0.0
+        return self.entries[-1].fire_at - self.entries[0].fire_at
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+def interval_for_distance(distance_m: float) -> float:
+    """The thesis's timing rule: T = 5 min, or D[miles] * 5 min beyond 1 mi."""
+    miles = distance_m / METERS_PER_MILE
+    if miles <= 1.0:
+        return BASE_INTERVAL_S
+    return miles * BASE_INTERVAL_S
+
+
+class CheckInScheduler:
+    """Builds and executes cheater-code-safe schedules."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        #: Where and when the channel last checked in, so a new schedule's
+        #: FIRST stop is also spaced plausibly from the attacker's prior
+        #: position — without this, chaining two schedules (tour then
+        #: harvest) trips the super-human-speed rule on the hand-off.
+        self._last_location: Optional[GeoPoint] = None
+        self._last_time: Optional[float] = None
+
+    def build(
+        self,
+        tour: PlannedTour,
+        start_at: Optional[float] = None,
+    ) -> Schedule:
+        """Turn a planned tour into a timed schedule.
+
+        Intervals follow :func:`interval_for_distance` between consecutive
+        venue locations; a venue revisited within the hour is pushed out to
+        the hold-down boundary.
+        """
+        schedule = Schedule()
+        fire_at = self.clock.now() if start_at is None else start_at
+        previous: Optional[TourStop] = None
+        last_fire: Dict[int, float] = {}
+        if (
+            tour.stops
+            and self._last_location is not None
+            and self._last_time is not None
+        ):
+            lead_in = interval_for_distance(
+                haversine_m(self._last_location, tour.stops[0].venue_location)
+            )
+            fire_at = max(fire_at, self._last_time + lead_in)
+        for stop in tour.stops:
+            if previous is not None:
+                distance = haversine_m(
+                    previous.venue_location, stop.venue_location
+                )
+                fire_at += interval_for_distance(distance)
+            earliest_revisit = last_fire.get(stop.venue_id)
+            if earliest_revisit is not None:
+                fire_at = max(
+                    fire_at, earliest_revisit + SAME_VENUE_HOLD_S + 60.0
+                )
+            schedule.entries.append(
+                ScheduledCheckIn(
+                    venue_id=stop.venue_id,
+                    location=stop.venue_location,
+                    fire_at=fire_at,
+                )
+            )
+            last_fire[stop.venue_id] = fire_at
+            previous = stop
+        return schedule
+
+    def execute(
+        self, schedule: Schedule, channel: SpoofingChannel
+    ) -> "ExecutionReport":
+        """Run the schedule: advance the clock, spoof, check in, tally."""
+        report = ExecutionReport(duration_s=schedule.duration_s)
+        for entry in schedule:
+            if entry.fire_at > self.clock.now():
+                self.clock.advance_to(entry.fire_at)
+            channel.set_location(entry.location)
+            outcome = channel.check_in(entry.venue_id)
+            report.record(entry, outcome)
+            self._last_location = entry.location
+            self._last_time = entry.fire_at
+        return report
+
+
+@dataclass
+class ExecutionReport:
+    """What the attacker got out of an executed schedule."""
+
+    #: Simulated time from first to last check-in (filled by callers that
+    #: track schedule spans, e.g. the fleet's makespan accounting).
+    duration_s: float = 0.0
+    attempts: int = 0
+    rewarded: int = 0
+    flagged: int = 0
+    rejected: int = 0
+    points: int = 0
+    badges: List[str] = field(default_factory=list)
+    mayorships_won: int = 0
+    specials: List[str] = field(default_factory=list)
+    outcomes: List[SpoofOutcome] = field(default_factory=list)
+
+    def record(self, entry: ScheduledCheckIn, outcome: SpoofOutcome) -> None:
+        """Tally one executed entry's outcome."""
+        self.attempts += 1
+        self.outcomes.append(outcome)
+        if outcome.status is CheckInStatus.VALID:
+            self.rewarded += 1
+            self.points += outcome.points
+            self.badges.extend(outcome.new_badges)
+            if outcome.became_mayor:
+                self.mayorships_won += 1
+            if outcome.special:
+                self.specials.append(outcome.special)
+        elif outcome.status is CheckInStatus.FLAGGED:
+            self.flagged += 1
+        else:
+            self.rejected += 1
+
+    @property
+    def detected(self) -> int:
+        """Attempts the cheater code caught (flagged or rejected)."""
+        return self.flagged + self.rejected
+
+    @property
+    def undetected(self) -> bool:
+        """True when every attempt passed — the E4 success criterion."""
+        return self.attempts > 0 and self.detected == 0

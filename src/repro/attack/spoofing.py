@@ -1,0 +1,218 @@
+"""The four GPS-spoofing channels of §3.1.
+
+Each channel implements the same tiny interface — point the claimed
+location somewhere, then check in — but compromises a *different layer* of
+the stack, exactly as the thesis enumerates:
+
+1. :class:`ApiHookSpoofer` — modify the open-source OS's GPS-related APIs.
+2. :class:`GpsModuleSpoofer` / :class:`BluetoothSpoofer` — replace the GPS
+   module itself (hardware hack, or a simulated Bluetooth GPS receiver).
+3. :class:`ServerApiSpoofer` — skip the device entirely and feed fake
+   coordinates to the service's public developer API.
+4. :class:`EmulatorSpoofer` — run the client in a device emulator and set
+   the simulated GPS via the console (the thesis's chosen method).
+
+The service cannot distinguish any of them from a truthful client, which
+is the vulnerability's root cause: "the lack of proper location
+verification mechanisms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.device.bluetooth import BluetoothGpsModule, BluetoothGpsSimulator
+from repro.device.client_app import LbsnClientApp
+from repro.device.emulator import Device, DeviceEmulator
+from repro.device.gps import FakeGpsModule
+from repro.device.os_api import fixed_location_hook
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.api import parse_kv
+from repro.lbsn.models import CheckInResult, CheckInStatus
+from repro.lbsn.service import LbsnService
+from repro.simnet.http import HttpTransport
+from repro.simnet.network import Egress
+
+
+@dataclass
+class SpoofOutcome:
+    """Channel-independent view of a check-in attempt's result."""
+
+    status: CheckInStatus
+    points: int = 0
+    new_badges: List[str] = field(default_factory=list)
+    became_mayor: bool = False
+    special: Optional[str] = None
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def rewarded(self) -> bool:
+        """Did the attempt earn rewards (i.e. fully pass verification)?"""
+        return self.status is CheckInStatus.VALID
+
+    @classmethod
+    def from_result(cls, result: CheckInResult) -> "SpoofOutcome":
+        """Convert a service-side result into the channel-neutral view."""
+        return cls(
+            status=result.checkin.status,
+            points=result.points,
+            new_badges=list(result.new_badges),
+            became_mayor=result.became_mayor,
+            special=(
+                result.special_unlocked.description
+                if result.special_unlocked
+                else None
+            ),
+            warnings=list(result.warnings),
+        )
+
+
+class SpoofingChannel(Protocol):
+    """Anything that can claim a location and check in with it."""
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Choose the coordinates the next check-in will report."""
+        ...
+
+    def check_in(self, venue_id: int) -> SpoofOutcome:
+        """Attempt a check-in at ``venue_id`` from the claimed location."""
+        ...
+
+
+class _ClientAppChannel:
+    """Shared base: channels that drive the genuine client app."""
+
+    def __init__(self, app: LbsnClientApp) -> None:
+        self.app = app
+
+    def check_in(self, venue_id: int) -> SpoofOutcome:
+        """Check in through the genuine client app."""
+        return SpoofOutcome.from_result(self.app.check_in(venue_id))
+
+
+class ApiHookSpoofer(_ClientAppChannel):
+    """Channel 1: hook the OS location API to return fake fixes."""
+
+    def __init__(self, device: Device, app: LbsnClientApp) -> None:
+        super().__init__(app)
+        self.device = device
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Install an OS hook reporting ``location``."""
+        self.device.location_api.install_api_hook(fixed_location_hook(location))
+
+    def restore(self) -> None:
+        """Remove the hook, returning the OS to stock behaviour."""
+        self.device.location_api.clear_api_hook()
+
+
+class GpsModuleSpoofer(_ClientAppChannel):
+    """Channel 2a: replace the physical GPS module with a faking one."""
+
+    def __init__(self, device: Device, app: LbsnClientApp) -> None:
+        super().__init__(app)
+        self.module = FakeGpsModule()
+        device.replace_gps_module(self.module)
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Point the replaced GPS module at ``location``."""
+        self.module.set_location(location)
+
+
+class BluetoothSpoofer(_ClientAppChannel):
+    """Channel 2b: pair the phone to a simulated Bluetooth GPS receiver."""
+
+    def __init__(self, device: Device, app: LbsnClientApp) -> None:
+        super().__init__(app)
+        self.simulator = BluetoothGpsSimulator()
+        device.replace_gps_module(BluetoothGpsModule(self.simulator))
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Point the fake Bluetooth puck at ``location``."""
+        self.simulator.set_location(location)
+
+
+class EmulatorSpoofer(_ClientAppChannel):
+    """Channel 4: the thesis's method — emulator console ``geo fix``."""
+
+    def __init__(self, emulator: DeviceEmulator, app: LbsnClientApp) -> None:
+        super().__init__(app)
+        self.emulator = emulator
+
+    def set_location(self, location: GeoPoint) -> None:
+        # The Android console takes longitude first.
+        reply = self.emulator.console.execute(
+            f"geo fix {location.longitude} {location.latitude}"
+        )
+        if reply != "OK":
+            raise ReproError(f"emulator console refused geo fix: {reply}")
+
+
+class ServerApiSpoofer:
+    """Channel 3: no device at all — POST fake coordinates to the API.
+
+    "This method is more convenient to issue a large-scale cheating
+    attack": no emulator, no client app, just an OAuth token and HTTP.
+    """
+
+    def __init__(
+        self, transport: HttpTransport, egress: Egress, token: str
+    ) -> None:
+        self.transport = transport
+        self.egress = egress
+        self.token = token
+        self._location: Optional[GeoPoint] = None
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Choose the coordinates the next API call will claim."""
+        self._location = location
+
+    def check_in(self, venue_id: int) -> SpoofOutcome:
+        """POST the check-in to the developer API with fake coordinates."""
+        if self._location is None:
+            raise ReproError("set_location before check_in")
+        response = self.transport.post(
+            "/api/checkin",
+            self.egress,
+            headers={"Authorization": f"Bearer {self.token}"},
+            params={
+                "venue_id": str(venue_id),
+                "ll_lat": f"{self._location.latitude:.6f}",
+                "ll_lng": f"{self._location.longitude:.6f}",
+            },
+        )
+        payload: Dict[str, str] = parse_kv(response.body)
+        status_text = payload.get("status", "rejected")
+        try:
+            status = CheckInStatus(status_text)
+        except ValueError:
+            status = CheckInStatus.REJECTED
+        return SpoofOutcome(
+            status=status,
+            points=int(payload.get("points", "0") or 0),
+            new_badges=[b for b in payload.get("badges", "").split(",") if b],
+            became_mayor=payload.get("mayor") == "1",
+            special=payload.get("special") or None,
+            warnings=[w for w in payload.get("warnings", "").split(";") if w],
+        )
+
+
+def build_emulator_attacker(
+    service: LbsnService,
+    display_name: str = "Attacker",
+    recovery_image: str = "vendor-recovery-2.2",
+) -> tuple:
+    """Convenience: the thesis's full E1 setup in one call.
+
+    Registers a test user, boots an emulator, flashes the market-unlocking
+    recovery image, installs the client, and returns
+    ``(user, emulator, EmulatorSpoofer)``.
+    """
+    user = service.register_user(display_name)
+    emulator = DeviceEmulator(service.clock)
+    emulator.flash_recovery_image(recovery_image)
+    app = LbsnClientApp(service, emulator.location_api, user.user_id)
+    emulator.install_app(LbsnClientApp.APP_NAME, app)
+    return user, emulator, EmulatorSpoofer(emulator, app)

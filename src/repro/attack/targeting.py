@@ -1,0 +1,127 @@
+"""Victim selection through venue-profile analysis (§3.4).
+
+"Since brute-force check-ins increase the chance that a cheater is caught,
+a location cheater may gain intelligence from venue analyses after
+crawling."  Everything here reads the attacker's *crawl database* — the
+attacker never needs privileged access, which is the point the thesis makes
+about limiting profile crawling (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crawler.database import CrawlDatabase, VenueInfoRow
+
+
+@dataclass
+class TargetVenue:
+    """A venue worth attacking, with the reason it was selected."""
+
+    venue_id: int
+    name: str
+    latitude: float
+    longitude: float
+    special: Optional[str]
+    reason: str
+
+
+class VenueProfileAnalyzer:
+    """Attack-target queries over crawled venue/user profiles."""
+
+    def __init__(self, database: CrawlDatabase) -> None:
+        self.database = database
+
+    def easy_mayor_specials(self) -> List[TargetVenue]:
+        """Mayor-only specials with **no current mayor** — prime targets.
+
+        "An attacker may select the victim venues that provide special
+        offers to their mayors and don't have a mayor yet ... Amongst the
+        venues we have crawled, around 1000 venues fall into this
+        category."
+        """
+        rows = self.database.select_venues(
+            lambda v: v.special is not None
+            and v.special_mayor_only
+            and v.mayor_id is None
+        )
+        return [
+            self._target(row, "mayor-only special with no mayor")
+            for row in rows
+        ]
+
+    def uncontested_mayor_specials(self, max_visitors: int = 1) -> List[TargetVenue]:
+        """Mayor-only specials whose venue has almost no visitors.
+
+        Even with an incumbent, a venue with ~one visitor falls to a daily
+        check-in cadence in days.
+        """
+        rows = self.database.select_venues(
+            lambda v: v.special is not None
+            and v.special_mayor_only
+            and v.unique_visitors <= max_visitors
+        )
+        return [
+            self._target(row, f"special with <= {max_visitors} visitors")
+            for row in rows
+        ]
+
+    def no_mayorship_specials(self) -> List[TargetVenue]:
+        """Specials that unlock on check-in count alone (§3.4).
+
+        "We also discovered some special offers that do not require
+        mayorship which are much easier to obtain."
+        """
+        rows = self.database.select_venues(
+            lambda v: v.special is not None and not v.special_mayor_only
+        )
+        return [
+            self._target(row, "special without mayorship requirement")
+            for row in rows
+        ]
+
+    def mayorships_of_victim(self, victim_user_id: int) -> List[TargetVenue]:
+        """Venues a victim is mayor of — the mayorship-denial target list.
+
+        "To stop a user from getting any mayorship, the attacker will
+        analyze venue profiles and find venues that the victim user is
+        mayor of or has been to."
+        """
+        rows = self.database.select_venues(
+            lambda v: v.mayor_id == victim_user_id
+        )
+        return [
+            self._target(row, f"victim {victim_user_id} is mayor here")
+            for row in rows
+        ]
+
+    def venues_visited_by_victim(self, victim_user_id: int) -> List[TargetVenue]:
+        """Venues whose recent-visitor list contains the victim."""
+        venue_ids = set(self.database.recent_venues_of_user(victim_user_id))
+        rows = self.database.select_venues(lambda v: v.venue_id in venue_ids)
+        return [
+            self._target(row, f"victim {victim_user_id} recently visited")
+            for row in rows
+        ]
+
+    def suspected_mayor_farmers(self, min_mayorships: int = 50) -> List[int]:
+        """User IDs holding implausibly many mayorships (§3.4's discovery).
+
+        Requires :meth:`CrawlDatabase.recompute_derived` to have run.
+        """
+        rows = self.database.select_users(
+            lambda u: u.total_mayors >= min_mayorships
+        )
+        return sorted(row.user_id for row in rows)
+
+    @staticmethod
+    def _target(row: VenueInfoRow, reason: str) -> TargetVenue:
+        return TargetVenue(
+            venue_id=row.venue_id,
+            name=row.name,
+            latitude=row.latitude,
+            longitude=row.longitude,
+            special=row.special,
+            reason=reason,
+        )

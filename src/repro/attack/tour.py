@@ -1,0 +1,158 @@
+"""Virtual tours: snapping an intended path onto real venues (§3.3).
+
+The thesis's semiautomatic tool lets the attacker say "move 500 yards to
+the west"; the tool "will search for the venue that is the closest to the
+target location".  :class:`VenueCatalog` is the attacker's knowledge of
+where venues are — built from their *crawl database*, as in the thesis, or
+(for tests) straight from the service — and :class:`TourPlanner` turns a
+:class:`~repro.geo.path.VirtualPath` into the concrete venue sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.crawler.database import CrawlDatabase
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.grid import SpatialGrid
+from repro.geo.path import VirtualPath, drift_m, spiral_path
+from repro.lbsn.service import LbsnService
+
+
+class VenueCatalog:
+    """The attacker's spatial index of known venues."""
+
+    def __init__(self) -> None:
+        self._grid: SpatialGrid[int] = SpatialGrid(cell_size_deg=0.01)
+
+    @classmethod
+    def from_crawl_database(cls, database: CrawlDatabase) -> "VenueCatalog":
+        """Build the catalog the way the thesis did: from crawled data.
+
+        "We met the first requirement [automatically find location
+        coordinates of victim venues] by crawling."
+        """
+        catalog = cls()
+        for row in database.venues():
+            catalog._grid.insert(row.venue_id, GeoPoint(row.latitude, row.longitude))
+        return catalog
+
+    @classmethod
+    def from_service(cls, service: LbsnService) -> "VenueCatalog":
+        """Build from ground truth (tests and oracle comparisons)."""
+        catalog = cls()
+        for venue in service.store.iter_venues():
+            catalog._grid.insert(venue.venue_id, venue.location)
+        return catalog
+
+    def __len__(self) -> int:
+        return len(self._grid)
+
+    def add(self, venue_id: int, location: GeoPoint) -> None:
+        """Add one venue to the catalog."""
+        self._grid.insert(venue_id, location)
+
+    def location_of(self, venue_id: int) -> Optional[GeoPoint]:
+        """Known location of a venue."""
+        return self._grid.location_of(venue_id)
+
+    def nearest_venue(
+        self,
+        target: GeoPoint,
+        exclude: Optional[Set[int]] = None,
+        max_radius_m: float = 50_000.0,
+    ) -> Optional[int]:
+        """The venue closest to ``target``, optionally excluding some."""
+        hit = self._grid.nearest(target, max_radius_m=max_radius_m, exclude=exclude)
+        return None if hit is None else hit[0]
+
+
+@dataclass
+class TourStop:
+    """One snapped stop: where we meant to go vs the venue we got."""
+
+    intended: GeoPoint
+    venue_id: int
+    venue_location: GeoPoint
+
+
+@dataclass
+class PlannedTour:
+    """A fully snapped tour ready for scheduling."""
+
+    stops: List[TourStop] = field(default_factory=list)
+
+    @property
+    def venue_ids(self) -> List[int]:
+        """The venue sequence."""
+        return [stop.venue_id for stop in self.stops]
+
+    def mean_drift_m(self) -> float:
+        """Average intended-vs-actual distance (the Fig 3.5 observation)."""
+        if not self.stops:
+            return 0.0
+        return drift_m(
+            [stop.intended for stop in self.stops],
+            [stop.venue_location for stop in self.stops],
+        )
+
+
+class TourPlanner:
+    """Snaps virtual paths onto the venue catalog."""
+
+    def __init__(self, catalog: VenueCatalog) -> None:
+        self.catalog = catalog
+
+    def plan(
+        self,
+        path: VirtualPath,
+        revisit: bool = False,
+        max_snap_radius_m: float = 5_000.0,
+    ) -> PlannedTour:
+        """Snap each waypoint after the start to its nearest venue.
+
+        With ``revisit`` False (the default, and the thesis's behaviour —
+        re-checking into a venue within the hour is refused anyway), each
+        venue is used at most once.
+        """
+        tour = PlannedTour()
+        used: Set[int] = set()
+        for intended in path.waypoints()[1:]:
+            exclude = used if not revisit else None
+            venue_id = self.catalog.nearest_venue(
+                intended, exclude=exclude, max_radius_m=max_snap_radius_m
+            )
+            if venue_id is None:
+                # Nothing within range of this waypoint; skip it, as the
+                # thesis's tool would keep moving.
+                continue
+            location = self.catalog.location_of(venue_id)
+            tour.stops.append(
+                TourStop(
+                    intended=intended,
+                    venue_id=venue_id,
+                    venue_location=location,
+                )
+            )
+            if not revisit:
+                used.add(venue_id)
+        return tour
+
+    def plan_city_spiral(
+        self,
+        start: GeoPoint,
+        steps: int,
+        step_deg: float = 0.005,
+    ) -> PlannedTour:
+        """The Fig 3.5 experiment: a right-turning spiral from ``start``.
+
+        "The desired moving distance for each step was 0.005 degrees,
+        either longitude or latitude ... We started by moving north and
+        then kept turning right."
+        """
+        if steps < 1:
+            raise ReproError(f"steps must be >= 1: {steps}")
+        path = spiral_path(start, steps=steps, step_deg=step_deg)
+        return self.plan(path)

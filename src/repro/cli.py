@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands walk the paper's arc end to end on freshly built worlds:
+
+* ``demo``    — the E1 spoofed check-in (quickstart).
+* ``crawl``   — run the §3.2 crawler and print corpus statistics.
+* ``attack``  — spiral tour + mayor-special harvest (§3.3-§3.4).
+* ``detect``  — the Chapter-4 three-factor cheater scan.
+* ``defend``  — the Chapter-5 verifier comparison table.
+
+All commands accept ``--scale`` (fraction of the 2010 corpus) and
+``--seed``; they build their own world, so runs are independent and
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.geo.coordinates import GeoPoint
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.0005,
+        help="fraction of the 1.89M-user 2010 corpus (default 0.0005)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="world RNG seed (default 42)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Location Cheating: A Security Challenge to "
+            "Location-based Social Network Services' (ICDCS 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="spoof one remote check-in (E1)")
+    _add_common(demo)
+
+    crawl = sub.add_parser("crawl", help="crawl the site, print statistics")
+    _add_common(crawl)
+    crawl.add_argument(
+        "--machines", type=int, default=3, help="crawl machines (default 3)"
+    )
+    crawl.add_argument(
+        "--threads", type=int, default=14, help="threads per machine"
+    )
+
+    attack = sub.add_parser("attack", help="tour + harvest (E4/E9)")
+    _add_common(attack)
+    attack.add_argument(
+        "--steps", type=int, default=40, help="spiral steps (default 40)"
+    )
+    attack.add_argument(
+        "--harvest", type=int, default=10, help="special venues to harvest"
+    )
+
+    detect = sub.add_parser("detect", help="three-factor cheater scan")
+    _add_common(detect)
+    detect.add_argument(
+        "--min-checkins",
+        type=int,
+        default=150,
+        help="minimum total check-ins to score a user",
+    )
+
+    defend = sub.add_parser("defend", help="verifier comparison (E11)")
+    _add_common(defend)
+    defend.add_argument(
+        "--claims", type=int, default=200, help="claims per workload"
+    )
+
+    figures = sub.add_parser(
+        "figures", help="export every figure's data series as CSV"
+    )
+    _add_common(figures)
+    figures.add_argument(
+        "--out",
+        default="figures_out",
+        help="output directory for CSV files (default ./figures_out)",
+    )
+    return parser
+
+
+def _build(args):
+    from repro.workload import build_web_stack, build_world
+
+    world = build_world(scale=args.scale, seed=args.seed)
+    stack = build_web_stack(world, seed=args.seed + 1)
+    return world, stack
+
+
+def cmd_demo(args) -> int:
+    """E1: one spoofed remote check-in."""
+    from repro.attack.spoofing import build_emulator_attacker
+    from repro.workload import build_world
+
+    world = build_world(scale=args.scale, seed=args.seed)
+    service = world.service
+    wharf = service.create_venue(
+        "Fisherman's Wharf Sign",
+        GeoPoint(37.8080, -122.4177),
+        city="San Francisco, CA",
+    )
+    user, emulator, channel = build_emulator_attacker(service)
+    emulator.console.execute("geo fix -122.4177 37.8080")
+    outcome = channel.check_in(wharf.venue_id)
+    print(
+        f"spoofed check-in at '{wharf.name}': status={outcome.status.value} "
+        f"points={outcome.points} mayor={outcome.became_mayor}"
+    )
+    return 0 if outcome.rewarded else 1
+
+
+def cmd_crawl(args) -> int:
+    """Crawl a fresh world and print corpus statistics."""
+    from repro.analysis.stats import compute_population_stats, format_stats_table
+    from repro.crawler import crawl_full_site
+
+    world, stack = _build(args)
+    machines = [stack.network.create_egress() for _ in range(args.machines)]
+    database, user_stats, venue_stats = crawl_full_site(
+        stack.transport,
+        machines,
+        user_threads_per_machine=args.threads,
+    )
+    print(
+        f"crawled {database.user_count()} users, "
+        f"{database.venue_count()} venues "
+        f"({user_stats.threads} user-crawl threads)"
+    )
+    for row in format_stats_table(compute_population_stats(database)):
+        print(row)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    """Spiral tour plus mayor-special harvest."""
+    from repro.attack import (
+        CheatingCampaign,
+        CheckInScheduler,
+        TourPlanner,
+        VenueCatalog,
+        VenueProfileAnalyzer,
+        build_emulator_attacker,
+    )
+    from repro.crawler import crawl_full_site
+    from repro.geo.regions import city_by_name
+
+    world, stack = _build(args)
+    database, _, _ = crawl_full_site(
+        stack.transport, [stack.network.create_egress()]
+    )
+    service = world.service
+    _, _, channel = build_emulator_attacker(service)
+    scheduler = CheckInScheduler(service.clock)
+    planner = TourPlanner(VenueCatalog.from_crawl_database(database))
+    tour = planner.plan_city_spiral(
+        city_by_name("New York, NY").center, steps=args.steps
+    )
+    report = scheduler.execute(scheduler.build(tour), channel)
+    print(
+        f"tour: {report.rewarded}/{report.attempts} rewarded, "
+        f"{report.detected} detected, {report.points} points"
+    )
+    targets = VenueProfileAnalyzer(database).easy_mayor_specials()
+    if targets:
+        campaign = CheatingCampaign(service.clock, channel, scheduler=scheduler)
+        harvest = campaign.harvest(targets[: args.harvest])
+        print(
+            f"harvest: {harvest.mayorships_won} mayorships, "
+            f"{len(harvest.specials)} specials, {harvest.detected} detected"
+        )
+    return 0 if report.detected == 0 else 1
+
+
+def cmd_detect(args) -> int:
+    """Run the three-factor cheater scan."""
+    from repro.analysis.detection import CheaterDetector, DetectorConfig
+    from repro.crawler import crawl_full_site
+
+    world, stack = _build(args)
+    database, _, _ = crawl_full_site(
+        stack.transport, [stack.network.create_egress()]
+    )
+    detector = CheaterDetector(
+        database, DetectorConfig(min_total_checkins=args.min_checkins)
+    )
+    suspects = detector.find_suspects()
+    planted = {spec.user_id: spec.persona.value for spec in world.roster.all_specs()}
+    print(f"{len(suspects)} suspects:")
+    for report in suspects[:15]:
+        tag = planted.get(report.user_id, "organic")
+        print(
+            f"  user {report.user_id:>6} score={report.combined_score:.2f} "
+            f"cities={report.city_count:>3} [{tag}]"
+        )
+    return 0
+
+
+def cmd_defend(args) -> int:
+    """Print the location-verifier comparison table."""
+    from repro.defense import (
+        AddressMappingVerifier,
+        ClaimWorkload,
+        DistanceBoundingVerifier,
+        deploy_routers,
+        evaluate_verifiers,
+        format_evaluation_table,
+    )
+    from repro.geo.regions import city_by_name
+
+    world, stack = _build(args)
+    workload = ClaimWorkload(world.service, network=stack.network, seed=5)
+    honest = workload.honest_claims(args.claims)
+    attacker_at = city_by_name("Albuquerque, NM").center
+    attacks = workload.spoofed_claims(args.claims, attacker_at=attacker_at)
+    verifiers = [
+        DistanceBoundingVerifier(seed=1),
+        AddressMappingVerifier(stack.network.geoip),
+        deploy_routers(world.service),
+    ]
+    for row in format_evaluation_table(
+        evaluate_verifiers(verifiers, honest, attacks)
+    ):
+        print(row)
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Export every figure's data series as CSV files."""
+    from pathlib import Path
+
+    from repro.analysis.figures import all_figures, fig_3_5_tour
+    from repro.attack.tour import TourPlanner, VenueCatalog
+    from repro.crawler import crawl_full_site
+    from repro.geo.regions import city_by_name
+
+    world, stack = _build(args)
+    database, _, _ = crawl_full_site(
+        stack.transport, [stack.network.create_egress()]
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    figures = all_figures(
+        database,
+        cheater_user_id=(
+            world.roster.mega_cheater.user_id
+            if world.roster.mega_cheater
+            else None
+        ),
+        normal_user_id=(
+            world.roster.power_users[0].user_id
+            if world.roster.power_users
+            else None
+        ),
+    )
+    planner = TourPlanner(VenueCatalog.from_crawl_database(database))
+    tour = planner.plan_city_spiral(
+        city_by_name("New York, NY").center, steps=40
+    )
+    figures.append(fig_3_5_tour(tour))
+    for index, figure in enumerate(figures):
+        stem = figure.figure.replace("/", "-").replace(".", "_")
+        path = out / f"fig_{stem}_{index}.csv"
+        path.write_text(figure.to_csv())
+        print(f"wrote {path} ({figure.rows} rows) — {figure.title}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "crawl": cmd_crawl,
+    "attack": cmd_attack,
+    "detect": cmd_detect,
+    "defend": cmd_defend,
+    "figures": cmd_figures,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Page fetching with retries (§3.2's "sent HTTP Get to this URL").
+
+A thin, thread-safe layer over the simulated transport: one egress per
+fetcher (a crawl machine), bounded retries on 5xx, and a clean distinction
+between "page doesn't exist" (a frontier signal) and "fetch failed"
+(a :class:`~repro.errors.CrawlError`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CrawlError
+from repro.simnet.http import (
+    HTTP_NOT_FOUND,
+    HTTP_TOO_MANY_REQUESTS,
+    HttpResponse,
+    HttpTransport,
+)
+from repro.simnet.network import Egress
+
+
+class PageFetcher:
+    """Fetches profile pages through one egress point."""
+
+    def __init__(
+        self,
+        transport: HttpTransport,
+        egress: Egress,
+        max_retries: int = 2,
+    ) -> None:
+        if max_retries < 0:
+            raise CrawlError(f"max_retries must be non-negative: {max_retries}")
+        self.transport = transport
+        self.egress = egress
+        self.max_retries = max_retries
+
+    def fetch(self, path: str) -> Optional[str]:
+        """Fetch one page.
+
+        Returns the HTML body, or None for a 404 (the page genuinely does
+        not exist).  Raises :class:`CrawlError` when the server keeps
+        failing or actively refuses the client (auth walls, rate limits,
+        blocks) — the signals the crawl-control defense produces.
+        """
+        response = self._attempt(path)
+        retries = 0
+        while response.status >= 500 and retries < self.max_retries:
+            retries += 1
+            response = self._attempt(path)
+        if response.status == HTTP_NOT_FOUND:
+            return None
+        if response.status == HTTP_TOO_MANY_REQUESTS:
+            raise CrawlError(f"rate limited fetching {path}")
+        if not response.ok:
+            raise CrawlError(f"HTTP {response.status} fetching {path}")
+        return response.body
+
+    def _attempt(self, path: str) -> HttpResponse:
+        return self.transport.get(path, self.egress)

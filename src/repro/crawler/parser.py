@@ -1,0 +1,142 @@
+"""Regex extraction from profile HTML (§3.2).
+
+"To extract data from the HTML source code, we let the crawler perform a
+set of regular expression matches."  The patterns here target the site's
+rendered markup; if the site changes (e.g. the visitor-obfuscation defense
+replaces ``/user/<id>`` links with opaque tokens), extraction degrades
+exactly the way a real crawler's would.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CrawlError
+
+_RE_USER_ID = re.compile(r'data-user-id="(\d+)"')
+_RE_USER_NAME = re.compile(r'<h1 class="fn">(.*?)</h1>', re.S)
+_RE_USERNAME = re.compile(r'<div class="username">@([A-Za-z0-9_\-]+)</div>')
+_RE_HOMECITY = re.compile(r'<div class="homecity">(.*?)</div>', re.S)
+_RE_CHECKIN_COUNT = re.compile(r'<span class="checkin-count">(\d+)</span>')
+_RE_BADGE_COUNT = re.compile(r'<span class="badge-count">(\d+)</span>')
+_RE_POINTS = re.compile(r'<span class="points">(\d+)</span>')
+_RE_FRIEND = re.compile(r'<a class="friend" href="/user/(\d+)">')
+
+_RE_VENUE_ID = re.compile(r'data-venue-id="(\d+)"')
+_RE_VENUE_NAME = re.compile(r'<h1 class="venue-name">(.*?)</h1>', re.S)
+_RE_ADDRESS = re.compile(r'<div class="address">(.*?)</div>', re.S)
+_RE_CITY = re.compile(r'<div class="city">(.*?)</div>', re.S)
+_RE_LATITUDE = re.compile(r'<span class="latitude">(-?[\d.]+)</span>')
+_RE_LONGITUDE = re.compile(r'<span class="longitude">(-?[\d.]+)</span>')
+_RE_CHECKINS_HERE = re.compile(r'<span class="checkins-here">(\d+)</span>')
+_RE_UNIQUE_VISITORS = re.compile(r'<span class="unique-visitors">(\d+)</span>')
+_RE_MAYOR = re.compile(r'<a class="mayor" href="/user/(\d+)">')
+_RE_SPECIAL = re.compile(r'<div class="special ([\w\-]+)">(.*?)</div>', re.S)
+_RE_VISITOR = re.compile(r'<a class="visitor" href="/user/(\d+)">')
+_RE_TIP = re.compile(
+    r'<li class="tip" data-author="(\d+)">(.*?)</li>', re.S
+)
+_RE_WHOS_BEEN_HERE = re.compile(r'<div class="whos-been-here">')
+
+
+@dataclass
+class ParsedUser:
+    """Fields extracted from a user profile page."""
+
+    user_id: int
+    display_name: str
+    username: Optional[str]
+    home_city: str
+    total_checkins: int
+    total_badges: int
+    points: int
+    friend_ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ParsedVenue:
+    """Fields extracted from a venue page."""
+
+    venue_id: int
+    name: str
+    address: str
+    city: str
+    latitude: float
+    longitude: float
+    checkins_here: int
+    unique_visitors: int
+    mayor_id: Optional[int]
+    special: Optional[str]
+    special_mayor_only: bool
+    recent_visitor_ids: List[int] = field(default_factory=list)
+    has_whos_been_here: bool = False
+    #: (author_id, text) pairs from the venue's tip list.
+    tips: List[tuple] = field(default_factory=list)
+
+
+def _required(pattern: re.Pattern, page: str, what: str) -> str:
+    match = pattern.search(page)
+    if match is None:
+        raise CrawlError(f"could not extract {what} from page")
+    return match.group(1)
+
+
+def _optional(pattern: re.Pattern, page: str) -> Optional[str]:
+    match = pattern.search(page)
+    return None if match is None else match.group(1)
+
+
+def parse_user_page(page: str) -> ParsedUser:
+    """Extract a :class:`ParsedUser` from profile HTML."""
+    return ParsedUser(
+        user_id=int(_required(_RE_USER_ID, page, "user id")),
+        display_name=html.unescape(
+            _required(_RE_USER_NAME, page, "display name").strip()
+        ),
+        username=_optional(_RE_USERNAME, page),
+        home_city=html.unescape(
+            (_optional(_RE_HOMECITY, page) or "").strip()
+        ),
+        total_checkins=int(_required(_RE_CHECKIN_COUNT, page, "check-in count")),
+        total_badges=int(_required(_RE_BADGE_COUNT, page, "badge count")),
+        points=int(_required(_RE_POINTS, page, "points")),
+        friend_ids=[int(fid) for fid in _RE_FRIEND.findall(page)],
+    )
+
+
+def parse_venue_page(page: str) -> ParsedVenue:
+    """Extract a :class:`ParsedVenue` from venue HTML."""
+    special_match = _RE_SPECIAL.search(page)
+    special_text: Optional[str] = None
+    special_mayor_only = False
+    if special_match is not None:
+        special_mayor_only = special_match.group(1) == "mayor-only"
+        special_text = html.unescape(special_match.group(2).strip())
+    return ParsedVenue(
+        venue_id=int(_required(_RE_VENUE_ID, page, "venue id")),
+        name=html.unescape(_required(_RE_VENUE_NAME, page, "venue name").strip()),
+        address=html.unescape((_optional(_RE_ADDRESS, page) or "").strip()),
+        city=html.unescape((_optional(_RE_CITY, page) or "").strip()),
+        latitude=float(_required(_RE_LATITUDE, page, "latitude")),
+        longitude=float(_required(_RE_LONGITUDE, page, "longitude")),
+        checkins_here=int(_required(_RE_CHECKINS_HERE, page, "check-ins here")),
+        unique_visitors=int(
+            _required(_RE_UNIQUE_VISITORS, page, "unique visitors")
+        ),
+        mayor_id=(
+            int(_optional(_RE_MAYOR, page))
+            if _RE_MAYOR.search(page)
+            else None
+        ),
+        special=special_text,
+        special_mayor_only=special_mayor_only,
+        recent_visitor_ids=[int(uid) for uid in _RE_VISITOR.findall(page)],
+        has_whos_been_here=bool(_RE_WHOS_BEEN_HERE.search(page)),
+        tips=[
+            (int(author), html.unescape(text.strip()))
+            for author, text in _RE_TIP.findall(page)
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Chapter-5 countermeasures: location verification and crawl control."""
+
+from repro.defense.address_mapping import (
+    AddressMappingConfig,
+    AddressMappingVerifier,
+)
+from repro.defense.crawl_control import (
+    IpRateLimiter,
+    LoginGate,
+    LoginGateStats,
+    RateLimiterConfig,
+    RateLimiterStats,
+    SessionRegistry,
+)
+from repro.defense.distance_bounding import (
+    SPEED_OF_LIGHT_MPS,
+    DistanceBoundingConfig,
+    DistanceBoundingVerifier,
+)
+from repro.defense.evaluator import (
+    DEPLOYMENT_NOTES,
+    ClaimWorkload,
+    VerifierEvaluation,
+    evaluate_verifiers,
+    format_evaluation_table,
+)
+from repro.defense.hashing import (
+    crack_unsalted_token,
+    hashed_visitor_obfuscator,
+    unsalted_visitor_obfuscator,
+)
+from repro.defense.verifier import (
+    LocationClaim,
+    LocationVerifier,
+    VerificationOutcome,
+    VerificationResult,
+)
+from repro.defense.wifi_verification import (
+    DEFAULT_RADIO_RANGE_M,
+    VenueRouter,
+    WifiVerificationService,
+    deploy_routers,
+)
+
+__all__ = [
+    "AddressMappingConfig",
+    "AddressMappingVerifier",
+    "IpRateLimiter",
+    "LoginGate",
+    "LoginGateStats",
+    "RateLimiterConfig",
+    "RateLimiterStats",
+    "SessionRegistry",
+    "SPEED_OF_LIGHT_MPS",
+    "DistanceBoundingConfig",
+    "DistanceBoundingVerifier",
+    "DEPLOYMENT_NOTES",
+    "ClaimWorkload",
+    "VerifierEvaluation",
+    "evaluate_verifiers",
+    "format_evaluation_table",
+    "crack_unsalted_token",
+    "hashed_visitor_obfuscator",
+    "unsalted_visitor_obfuscator",
+    "LocationClaim",
+    "LocationVerifier",
+    "VerificationOutcome",
+    "VerificationResult",
+    "DEFAULT_RADIO_RANGE_M",
+    "VenueRouter",
+    "WifiVerificationService",
+    "deploy_routers",
+]
+
+from repro.defense.integration import (
+    RULE_LOCATION_VERIFIER,
+    DefendedLbsnService,
+    DefenseStats,
+    DeviceRegistry,
+    registry_locator,
+)
+
+__all__ += [
+    "RULE_LOCATION_VERIFIER",
+    "DefendedLbsnService",
+    "DefenseStats",
+    "DeviceRegistry",
+    "registry_locator",
+]

@@ -1,0 +1,78 @@
+"""IP address mapping (§5.1): cheapest, least accurate verification.
+
+Geolocate the client's IP and compare against the claimed venue.  The
+thesis's caveats are modeled explicitly: "mobile phones may access the
+Internet from nonlocal IP addresses, and the IP addresses can be changed
+dynamically" — a phone in Lincoln may egress through its carrier's gateway
+in Omaha or further, so the tolerance must be loose, and unmapped IPs are
+inconclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.defense.verifier import (
+    LocationClaim,
+    VerificationOutcome,
+    VerificationResult,
+)
+from repro.geo.distance import haversine_m
+from repro.simnet.network import GeoIpRegistry, IpAddress
+
+
+@dataclass
+class AddressMappingConfig:
+    """Tolerances of the IP-mapping check."""
+
+    #: Accept when the IP geolocates within this distance of the claim.
+    #: Loose by necessity: carrier gateways sit whole metros away.
+    tolerance_m: float = 150_000.0
+    #: What to do when the IP is not in the database.
+    reject_unmapped: bool = False
+
+
+class AddressMappingVerifier:
+    """Judges claims against a GeoIP registry."""
+
+    name = "address-mapping"
+
+    def __init__(
+        self,
+        geoip: GeoIpRegistry,
+        config: Optional[AddressMappingConfig] = None,
+    ) -> None:
+        self.geoip = geoip
+        self.config = config or AddressMappingConfig()
+
+    def verify(self, claim: LocationClaim) -> VerificationResult:
+        """Geolocate the claim's IP and compare against the venue."""
+        if not claim.client_ip:
+            return self._unmapped("no client IP on claim")
+        located = self.geoip.locate(IpAddress(claim.client_ip))
+        if located is None:
+            return self._unmapped(f"IP {claim.client_ip} not in database")
+        distance = haversine_m(located, claim.claimed_location)
+        if distance <= self.config.tolerance_m:
+            return VerificationResult(
+                outcome=VerificationOutcome.ACCEPT,
+                estimated_distance_m=distance,
+                detail=f"IP maps {distance / 1000.0:.0f} km from claim",
+            )
+        return VerificationResult(
+            outcome=VerificationOutcome.REJECT,
+            estimated_distance_m=distance,
+            detail=(
+                f"IP maps {distance / 1000.0:.0f} km from claim "
+                f"(tolerance {self.config.tolerance_m / 1000.0:.0f} km)"
+            ),
+        )
+
+    def _unmapped(self, detail: str) -> VerificationResult:
+        outcome = (
+            VerificationOutcome.REJECT
+            if self.config.reject_unmapped
+            else VerificationOutcome.INCONCLUSIVE
+        )
+        return VerificationResult(outcome=outcome, detail=detail)

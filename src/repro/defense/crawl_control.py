@@ -1,0 +1,224 @@
+"""Access control for crawling (§5.2).
+
+Two mechanisms the thesis proposes, implemented as transport middleware:
+
+* **Login gating** — profile pages require a session; anonymous bulk
+  access dies immediately, and per-account request budgets make logged-in
+  crawling traceable and cheap to revoke.
+* **Rate limiting + IP blocking** — a sliding-window request-rate detector
+  plus a sequential-ID enumeration detector; offending IPs are blocked.
+  Blocking a NAT hurts "a few hosts" (Casado & Freedman), which the
+  collateral accounting here exposes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set
+
+from repro.simnet.http import (
+    HTTP_FORBIDDEN,
+    HTTP_TOO_MANY_REQUESTS,
+    HTTP_UNAUTHORIZED,
+    HttpRequest,
+    HttpResponse,
+)
+from repro.simnet.network import Network
+
+#: Paths the defenses guard (profile pages — the crawl surface).
+_PROFILE_PREFIXES = ("/user/", "/venue/")
+
+
+def _is_profile_path(path: str) -> bool:
+    return path.startswith(_PROFILE_PREFIXES)
+
+
+class SessionRegistry:
+    """Login sessions for the login-gating middleware."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, int] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def login(self, user_id: int) -> str:
+        """Issue a session token for an account."""
+        with self._lock:
+            self._counter += 1
+            token = f"session-{user_id}-{self._counter}"
+            self._sessions[token] = user_id
+            return token
+
+    def resolve(self, token: str) -> Optional[int]:
+        """The account behind a session token."""
+        with self._lock:
+            return self._sessions.get(token)
+
+    def revoke(self, token: str) -> bool:
+        """Kill a session."""
+        with self._lock:
+            return self._sessions.pop(token, None) is not None
+
+
+@dataclass
+class LoginGateStats:
+    """What the login gate saw."""
+
+    anonymous_denied: int = 0
+    over_budget_denied: int = 0
+    allowed: int = 0
+
+
+class LoginGate:
+    """Middleware: profile pages require a session + per-account budget.
+
+    "If a user must login to view the publicly available profile pages,
+    it's easier to detect the crawling users and block them."
+    """
+
+    def __init__(
+        self,
+        sessions: SessionRegistry,
+        per_account_budget: Optional[int] = 1_000,
+    ) -> None:
+        self.sessions = sessions
+        self.per_account_budget = per_account_budget
+        self.stats = LoginGateStats()
+        self._usage: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, request: HttpRequest) -> Optional[HttpResponse]:
+        if not _is_profile_path(request.path):
+            return None
+        token = request.header("X-Session")
+        user_id = self.sessions.resolve(token) if token else None
+        if user_id is None:
+            with self._lock:
+                self.stats.anonymous_denied += 1
+            return HttpResponse(
+                status=HTTP_UNAUTHORIZED, body="login required"
+            )
+        with self._lock:
+            used = self._usage.get(user_id, 0) + 1
+            self._usage[user_id] = used
+            if (
+                self.per_account_budget is not None
+                and used > self.per_account_budget
+            ):
+                self.stats.over_budget_denied += 1
+                return HttpResponse(
+                    status=HTTP_TOO_MANY_REQUESTS,
+                    body="account request budget exhausted",
+                )
+            self.stats.allowed += 1
+        return None
+
+
+@dataclass
+class RateLimiterConfig:
+    """Detection thresholds."""
+
+    #: Sliding window length (wall-clock seconds — crawler speed is a
+    #: real-time property of the client, not of simulated time).
+    window_s: float = 2.0
+    #: Requests per window that trigger a block.
+    max_requests_per_window: int = 60
+    #: Length of a strictly ascending profile-ID run that marks an
+    #: enumeration crawler regardless of speed.
+    enumeration_run_length: int = 150
+
+
+@dataclass
+class RateLimiterStats:
+    """What the rate limiter did."""
+
+    blocked_ips: Set[str] = field(default_factory=set)
+    denied_requests: int = 0
+    rate_triggers: int = 0
+    enumeration_triggers: int = 0
+
+    def collateral_clients(self, network: Network) -> int:
+        """Honest clients sharing blocked egresses (NAT collateral)."""
+        from repro.simnet.network import IpAddress
+
+        total = 0
+        for ip in self.blocked_ips:
+            egress = network.egress_for_ip(IpAddress(ip))
+            if egress is not None:
+                total += max(0, len(egress.clients) - 1)
+        return total
+
+
+class IpRateLimiter:
+    """Middleware: sliding-window rate + ID-enumeration detection."""
+
+    def __init__(self, config: Optional[RateLimiterConfig] = None) -> None:
+        self.config = config or RateLimiterConfig()
+        self.stats = RateLimiterStats()
+        self._windows: Dict[str, Deque[float]] = {}
+        self._last_id: Dict[str, int] = {}
+        self._run_length: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _extract_profile_id(self, path: str) -> Optional[int]:
+        if not _is_profile_path(path):
+            return None
+        tail = path.rsplit("/", 1)[-1]
+        return int(tail) if tail.isdigit() else None
+
+    def __call__(self, request: HttpRequest) -> Optional[HttpResponse]:
+        if not _is_profile_path(request.path):
+            return None
+        now = time.monotonic()
+        ip = request.client_ip
+        with self._lock:
+            if ip in self.stats.blocked_ips:
+                self.stats.denied_requests += 1
+                return HttpResponse(status=HTTP_FORBIDDEN, body="blocked")
+
+            window = self._windows.setdefault(ip, deque())
+            window.append(now)
+            cutoff = now - self.config.window_s
+            while window and window[0] < cutoff:
+                window.popleft()
+            if len(window) > self.config.max_requests_per_window:
+                self.stats.blocked_ips.add(ip)
+                self.stats.rate_triggers += 1
+                self.stats.denied_requests += 1
+                return HttpResponse(
+                    status=HTTP_TOO_MANY_REQUESTS, body="rate limited"
+                )
+
+            profile_id = self._extract_profile_id(request.path)
+            if profile_id is not None:
+                last = self._last_id.get(ip)
+                if last is not None and profile_id == last + 1:
+                    self._run_length[ip] = self._run_length.get(ip, 1) + 1
+                else:
+                    self._run_length[ip] = 1
+                self._last_id[ip] = profile_id
+                if (
+                    self._run_length[ip]
+                    >= self.config.enumeration_run_length
+                ):
+                    self.stats.blocked_ips.add(ip)
+                    self.stats.enumeration_triggers += 1
+                    self.stats.denied_requests += 1
+                    return HttpResponse(
+                        status=HTTP_FORBIDDEN,
+                        body="sequential enumeration detected",
+                    )
+        return None
+
+    def unblock(self, ip: str) -> bool:
+        """Lift a block (appeals / collateral remediation)."""
+        with self._lock:
+            if ip in self.stats.blocked_ips:
+                self.stats.blocked_ips.discard(ip)
+                self._windows.pop(ip, None)
+                self._run_length.pop(ip, None)
+                return True
+            return False

@@ -1,0 +1,69 @@
+"""Hiding profile information without destroying usability (§5.2).
+
+"The service provider may use the hash function to hide necessary
+information (such as user IDs in the recent check-in list)."  The site
+still *shows* that recent visitors exist (usability preserved: a visitor
+can be messaged through the token), but a crawler can no longer join
+RecentCheckin rows to user profiles — starving the Fig 4.1/4.3 analyses
+and the §3.4 victim-targeting queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Callable, Optional
+
+from repro.errors import DefenseError
+
+
+def hashed_visitor_obfuscator(
+    secret: bytes, digest_chars: int = 12
+) -> Callable[[int], str]:
+    """An HMAC-based token function for the webserver's visitor lists.
+
+    Keyed hashing matters: a plain unsalted hash of a numeric ID falls to
+    trivial brute force over the (public, dense) ID space.  With a server
+    secret, tokens reveal nothing and cannot be precomputed.
+    """
+    if not secret:
+        raise DefenseError("obfuscation secret must be non-empty")
+    if digest_chars < 8:
+        raise DefenseError(
+            f"digest too short to resist collisions: {digest_chars}"
+        )
+
+    def obfuscate(user_id: int) -> str:
+        mac = hmac.new(secret, str(user_id).encode(), hashlib.sha256)
+        return "v_" + mac.hexdigest()[:digest_chars]
+
+    return obfuscate
+
+
+def unsalted_visitor_obfuscator(digest_chars: int = 12) -> Callable[[int], str]:
+    """The *broken* variant: an unkeyed hash of the user ID.
+
+    Provided so tests/benches can demonstrate why the salt matters: an
+    attacker who knows the scheme precomputes the token of every ID.
+    """
+
+    def obfuscate(user_id: int) -> str:
+        digest = hashlib.sha256(str(user_id).encode()).hexdigest()
+        return "v_" + digest[:digest_chars]
+
+    return obfuscate
+
+
+def crack_unsalted_token(
+    token: str, max_user_id: int, digest_chars: int = 12
+) -> Optional[int]:
+    """Brute-force an unsalted token over the dense ID space.
+
+    Succeeds in O(max_user_id) — the demonstration that unkeyed hashing is
+    not a defense when the ID space is small and public.
+    """
+    for user_id in range(1, max_user_id + 1):
+        digest = hashlib.sha256(str(user_id).encode()).hexdigest()
+        if "v_" + digest[:digest_chars] == token:
+            return user_id
+    return None

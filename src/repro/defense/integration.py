@@ -1,0 +1,165 @@
+"""Inline defense deployment: location verifiers in the check-in pipeline.
+
+Chapter 5 proposes the verification techniques; this module answers the
+operational question the thesis leaves open — *what happens when a provider
+actually turns one on?* — by wedging a :class:`LocationVerifier` between
+GPS verification and the cheater code.  The service then no longer trusts
+the reported coordinates alone: the verifier senses its side channel
+(physics or IP), and a rejected claim is refused before any reward logic
+runs.
+
+The simulated "physical side channel" needs to know where the checking-in
+device really is, which the honest service never learns from the request.
+Deployments therefore register a ``physical_locator`` per user — in
+reality the verifier infrastructure (router, bounding hardware) measures
+this; in the simulation we look it up from the device registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.defense.verifier import (
+    LocationClaim,
+    LocationVerifier,
+    VerificationOutcome,
+)
+from repro.errors import DefenseError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import CheckInResult, CheckInStatus
+from repro.lbsn.service import LbsnService
+
+#: Reason string recorded when an inline verifier refuses a check-in.
+RULE_LOCATION_VERIFIER = "location-verifier"
+
+PhysicalLocator = Callable[[int], Optional[GeoPoint]]
+
+
+@dataclass
+class DefenseStats:
+    """What the inline defense did."""
+
+    verified: int = 0
+    refused: int = 0
+    inconclusive: int = 0
+    unlocatable: int = 0
+
+    @property
+    def total(self) -> int:
+        """All claims the defense saw."""
+        return self.verified + self.refused + self.inconclusive + self.unlocatable
+
+
+class DeviceRegistry:
+    """Maps user accounts to the physical position of their device.
+
+    Stands in for whatever the real verifier senses (radio proximity,
+    challenge-response timing).  Attack channels can't update it — that is
+    the point: spoofing changes what the *client reports*, not where the
+    device *is*.
+    """
+
+    def __init__(self) -> None:
+        self._positions: Dict[int, GeoPoint] = {}
+
+    def place(self, user_id: int, location: GeoPoint) -> None:
+        """Record where a user's device physically is."""
+        self._positions[user_id] = location
+
+    def locate(self, user_id: int) -> Optional[GeoPoint]:
+        """The device's physical position, or None if never seen."""
+        return self._positions.get(user_id)
+
+
+class DefendedLbsnService:
+    """An :class:`LbsnService` wrapper enforcing a location verifier.
+
+    Check-ins flow through ``check_in`` exactly like the raw service, but
+    a claim the verifier REJECTS is refused outright (no record, no
+    rewards).  INCONCLUSIVE outcomes follow ``refuse_inconclusive``.
+    """
+
+    def __init__(
+        self,
+        service: LbsnService,
+        verifier: LocationVerifier,
+        physical_locator: PhysicalLocator,
+        refuse_inconclusive: bool = False,
+        client_ip_of: Optional[Callable[[int], Optional[str]]] = None,
+    ) -> None:
+        self.service = service
+        self.verifier = verifier
+        self.physical_locator = physical_locator
+        self.refuse_inconclusive = refuse_inconclusive
+        self.client_ip_of = client_ip_of
+        self.stats = DefenseStats()
+
+    def check_in(
+        self,
+        user_id: int,
+        venue_id: int,
+        reported_location: GeoPoint,
+        timestamp: Optional[float] = None,
+    ) -> CheckInResult:
+        """Verify the claim, then delegate to the underlying service."""
+        venue = self.service.store.require_venue(venue_id)
+        physical = self.physical_locator(user_id)
+        if physical is None:
+            # The verifier cannot sense this device at all.
+            self.stats.unlocatable += 1
+            if self.refuse_inconclusive:
+                return self._refusal(user_id, venue_id, reported_location)
+            return self.service.check_in(
+                user_id, venue_id, reported_location, timestamp=timestamp
+            )
+        claim = LocationClaim(
+            user_id=user_id,
+            venue_id=venue_id,
+            venue_location=venue.location,
+            claimed_location=reported_location,
+            physical_location=physical,
+            client_ip=self.client_ip_of(user_id) if self.client_ip_of else None,
+        )
+        result = self.verifier.verify(claim)
+        if result.outcome is VerificationOutcome.REJECT:
+            self.stats.refused += 1
+            return self._refusal(user_id, venue_id, reported_location)
+        if result.outcome is VerificationOutcome.INCONCLUSIVE:
+            self.stats.inconclusive += 1
+            if self.refuse_inconclusive:
+                return self._refusal(user_id, venue_id, reported_location)
+        else:
+            self.stats.verified += 1
+        return self.service.check_in(
+            user_id, venue_id, reported_location, timestamp=timestamp
+        )
+
+    def _refusal(
+        self, user_id: int, venue_id: int, reported_location: GeoPoint
+    ) -> CheckInResult:
+        from repro.lbsn.models import CheckIn
+
+        checkin = CheckIn(
+            checkin_id=0,  # never recorded
+            user_id=user_id,
+            venue_id=venue_id,
+            timestamp=self.service.clock.now(),
+            reported_location=reported_location,
+            status=CheckInStatus.REJECTED,
+            flagged_rule=RULE_LOCATION_VERIFIER,
+        )
+        return CheckInResult(
+            checkin=checkin,
+            warnings=["location could not be verified"],
+        )
+
+    # Convenience passthroughs so attack channels work unchanged --------
+
+    def __getattr__(self, name):
+        return getattr(self.service, name)
+
+
+def registry_locator(registry: DeviceRegistry) -> PhysicalLocator:
+    """Adapter: a :class:`DeviceRegistry` as a physical locator."""
+    return registry.locate

@@ -1,0 +1,71 @@
+"""Common interface for location-verification defenses (§5.1).
+
+Every defense judges a :class:`LocationClaim`: the check-in the server saw,
+plus whatever side channel the defense taps (physical signal propagation
+for distance bounding and Wi-Fi, the client IP for address mapping).  The
+device's *physical* location is carried on the claim for the simulation's
+benefit — only defenses whose real-world mechanism senses physics read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Protocol
+
+from repro.geo.coordinates import GeoPoint
+
+
+class VerificationOutcome(Enum):
+    """A defense's judgement of one claim."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    #: The defense had no basis to judge (e.g. unmapped IP address).
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class LocationClaim:
+    """One check-in claim under verification."""
+
+    user_id: int
+    venue_id: int
+    venue_location: GeoPoint
+    claimed_location: GeoPoint
+    #: Where the device physically is — ground truth the simulation knows;
+    #: physics-based defenses (distance bounding, Wi-Fi) can sense it,
+    #: GPS-trusting services cannot.
+    physical_location: GeoPoint
+    #: The IP the server saw, for address mapping.
+    client_ip: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome plus the defense's evidence."""
+
+    outcome: VerificationOutcome
+    estimated_distance_m: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """True when the claim passed."""
+        return self.outcome is VerificationOutcome.ACCEPT
+
+    @property
+    def rejected(self) -> bool:
+        """True when the claim was refused."""
+        return self.outcome is VerificationOutcome.REJECT
+
+
+class LocationVerifier(Protocol):
+    """Anything that can judge a location claim."""
+
+    #: Human-readable name for evaluation tables.
+    name: str
+
+    def verify(self, claim: LocationClaim) -> VerificationResult:
+        """Judge one claim."""
+        ...

@@ -1,0 +1,135 @@
+"""Venue-side Wi-Fi location verification (§5.1): the thesis's favourite.
+
+The venue's existing Wi-Fi router doubles as a location verifier: "only
+devices that are physically within the radio communication range of a Wi-Fi
+router can communicate with it", an intrinsic distance bound of ~100 m with
+no new hardware.  The documented limitation is modeled too: "a cheater
+sitting inside a McDonald's can check-in to the Wendy's next door, which is
+only 50 meters away" — unless the owner tightens the radio range via
+firmware (DD-WRT).
+
+Routers must register with the LBS server over a trusted channel so
+cheaters cannot impersonate them; unregistered venues simply cannot be
+verified (INCONCLUSIVE), which is the deployment-coverage question the E11
+bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.defense.verifier import (
+    LocationClaim,
+    VerificationOutcome,
+    VerificationResult,
+)
+from repro.errors import DefenseError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+
+#: "The radio range of a Wi-Fi router is generally no more than one
+#: hundred meters."
+DEFAULT_RADIO_RANGE_M = 100.0
+
+
+@dataclass
+class VenueRouter:
+    """One venue's router, registered as a verifier."""
+
+    venue_id: int
+    location: GeoPoint
+    #: Effective radio range; firmware tuning (DD-WRT) can shrink it to
+    #: roughly the building footprint.
+    radio_range_m: float = DEFAULT_RADIO_RANGE_M
+    #: Only routers that completed trusted registration count.
+    registered: bool = True
+
+    def in_range(self, device_at: GeoPoint) -> bool:
+        """Can the device physically talk to this router?"""
+        return haversine_m(self.location, device_at) <= self.radio_range_m
+
+
+class WifiVerificationService:
+    """The LBS-server side: a registry of venue routers."""
+
+    name = "wifi-venue-verification"
+
+    def __init__(self, fallback_accept: bool = True) -> None:
+        self._routers: Dict[int, VenueRouter] = {}
+        #: Whether claims at venues with no router pass by default.  True
+        #: models incremental rollout (unverifiable venues keep working);
+        #: False models a strict mode where only verified venues reward.
+        self.fallback_accept = fallback_accept
+
+    def register_router(self, router: VenueRouter) -> None:
+        """Complete a router's trusted registration."""
+        if router.radio_range_m <= 0:
+            raise DefenseError(
+                f"radio range must be positive: {router.radio_range_m}"
+            )
+        self._routers[router.venue_id] = router
+
+    def router_for(self, venue_id: int) -> Optional[VenueRouter]:
+        """The registered router at a venue, if any."""
+        return self._routers.get(venue_id)
+
+    @property
+    def coverage(self) -> int:
+        """How many venues have registered routers."""
+        return len(self._routers)
+
+    def verify(self, claim: LocationClaim) -> VerificationResult:
+        """Check whether the venue's router can physically hear the device."""
+        router = self._routers.get(claim.venue_id)
+        if router is None or not router.registered:
+            outcome = (
+                VerificationOutcome.ACCEPT
+                if self.fallback_accept
+                else VerificationOutcome.INCONCLUSIVE
+            )
+            return VerificationResult(
+                outcome=outcome, detail="venue has no registered router"
+            )
+        distance = haversine_m(router.location, claim.physical_location)
+        if router.in_range(claim.physical_location):
+            return VerificationResult(
+                outcome=VerificationOutcome.ACCEPT,
+                estimated_distance_m=distance,
+                detail=f"device heard by router at {distance:.0f} m",
+            )
+        return VerificationResult(
+            outcome=VerificationOutcome.REJECT,
+            estimated_distance_m=distance,
+            detail=(
+                f"device outside radio range "
+                f"({distance:.0f} m > {router.radio_range_m:.0f} m)"
+            ),
+        )
+
+
+def deploy_routers(
+    service,
+    fraction: float = 1.0,
+    radio_range_m: float = DEFAULT_RADIO_RANGE_M,
+    fallback_accept: bool = True,
+) -> WifiVerificationService:
+    """Register routers at a fraction of a service's venues (by ID order).
+
+    The E11 bench sweeps ``fraction`` to show how attack yield degrades
+    with deployment coverage.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DefenseError(f"fraction must be in [0, 1]: {fraction}")
+    wifi = WifiVerificationService(fallback_accept=fallback_accept)
+    venues = sorted(service.store.iter_venues(), key=lambda v: v.venue_id)
+    cutoff = int(len(venues) * fraction)
+    for venue in venues[:cutoff]:
+        wifi.register_router(
+            VenueRouter(
+                venue_id=venue.venue_id,
+                location=venue.location,
+                radio_range_m=radio_range_m,
+            )
+        )
+    return wifi

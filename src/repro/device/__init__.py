@@ -1,0 +1,47 @@
+"""Smartphone substrate: GPS hardware, OS location API, emulator, client app."""
+
+from repro.device.bluetooth import (
+    BluetoothGpsModule,
+    BluetoothGpsSimulator,
+    build_gpgga,
+    nmea_checksum,
+    parse_gpgga,
+)
+from repro.device.client_app import LbsnClientApp
+from repro.device.emulator import Device, DeviceEmulator, EmulatorConsole
+from repro.device.gps import (
+    TYPICAL_SATELLITES_IN_VIEW,
+    FakeGpsModule,
+    GpsFix,
+    GpsModule,
+    HardwareGpsModule,
+)
+from repro.device.os_api import (
+    GPS_PROVIDER,
+    NETWORK_PROVIDER,
+    LocationApi,
+    fixed_location_hook,
+    remote_feed_hook,
+)
+
+__all__ = [
+    "BluetoothGpsModule",
+    "BluetoothGpsSimulator",
+    "build_gpgga",
+    "nmea_checksum",
+    "parse_gpgga",
+    "LbsnClientApp",
+    "Device",
+    "DeviceEmulator",
+    "EmulatorConsole",
+    "TYPICAL_SATELLITES_IN_VIEW",
+    "FakeGpsModule",
+    "GpsFix",
+    "GpsModule",
+    "HardwareGpsModule",
+    "GPS_PROVIDER",
+    "NETWORK_PROVIDER",
+    "LocationApi",
+    "fixed_location_hook",
+    "remote_feed_hook",
+]

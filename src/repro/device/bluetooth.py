@@ -1,0 +1,135 @@
+"""A simulated Bluetooth GPS receiver speaking NMEA 0183 (§3.1, channel 2b).
+
+"An attacker can write a program on a computer that simulates the behavior
+of a Bluetooth GPS receiver and let the phone connect to this simulated
+Bluetooth GPS receiver, enabling the simulated GPS to return fake
+coordinates."  Tools like Skylab GPS Simulator did exactly this; we emit and
+parse genuine ``$GPGGA`` sentences (with correct checksums) so the phone-side
+NMEA driver exercises a realistic protocol path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.device.gps import GpsFix
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+
+
+def nmea_checksum(sentence_body: str) -> str:
+    """XOR checksum over the characters between ``$`` and ``*``, as hex."""
+    value = 0
+    for char in sentence_body:
+        value ^= ord(char)
+    return f"{value:02X}"
+
+
+def _to_nmea_coord(degrees: float, is_latitude: bool) -> str:
+    """Encode decimal degrees as NMEA ddmm.mmmm / dddmm.mmmm."""
+    absolute = abs(degrees)
+    whole = int(absolute)
+    minutes = (absolute - whole) * 60.0
+    width = 2 if is_latitude else 3
+    return f"{whole:0{width}d}{minutes:07.4f}"
+
+
+def _from_nmea_coord(text: str, hemisphere: str) -> float:
+    """Decode NMEA ddmm.mmmm back to signed decimal degrees."""
+    dot = text.index(".")
+    degrees = float(text[: dot - 2])
+    minutes = float(text[dot - 2 :])
+    value = degrees + minutes / 60.0
+    if hemisphere in ("S", "W"):
+        value = -value
+    return value
+
+
+def build_gpgga(
+    location: GeoPoint,
+    utc_seconds: float,
+    satellites: int = 9,
+    hdop: float = 1.0,
+) -> str:
+    """Render one ``$GPGGA`` fix sentence for ``location``."""
+    hours = int(utc_seconds // 3600) % 24
+    minutes = int(utc_seconds // 60) % 60
+    seconds = utc_seconds % 60
+    time_field = f"{hours:02d}{minutes:02d}{seconds:05.2f}"
+    lat_field = _to_nmea_coord(location.latitude, is_latitude=True)
+    lat_hemisphere = "N" if location.latitude >= 0 else "S"
+    lon_field = _to_nmea_coord(location.longitude, is_latitude=False)
+    lon_hemisphere = "E" if location.longitude >= 0 else "W"
+    body = (
+        f"GPGGA,{time_field},{lat_field},{lat_hemisphere},"
+        f"{lon_field},{lon_hemisphere},1,{satellites:02d},{hdop:.1f},"
+        f"10.0,M,0.0,M,,"
+    )
+    return f"${body}*{nmea_checksum(body)}"
+
+
+def parse_gpgga(sentence: str, timestamp: float) -> GpsFix:
+    """Parse a ``$GPGGA`` sentence into a :class:`GpsFix`.
+
+    Raises :class:`DeviceError` on malformed input or a bad checksum, the
+    way a real NMEA driver drops corrupt sentences.
+    """
+    if not sentence.startswith("$") or "*" not in sentence:
+        raise DeviceError(f"not an NMEA sentence: {sentence!r}")
+    body, _, checksum = sentence[1:].partition("*")
+    if nmea_checksum(body) != checksum.strip().upper():
+        raise DeviceError(f"NMEA checksum mismatch in {sentence!r}")
+    fields = body.split(",")
+    if fields[0] != "GPGGA" or len(fields) < 10:
+        raise DeviceError(f"not a GPGGA sentence: {sentence!r}")
+    if fields[6] == "0":
+        raise DeviceError("GPGGA reports no fix")
+    latitude = _from_nmea_coord(fields[2], fields[3])
+    longitude = _from_nmea_coord(fields[4], fields[5])
+    satellites = int(fields[7]) if fields[7] else 0
+    hdop = float(fields[8]) if fields[8] else 1.0
+    return GpsFix(
+        location=GeoPoint(latitude, longitude),
+        # HDOP ~ horizontal dilution; 5 m per unit is a common rule of thumb.
+        accuracy_m=5.0 * hdop,
+        timestamp=timestamp,
+        satellites=satellites,
+    )
+
+
+class BluetoothGpsSimulator:
+    """The attacker's computer pretending to be a Bluetooth GPS puck."""
+
+    def __init__(self, location: Optional[GeoPoint] = None) -> None:
+        self._location = location
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Choose the coordinates the fake puck reports."""
+        self._location = location
+
+    def next_sentence(self, utc_seconds: float) -> str:
+        """Emit the next GPGGA sentence, as the puck would over RFCOMM."""
+        if self._location is None:
+            raise DeviceError("Bluetooth GPS simulator has no location set")
+        return build_gpgga(self._location, utc_seconds)
+
+
+class BluetoothGpsModule:
+    """Phone-side driver: a GPS 'module' backed by a paired Bluetooth puck.
+
+    Plugs into the device's location API exactly like the internal module,
+    so once paired, every app transparently receives the puck's (spoofed)
+    coordinates.
+    """
+
+    def __init__(self, simulator: BluetoothGpsSimulator) -> None:
+        self._simulator = simulator
+
+    def current_fix(self, timestamp: float) -> Optional[GpsFix]:
+        """Parse the puck's next NMEA sentence into a fix (None on error)."""
+        try:
+            sentence = self._simulator.next_sentence(timestamp % 86_400.0)
+            return parse_gpgga(sentence, timestamp)
+        except DeviceError:
+            return None

@@ -1,0 +1,80 @@
+"""The LBSN client application installed on a device.
+
+The thesis "analyzed Foursquare's client application source code and
+confirmed that it gets the GPS location data from the phone's GPS-related
+APIs" — so this client does exactly that: every operation reads the device's
+:class:`~repro.device.os_api.LocationApi` and reports whatever it returns to
+the server.  The client is honest; the deception happens below it (hooked
+API, fake module, emulator GPS) or beside it (direct server-API calls).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.device.os_api import LocationApi
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import CheckInResult, Venue
+from repro.lbsn.service import LbsnService
+
+
+class LbsnClientApp:
+    """The official client app: location-aware venue list + check-in."""
+
+    APP_NAME = "simsquare"
+
+    def __init__(
+        self,
+        service: LbsnService,
+        location_api: LocationApi,
+        user_id: int,
+    ) -> None:
+        self.service = service
+        self.location_api = location_api
+        self.user_id = user_id
+
+    def current_location(self) -> GeoPoint:
+        """The device's current position, per the OS location API.
+
+        Raises :class:`DeviceError` when no provider has a fix (e.g. a
+        fresh emulator before any ``geo fix``).
+        """
+        fix = self.location_api.best_fix()
+        if fix is None:
+            raise DeviceError("no location fix available")
+        return fix.location
+
+    def nearby_venues(self) -> List[Venue]:
+        """The suggested list of venues around the (reported) position."""
+        return self.service.nearby_venues(self.current_location())
+
+    def find_nearby_venue(self, name_substring: str) -> Optional[Venue]:
+        """First nearby venue whose name contains ``name_substring``."""
+        needle = name_substring.lower()
+        for venue in self.nearby_venues():
+            if needle in venue.name.lower():
+                return venue
+        return None
+
+    def check_in(self, venue_id: int) -> CheckInResult:
+        """Check in to ``venue_id``, reporting the API-provided location."""
+        return self.service.check_in(
+            user_id=self.user_id,
+            venue_id=venue_id,
+            reported_location=self.current_location(),
+        )
+
+    def check_in_by_name(self, name_substring: str) -> CheckInResult:
+        """Find a nearby venue by name and check in to it.
+
+        This is the thesis's flow: "find the target venue in the list of
+        nearby venues in Foursquare application; and check into the target
+        venue."
+        """
+        venue = self.find_nearby_venue(name_substring)
+        if venue is None:
+            raise DeviceError(
+                f"no nearby venue matching {name_substring!r}"
+            )
+        return self.check_in(venue.venue_id)

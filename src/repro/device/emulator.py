@@ -1,0 +1,136 @@
+"""Smartphones and the device emulator (§3.1, channel 4).
+
+:class:`Device` is a physical phone: its GPS module reports where the phone
+really is.  :class:`DeviceEmulator` is the Android-emulator stand-in the
+thesis used: a full virtual device whose "GPS module" is a configurable
+simulation, driven by the ``geo fix`` console command the Dalvik Debug
+Monitor sends.  The thesis calls this channel "the easiest and most
+reliable"; the E1 experiment uses it.
+
+The emulator also reproduces the market lock the authors had to bypass:
+stock emulator images exclude the application market, so the Foursquare
+client cannot be installed until a manufacturer recovery image is flashed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.device.gps import FakeGpsModule, GpsFix, HardwareGpsModule
+from repro.device.os_api import GPS_PROVIDER, LocationApi
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.simnet.clock import SimClock
+
+
+class Device:
+    """A physical smartphone: hardware GPS + OS location API + apps."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        physical_location: GeoPoint,
+        name: str = "phone",
+        gps_seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.name = name
+        self.gps = HardwareGpsModule(physical_location, seed=gps_seed)
+        self.location_api = LocationApi(clock)
+        self.location_api.register_provider(GPS_PROVIDER, self.gps)
+        self._apps: Dict[str, object] = {}
+
+    def install_app(self, name: str, app: object) -> None:
+        """Install an application on the device."""
+        if name in self._apps:
+            raise DeviceError(f"app already installed: {name!r}")
+        self._apps[name] = app
+
+    def get_app(self, name: str) -> object:
+        """Retrieve an installed application."""
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise DeviceError(f"app not installed: {name!r}") from None
+
+    @property
+    def installed_apps(self) -> list:
+        """Names of installed applications."""
+        return sorted(self._apps)
+
+    def replace_gps_module(self, module) -> None:
+        """Swap in a different GPS module (the hardware-hack channel)."""
+        self.location_api.register_provider(GPS_PROVIDER, module)
+
+
+class EmulatorConsole:
+    """The emulator's control console (what Dalvik Debug Monitor talks to)."""
+
+    def __init__(self, emulator: "DeviceEmulator") -> None:
+        self._emulator = emulator
+
+    def execute(self, command: str) -> str:
+        """Run a console command string; only ``geo fix`` is implemented.
+
+        The Android emulator's syntax is ``geo fix <longitude> <latitude>``
+        — longitude first, a detail that has tripped up many a developer and
+        which we keep faithfully.
+        """
+        parts = command.split()
+        if len(parts) == 4 and parts[0] == "geo" and parts[1] == "fix":
+            try:
+                longitude = float(parts[2])
+                latitude = float(parts[3])
+            except ValueError:
+                return "KO: bad coordinates"
+            self._emulator.set_gps(GeoPoint(latitude, longitude))
+            return "OK"
+        return f"KO: unknown command {command!r}"
+
+
+class DeviceEmulator(Device):
+    """A virtual device whose GPS is fully attacker-controlled.
+
+    Construction mirrors the thesis's workflow:
+
+    1. The stock image has no application market (``market_enabled`` False).
+    2. :meth:`flash_recovery_image` restores "a full featured system with
+       the Android Market".
+    3. The LBSN client is installed like on a real phone.
+    4. ``geo fix`` (via :attr:`console` or :meth:`set_gps`) points the
+       simulated GPS anywhere on Earth.
+    """
+
+    def __init__(self, clock: SimClock, name: str = "emulator") -> None:
+        # The emulator has no physical location; its GPS module starts
+        # with no fix until the console sets one.
+        super().__init__(clock, GeoPoint(0.0, 0.0), name=name)
+        self._sim_gps = FakeGpsModule()
+        self.location_api.register_provider(GPS_PROVIDER, self._sim_gps)
+        self.market_enabled = False
+        self.console = EmulatorConsole(self)
+        self._flashed_image: Optional[str] = None
+
+    def flash_recovery_image(self, image_name: str) -> None:
+        """Flash a manufacturer system image, unlocking the market (§3.1)."""
+        if not image_name:
+            raise DeviceError("image name must be non-empty")
+        self._flashed_image = image_name
+        self.market_enabled = True
+
+    def install_app(self, name: str, app: object) -> None:
+        """Install from the market — fails on a stock (locked) image."""
+        if not self.market_enabled:
+            raise DeviceError(
+                "stock emulator image has no application market; flash a "
+                "full system recovery image first"
+            )
+        super().install_app(name, app)
+
+    def set_gps(self, location: GeoPoint) -> None:
+        """Point the simulated GPS module at ``location``."""
+        self._sim_gps.set_location(location)
+
+    def current_gps_fix(self) -> Optional[GpsFix]:
+        """What the simulated GPS currently reports (None before any fix)."""
+        return self._sim_gps.current_fix(self.clock.now())

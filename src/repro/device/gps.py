@@ -1,0 +1,124 @@
+"""GPS hardware simulation: fixes, satellites, and the phone's GPS module.
+
+§3.1's spoofing channel 2 ("via GPS module") needs a GPS module abstraction
+with two concrete forms: the genuine hardware module that reports where the
+phone physically is, and hacked/simulated modules that report whatever the
+attacker wants while remaining indistinguishable to the operating system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+
+#: A full GPS constellation keeps ~8-12 satellites in view.
+TYPICAL_SATELLITES_IN_VIEW = 9
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """One position fix as delivered by a GPS receiver."""
+
+    location: GeoPoint
+    #: Estimated horizontal accuracy in meters.
+    accuracy_m: float
+    #: Clock time the fix was produced.
+    timestamp: float
+    #: Satellites used in the solution.
+    satellites: int = TYPICAL_SATELLITES_IN_VIEW
+
+    def __post_init__(self) -> None:
+        if self.accuracy_m < 0:
+            raise DeviceError(f"accuracy must be non-negative: {self.accuracy_m}")
+        if self.satellites < 0:
+            raise DeviceError(f"satellite count must be non-negative: {self.satellites}")
+
+
+class GpsModule(Protocol):
+    """Anything that can produce a position fix on demand."""
+
+    def current_fix(self, timestamp: float) -> Optional[GpsFix]:
+        """The current fix, or None when no signal is available."""
+        ...
+
+
+class HardwareGpsModule:
+    """The phone's genuine GPS chip.
+
+    Reports the device's *physical* position with realistic measurement
+    noise.  The simulation moves the phone via :meth:`move_to`; an attacker
+    cannot change what this module reports without replacing it (which is
+    exactly what the hardware-hack spoofing channel does).
+    """
+
+    def __init__(
+        self,
+        physical_location: GeoPoint,
+        noise_m: float = 5.0,
+        seed: int = 0,
+        has_signal: bool = True,
+    ) -> None:
+        if noise_m < 0:
+            raise DeviceError(f"noise must be non-negative: {noise_m}")
+        self._location = physical_location
+        self._noise_m = noise_m
+        self._rng = random.Random(seed)
+        self.has_signal = has_signal
+
+    @property
+    def physical_location(self) -> GeoPoint:
+        """Where the phone actually is."""
+        return self._location
+
+    def move_to(self, location: GeoPoint) -> None:
+        """Physically relocate the device (the simulation's hand, not an app's)."""
+        self._location = location
+
+    def current_fix(self, timestamp: float) -> Optional[GpsFix]:
+        """A noisy fix around the physical position, or None indoors."""
+        if not self.has_signal:
+            return None
+        bearing = self._rng.uniform(0.0, 360.0)
+        error = abs(self._rng.gauss(0.0, self._noise_m / 2.0))
+        noisy = destination_point(self._location, bearing, error)
+        return GpsFix(
+            location=noisy,
+            accuracy_m=self._noise_m,
+            timestamp=timestamp,
+            satellites=self._rng.randint(6, 12),
+        )
+
+
+class FakeGpsModule:
+    """A replaced/compromised GPS module reporting attacker-chosen fixes.
+
+    This models §3.1's hardware hack: "modifies the physical GPS hardware
+    inside the phone, making it capable of faking data, so that the cheating
+    is transparent to the mobile phone's operating system."  The OS cannot
+    tell it apart from :class:`HardwareGpsModule` — same fix shape, same
+    plausible accuracy and satellite counts.
+    """
+
+    def __init__(self, fake_location: Optional[GeoPoint] = None, accuracy_m: float = 5.0) -> None:
+        self._fake = fake_location
+        self._accuracy_m = accuracy_m
+
+    def set_location(self, location: GeoPoint) -> None:
+        """Choose what the module will report from now on."""
+        self._fake = location
+
+    def current_fix(self, timestamp: float) -> Optional[GpsFix]:
+        """The attacker-chosen fix, or None before a location is set."""
+        if self._fake is None:
+            return None
+        return GpsFix(
+            location=self._fake,
+            accuracy_m=self._accuracy_m,
+            timestamp=timestamp,
+            satellites=TYPICAL_SATELLITES_IN_VIEW,
+        )

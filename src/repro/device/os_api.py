@@ -1,0 +1,116 @@
+"""The smartphone operating system's location API (§3.1, channel 1).
+
+Modeled on Android's ``LocationManager``: apps ask a named *provider* for
+the last known location, and the OS routes the request to whatever module
+backs that provider.  Because the OS is open source, an attacker "is able to
+cheat on his/her location using falsified GPS information" by re-pointing
+the provider — the API-hook spoofing channel.  Apps (including the LBSN
+client) only ever see this API, never the hardware, so every channel that
+compromises a layer below it is invisible to them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.device.gps import GpsFix, GpsModule
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.simnet.clock import SimClock
+
+#: The standard provider names, as on Android.
+GPS_PROVIDER = "gps"
+NETWORK_PROVIDER = "network"
+
+
+class LocationApi:
+    """The OS-level location service apps talk to."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._providers: Dict[str, GpsModule] = {}
+        #: Optional hook an OS-level hack installs to rewrite every fix.
+        self._api_hook: Optional[Callable[[Optional[GpsFix]], Optional[GpsFix]]] = None
+
+    def register_provider(self, name: str, module: GpsModule) -> None:
+        """Attach a location source under a provider name."""
+        if not name:
+            raise DeviceError("provider name must be non-empty")
+        self._providers[name] = module
+
+    def remove_provider(self, name: str) -> bool:
+        """Detach a provider; returns whether it existed."""
+        return self._providers.pop(name, None) is not None
+
+    def providers(self) -> List[str]:
+        """Registered provider names."""
+        return sorted(self._providers)
+
+    def install_api_hook(
+        self, hook: Callable[[Optional[GpsFix]], Optional[GpsFix]]
+    ) -> None:
+        """Install the §3.1 API modification.
+
+        On an open-source OS the GPS-related APIs "can be modified to get
+        GPS locations from sources other than the phone's GPS module, for
+        example, from a server that returns fake GPS coordinates, or simply
+        from a local file".  The hook sees the genuine fix (or None) and
+        returns the fix apps will receive.
+        """
+        self._api_hook = hook
+
+    def clear_api_hook(self) -> None:
+        """Restore the unmodified OS behaviour."""
+        self._api_hook = None
+
+    @property
+    def hooked(self) -> bool:
+        """Whether an API hook is currently installed."""
+        return self._api_hook is not None
+
+    def get_last_known_location(
+        self, provider: str = GPS_PROVIDER
+    ) -> Optional[GpsFix]:
+        """What an app receives when it asks for the current location."""
+        module = self._providers.get(provider)
+        fix = module.current_fix(self._clock.now()) if module else None
+        if self._api_hook is not None:
+            fix = self._api_hook(fix)
+        return fix
+
+    def best_fix(self) -> Optional[GpsFix]:
+        """The most accurate fix across all providers (GPS preferred)."""
+        best: Optional[GpsFix] = None
+        for name in [GPS_PROVIDER, NETWORK_PROVIDER] + self.providers():
+            if name not in self._providers:
+                continue
+            fix = self.get_last_known_location(name)
+            if fix is None:
+                continue
+            if best is None or fix.accuracy_m < best.accuracy_m:
+                best = fix
+        return best
+
+
+def fixed_location_hook(location: GeoPoint, accuracy_m: float = 5.0):
+    """An API hook that always reports ``location`` (the local-file variant)."""
+
+    def hook(fix: Optional[GpsFix]) -> Optional[GpsFix]:
+        timestamp = fix.timestamp if fix is not None else 0.0
+        return GpsFix(
+            location=location, accuracy_m=accuracy_m, timestamp=timestamp
+        )
+
+    return hook
+
+
+def remote_feed_hook(feed: Callable[[], GeoPoint], accuracy_m: float = 5.0):
+    """An API hook pulling coordinates from an attacker-run server feed."""
+
+    def hook(fix: Optional[GpsFix]) -> Optional[GpsFix]:
+        timestamp = fix.timestamp if fix is not None else 0.0
+        return GpsFix(
+            location=feed(), accuracy_m=accuracy_m, timestamp=timestamp
+        )
+
+    return hook

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the reproduction library.
+
+Every package-specific error derives from :class:`ReproError`, so callers can
+catch one base class at API boundaries while tests can assert on the precise
+subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic input (out-of-range coordinate, empty path, ...)."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure (unreachable host, blocked client, ...)."""
+
+
+class HttpError(NetworkError):
+    """An HTTP-level failure from the simulated web transport."""
+
+    def __init__(self, status: int, message: str = "") -> None:
+        super().__init__(message or f"HTTP {status}")
+        self.status = status
+
+
+class ServiceError(ReproError):
+    """The LBSN service rejected a request (bad venue, bad user, ...)."""
+
+
+class CheatDetectedError(ServiceError):
+    """A check-in was refused outright by the cheater code."""
+
+    def __init__(self, rule: str, message: str = "") -> None:
+        super().__init__(message or f"check-in refused by rule: {rule}")
+        self.rule = rule
+
+
+class DeviceError(ReproError):
+    """Device/emulator misuse (no GPS fix, locked emulator, ...)."""
+
+
+class CrawlError(ReproError):
+    """The crawler could not fetch or parse a profile page."""
+
+
+class DefenseError(ReproError):
+    """A defense component rejected or failed to verify a claim."""

@@ -1,0 +1,138 @@
+"""Geodesic math: distances, bearings, destination points, speeds.
+
+The cheater-code rules and the automated tour all reduce to questions about
+great-circle distance and travel speed, so this module is the numerical core
+shared by the service, the attack, and the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import GeoError
+from repro.geo.coordinates import (
+    EARTH_RADIUS_M,
+    METERS_PER_MILE,
+    GeoPoint,
+    normalize_longitude,
+)
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in meters.
+
+    This is the classic haversine formula, numerically stable for the short
+    (city-block) and long (coast-to-coast) distances the reproduction uses.
+    """
+    lat1, lon1 = a.as_radians()
+    lat2, lon2 = b.as_radians()
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def haversine_miles(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance in statute miles."""
+    return haversine_m(a, b) / METERS_PER_MILE
+
+
+def equirectangular_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Fast flat-earth approximation of distance in meters.
+
+    Used by the spatial grid for candidate ranking where a few meters of
+    error over city-scale distances is irrelevant and speed matters.
+    """
+    lat1, lon1 = a.as_radians()
+    lat2, lon2 = b.as_radians()
+    x = (lon2 - lon1) * math.cos((lat1 + lat2) / 2.0)
+    y = lat2 - lat1
+    return math.sqrt(x * x + y * y) * EARTH_RADIUS_M
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from ``a`` to ``b`` in degrees [0, 360)."""
+    lat1, lon1 = a.as_radians()
+    lat2, lon2 = b.as_radians()
+    dlon = lon2 - lon1
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(
+        lat2
+    ) * math.cos(dlon)
+    return (math.degrees(math.atan2(x, y)) + 360.0) % 360.0
+
+
+def destination_point(
+    origin: GeoPoint, bearing_deg: float, distance_m: float
+) -> GeoPoint:
+    """Point reached by travelling ``distance_m`` along ``bearing_deg``.
+
+    This is the inverse the tour planner needs to turn "move 500 yards to
+    the west" into coordinates.
+    """
+    if distance_m < 0:
+        raise GeoError(f"distance must be non-negative, got {distance_m}")
+    lat1, lon1 = origin.as_radians()
+    theta = math.radians(bearing_deg)
+    delta = distance_m / EARTH_RADIUS_M
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(delta)
+        + math.cos(lat1) * math.sin(delta) * math.cos(theta)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(theta) * math.sin(delta) * math.cos(lat1),
+        math.cos(delta) - math.sin(lat1) * math.sin(lat2),
+    )
+    return GeoPoint(math.degrees(lat2), normalize_longitude(math.degrees(lon2)))
+
+
+def speed_mps(a: GeoPoint, b: GeoPoint, elapsed_s: float) -> float:
+    """Implied travel speed in meters/second between two timed sightings.
+
+    A zero or negative elapsed time with any displacement is "infinitely
+    fast" — exactly the situation the super-human-speed rule punishes.
+    """
+    distance = haversine_m(a, b)
+    if elapsed_s <= 0.0:
+        return math.inf if distance > 0 else 0.0
+    return distance / elapsed_s
+
+
+def path_length_m(points: Sequence[GeoPoint]) -> float:
+    """Total haversine length of a polyline (0.0 for fewer than 2 points)."""
+    return sum(
+        haversine_m(points[i], points[i + 1]) for i in range(len(points) - 1)
+    )
+
+
+def pairwise_max_distance_m(points: Iterable[GeoPoint]) -> float:
+    """Diameter (maximum pairwise distance) of a point set, in meters.
+
+    Quadratic, but the pattern analysis only applies it to a single user's
+    recent check-ins (hundreds of points at most).
+    """
+    pts = list(points)
+    best = 0.0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            best = max(best, haversine_m(pts[i], pts[j]))
+    return best
+
+
+def meters_per_degree_latitude() -> float:
+    """Meters spanned by one degree of latitude (constant on the sphere)."""
+    return math.pi * EARTH_RADIUS_M / 180.0
+
+
+def meters_per_degree_longitude(latitude: float) -> float:
+    """Meters spanned by one degree of longitude at a given latitude.
+
+    The thesis notes 0.005 degrees is ~550 m in latitude but only ~450 m in
+    longitude at Albuquerque's latitude; this function is how the tour math
+    reproduces that asymmetry.
+    """
+    return meters_per_degree_latitude() * math.cos(math.radians(latitude))

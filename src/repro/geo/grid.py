@@ -1,0 +1,155 @@
+"""A spatial hash grid over latitude/longitude space.
+
+The LBSN service needs "nearby venues" for the client's suggestion list, the
+rapid-fire rule needs "venues within a 180 m square", and the tour planner
+needs "nearest venue to a target point".  All three are served by this grid,
+which buckets points into fixed-size lat/lon cells and searches an expanding
+ring of cells around the query.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, Iterator, List, Optional, Set, Tuple, TypeVar
+
+from repro.errors import GeoError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m, meters_per_degree_latitude
+
+T = TypeVar("T")
+
+Cell = Tuple[int, int]
+
+
+class SpatialGrid(Generic[T]):
+    """Thread-safe point index mapping items to lat/lon grid cells.
+
+    Parameters
+    ----------
+    cell_size_deg:
+        Edge length of a grid cell in degrees. The default (0.01° ≈ 1.1 km
+        of latitude) keeps city-scale queries to a handful of cells.
+    """
+
+    def __init__(self, cell_size_deg: float = 0.01) -> None:
+        if cell_size_deg <= 0:
+            raise GeoError(f"cell size must be positive, got {cell_size_deg}")
+        self._cell_size = float(cell_size_deg)
+        self._cells: Dict[Cell, Set[T]] = defaultdict(set)
+        self._locations: Dict[T, GeoPoint] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._locations)
+
+    def __contains__(self, item: T) -> bool:
+        with self._lock:
+            return item in self._locations
+
+    def _cell_of(self, point: GeoPoint) -> Cell:
+        return (
+            int(math.floor(point.latitude / self._cell_size)),
+            int(math.floor(point.longitude / self._cell_size)),
+        )
+
+    def insert(self, item: T, point: GeoPoint) -> None:
+        """Add ``item`` at ``point``, replacing any previous location."""
+        with self._lock:
+            self.remove(item)
+            self._locations[item] = point
+            self._cells[self._cell_of(point)].add(item)
+
+    def remove(self, item: T) -> bool:
+        """Remove ``item`` if present; return whether it was present."""
+        with self._lock:
+            point = self._locations.pop(item, None)
+            if point is None:
+                return False
+            cell = self._cell_of(point)
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del self._cells[cell]
+            return True
+
+    def location_of(self, item: T) -> Optional[GeoPoint]:
+        """Return the stored location of ``item``, or None."""
+        with self._lock:
+            return self._locations.get(item)
+
+    def items(self) -> Iterator[Tuple[T, GeoPoint]]:
+        """Snapshot iterator over all (item, location) pairs."""
+        with self._lock:
+            snapshot = list(self._locations.items())
+        return iter(snapshot)
+
+    def _cells_within(self, center: GeoPoint, radius_m: float) -> Iterable[Cell]:
+        lat_cells = int(
+            math.ceil(radius_m / (meters_per_degree_latitude() * self._cell_size))
+        )
+        # Longitude degrees shrink with latitude; widen the column span
+        # accordingly, capping so polar queries stay bounded.
+        cos_lat = max(0.05, math.cos(math.radians(center.latitude)))
+        lon_cells = int(math.ceil(lat_cells / cos_lat))
+        center_cell = self._cell_of(center)
+        for dlat in range(-lat_cells, lat_cells + 1):
+            for dlon in range(-lon_cells, lon_cells + 1):
+                yield (center_cell[0] + dlat, center_cell[1] + dlon)
+
+    def query_radius(
+        self, center: GeoPoint, radius_m: float
+    ) -> List[Tuple[T, GeoPoint, float]]:
+        """All items within ``radius_m`` of ``center``, nearest first.
+
+        Returns ``(item, location, distance_m)`` triples.
+        """
+        if radius_m < 0:
+            raise GeoError(f"radius must be non-negative, got {radius_m}")
+        results: List[Tuple[T, GeoPoint, float]] = []
+        with self._lock:
+            for cell in self._cells_within(center, radius_m):
+                for item in self._cells.get(cell, ()):
+                    location = self._locations[item]
+                    distance = haversine_m(center, location)
+                    if distance <= radius_m:
+                        results.append((item, location, distance))
+        results.sort(key=lambda entry: entry[2])
+        return results
+
+    def nearest(
+        self,
+        center: GeoPoint,
+        max_radius_m: float = 50_000.0,
+        exclude: Optional[Set[T]] = None,
+    ) -> Optional[Tuple[T, GeoPoint, float]]:
+        """The single nearest item to ``center`` within ``max_radius_m``.
+
+        Searches expanding radius rings (1x, 2x, 4x, ...) so dense areas
+        resolve after one small query. Returns None when nothing is in range.
+        """
+        excluded = exclude or set()
+        radius = min(500.0, max_radius_m)
+        while True:
+            for item, location, distance in self.query_radius(center, radius):
+                if item not in excluded:
+                    return (item, location, distance)
+            if radius >= max_radius_m:
+                return None
+            radius = min(radius * 4.0, max_radius_m)
+
+    def k_nearest(
+        self, center: GeoPoint, k: int, max_radius_m: float = 50_000.0
+    ) -> List[Tuple[T, GeoPoint, float]]:
+        """Up to ``k`` nearest items within ``max_radius_m``, nearest first."""
+        if k <= 0:
+            return []
+        radius = min(500.0, max_radius_m)
+        while True:
+            hits = self.query_radius(center, radius)
+            if len(hits) >= k or radius >= max_radius_m:
+                return hits[:k]
+            radius = min(radius * 4.0, max_radius_m)

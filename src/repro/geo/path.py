@@ -1,0 +1,195 @@
+"""Virtual path construction for the automated cheating tour (§3.3).
+
+The thesis drives its semiautomatic cheating tool with relative movement
+commands — "move 500 yards to the west" — then snaps each intended point to
+the nearest real venue.  :class:`VirtualPath` models the intended polyline;
+the snapping lives in ``repro.attack.tour`` where venue data is available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.errors import GeoError
+from repro.geo.coordinates import METERS_PER_YARD, GeoPoint
+from repro.geo.distance import destination_point, haversine_m, path_length_m
+
+#: Compass names accepted by :func:`bearing_for_direction`.
+_COMPASS_BEARINGS = {
+    "north": 0.0,
+    "northeast": 45.0,
+    "east": 90.0,
+    "southeast": 135.0,
+    "south": 180.0,
+    "southwest": 225.0,
+    "west": 270.0,
+    "northwest": 315.0,
+    "n": 0.0,
+    "ne": 45.0,
+    "e": 90.0,
+    "se": 135.0,
+    "s": 180.0,
+    "sw": 225.0,
+    "w": 270.0,
+    "nw": 315.0,
+}
+
+
+def bearing_for_direction(direction: str) -> float:
+    """Translate a compass word ("west", "NE", ...) into degrees."""
+    try:
+        return _COMPASS_BEARINGS[direction.strip().lower()]
+    except KeyError:
+        raise GeoError(f"unknown compass direction: {direction!r}") from None
+
+
+@dataclass(frozen=True)
+class MoveCommand:
+    """One relative movement instruction, e.g. 500 yards to the west."""
+
+    direction: str
+    distance_m: float
+
+    def __post_init__(self) -> None:
+        bearing_for_direction(self.direction)  # validate early
+        if self.distance_m <= 0:
+            raise GeoError(
+                f"move distance must be positive, got {self.distance_m}"
+            )
+
+    @classmethod
+    def yards(cls, direction: str, yards: float) -> "MoveCommand":
+        """Build a command from a distance in yards, as the thesis phrases it."""
+        return cls(direction=direction, distance_m=yards * METERS_PER_YARD)
+
+    @property
+    def bearing_deg(self) -> float:
+        """The compass bearing this command moves along."""
+        return bearing_for_direction(self.direction)
+
+    def apply(self, origin: GeoPoint) -> GeoPoint:
+        """The intended destination when executed from ``origin``."""
+        return destination_point(origin, self.bearing_deg, self.distance_m)
+
+
+@dataclass
+class VirtualPath:
+    """An intended tour polyline built from a start point plus moves."""
+
+    start: GeoPoint
+    moves: List[MoveCommand] = field(default_factory=list)
+
+    def add_move(self, command: MoveCommand) -> GeoPoint:
+        """Append a move and return the new intended endpoint."""
+        self.moves.append(command)
+        return self.waypoints()[-1]
+
+    def waypoints(self) -> List[GeoPoint]:
+        """All intended points, starting with :attr:`start`."""
+        points = [self.start]
+        for command in self.moves:
+            points.append(command.apply(points[-1]))
+        return points
+
+    def length_m(self) -> float:
+        """Total intended travel distance in meters."""
+        return path_length_m(self.waypoints())
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __iter__(self) -> Iterator[GeoPoint]:
+        return iter(self.waypoints())
+
+
+def spiral_path(
+    start: GeoPoint,
+    steps: int,
+    step_deg: float = 0.005,
+    initial_direction: str = "north",
+    turn: str = "right",
+) -> VirtualPath:
+    """Build the right-turning square spiral the thesis walks in Fig. 3.5.
+
+    The thesis starts at the lower-left point, moves north, and "keeps
+    turning right" with a desired step of 0.005 degrees per move.  The step
+    is expressed in *degrees of latitude or longitude*, so east/west steps
+    cover less ground than north/south ones — reproducing the ~550 m vs
+    ~450 m asymmetry noted in §3.3.
+
+    A square spiral grows its edge every two turns: 1, 1, 2, 2, 3, 3, ...
+    steps per leg, which traces an outward spiral rather than retracing a
+    fixed square.
+    """
+    if steps < 0:
+        raise GeoError(f"steps must be non-negative, got {steps}")
+    if step_deg <= 0:
+        raise GeoError(f"step_deg must be positive, got {step_deg}")
+    order = ["north", "east", "south", "west"]
+    if turn == "left":
+        order = ["north", "west", "south", "east"]
+    elif turn != "right":
+        raise GeoError(f"turn must be 'right' or 'left', got {turn!r}")
+    try:
+        direction_index = order.index(initial_direction.lower())
+    except ValueError:
+        raise GeoError(
+            f"initial_direction must be one of {order}, got {initial_direction!r}"
+        ) from None
+
+    path = VirtualPath(start=start)
+    current = start
+    leg_length = 1
+    placed = 0
+    legs_at_length = 0
+    while placed < steps:
+        direction = order[direction_index]
+        for _ in range(leg_length):
+            if placed >= steps:
+                break
+            # Convert the degree step into meters at the current latitude so
+            # destination_point() lands on the intended grid vertex.
+            if direction in ("north", "south"):
+                step_m = step_deg * _meters_per_deg_lat()
+            else:
+                step_m = step_deg * _meters_per_deg_lon(current.latitude)
+            command = MoveCommand(direction=direction, distance_m=step_m)
+            current = path.add_move(command)
+            placed += 1
+        direction_index = (direction_index + 1) % 4
+        legs_at_length += 1
+        if legs_at_length == 2:
+            legs_at_length = 0
+            leg_length += 1
+    return path
+
+
+def _meters_per_deg_lat() -> float:
+    from repro.geo.distance import meters_per_degree_latitude
+
+    return meters_per_degree_latitude()
+
+
+def _meters_per_deg_lon(latitude: float) -> float:
+    from repro.geo.distance import meters_per_degree_longitude
+
+    return meters_per_degree_longitude(latitude)
+
+
+def drift_m(intended: Sequence[GeoPoint], actual: Sequence[GeoPoint]) -> float:
+    """Mean snap distance between intended waypoints and visited venues.
+
+    Quantifies the thesis's observation that in a dense city "the actual
+    venues we checked into are not very far from the desired location".
+    """
+    if len(intended) != len(actual):
+        raise GeoError(
+            f"waypoint count mismatch: {len(intended)} intended vs "
+            f"{len(actual)} actual"
+        )
+    if not intended:
+        return 0.0
+    total = sum(haversine_m(i, a) for i, a in zip(intended, actual))
+    return total / len(intended)

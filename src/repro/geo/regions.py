@@ -1,0 +1,166 @@
+"""Geographic regions used to place the synthetic venue population.
+
+Figure 3.4 of the thesis plots every crawled Starbucks branch and the points
+"form the shape of the United States territory".  To reproduce that shape we
+carry a coarse polygon of the continental US plus Alaska/Hawaii clusters, and
+a weighted list of real metropolitan areas where venue density concentrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeoError
+from repro.geo.coordinates import BoundingBox, GeoPoint
+
+# A coarse clockwise outline of the contiguous United States.  Fidelity only
+# needs to be good enough that a scatter of points inside it reads as "the
+# shape of the United States" (Fig 3.4), not for legal border questions.
+CONTIGUOUS_US_OUTLINE: Tuple[Tuple[float, float], ...] = (
+    (48.9, -124.7),  # NW Washington coast
+    (48.9, -95.1),   # Northwest Angle
+    (46.5, -84.5),   # Sault Ste. Marie
+    (45.0, -82.5),   # Lake Huron
+    (42.5, -82.9),   # Detroit
+    (43.6, -79.0),   # Niagara
+    (45.0, -74.7),   # St. Lawrence
+    (47.3, -69.0),   # Maine tip
+    (44.8, -66.9),   # Maine coast
+    (41.5, -70.0),   # Cape Cod
+    (35.2, -75.5),   # Cape Hatteras
+    (30.7, -81.4),   # Georgia coast
+    (25.1, -80.4),   # Florida tip
+    (26.0, -82.0),   # Florida gulf side
+    (30.1, -84.4),   # Florida panhandle
+    (29.2, -90.1),   # Louisiana
+    (28.9, -95.4),   # Texas coast
+    (25.9, -97.1),   # Brownsville
+    (29.8, -101.4),  # Rio Grande
+    (31.8, -106.5),  # El Paso
+    (31.3, -111.1),  # Arizona border
+    (32.5, -117.1),  # San Diego
+    (34.5, -120.5),  # Point Conception
+    (38.0, -123.0),  # Point Reyes
+    (42.0, -124.4),  # Oregon coast
+)
+
+#: Representative Alaska anchor points (Fig 4.3 notes a cheater's check-ins
+#: "including Alaska").
+ALASKA_ANCHORS: Tuple[Tuple[float, float], ...] = (
+    (61.2, -149.9),  # Anchorage
+    (64.8, -147.7),  # Fairbanks
+    (58.3, -134.4),  # Juneau
+)
+
+#: Hawaii anchor points.
+HAWAII_ANCHORS: Tuple[Tuple[float, float], ...] = (
+    (21.3, -157.9),  # Honolulu
+    (19.7, -155.1),  # Hilo
+)
+
+
+@dataclass(frozen=True)
+class City:
+    """A metropolitan area where users live and venues cluster."""
+
+    name: str
+    center: GeoPoint
+    #: Relative venue/user density weight (roughly metro population, millions).
+    weight: float
+    #: Radius in meters that contains most of the metro's venues.
+    radius_m: float = 15_000.0
+
+
+# Real US metros, weighted roughly by 2010 metro population.  The two
+# experiment cities from the thesis (Albuquerque, Lincoln) and the two
+# remote-check-in cities (San Francisco for Fisherman's Wharf) are included
+# explicitly so the E1/E4 experiments run in named, paper-faithful places.
+US_CITIES: Tuple[City, ...] = (
+    City("New York, NY", GeoPoint(40.7128, -74.0060), 19.6),
+    City("Los Angeles, CA", GeoPoint(34.0522, -118.2437), 12.8),
+    City("Chicago, IL", GeoPoint(41.8781, -87.6298), 9.5),
+    City("Dallas, TX", GeoPoint(32.7767, -96.7970), 6.4),
+    City("Houston, TX", GeoPoint(29.7604, -95.3698), 5.9),
+    City("Philadelphia, PA", GeoPoint(39.9526, -75.1652), 6.0),
+    City("Washington, DC", GeoPoint(38.9072, -77.0369), 5.6),
+    City("Miami, FL", GeoPoint(25.7617, -80.1918), 5.5),
+    City("Atlanta, GA", GeoPoint(33.7490, -84.3880), 5.3),
+    City("Boston, MA", GeoPoint(42.3601, -71.0589), 4.6),
+    City("San Francisco, CA", GeoPoint(37.7749, -122.4194), 4.3),
+    City("Phoenix, AZ", GeoPoint(33.4484, -112.0740), 4.2),
+    City("Seattle, WA", GeoPoint(47.6062, -122.3321), 3.4),
+    City("Minneapolis, MN", GeoPoint(44.9778, -93.2650), 3.3),
+    City("San Diego, CA", GeoPoint(32.7157, -117.1611), 3.1),
+    City("Denver, CO", GeoPoint(39.7392, -104.9903), 2.5),
+    City("Portland, OR", GeoPoint(45.5152, -122.6784), 2.2),
+    City("St. Louis, MO", GeoPoint(38.6270, -90.1994), 2.8),
+    City("Tampa, FL", GeoPoint(27.9506, -82.4572), 2.8),
+    City("Detroit, MI", GeoPoint(42.3314, -83.0458), 4.3),
+    City("Austin, TX", GeoPoint(30.2672, -97.7431), 1.7),
+    City("Nashville, TN", GeoPoint(36.1627, -86.7816), 1.6),
+    City("Kansas City, MO", GeoPoint(39.0997, -94.5786), 2.0),
+    City("Salt Lake City, UT", GeoPoint(40.7608, -111.8910), 1.1),
+    City("Las Vegas, NV", GeoPoint(36.1699, -115.1398), 1.9),
+    City("New Orleans, LA", GeoPoint(29.9511, -90.0715), 1.2),
+    City("Charlotte, NC", GeoPoint(35.2271, -80.8431), 1.8),
+    City("Pittsburgh, PA", GeoPoint(40.4406, -79.9959), 2.4),
+    City("Albuquerque, NM", GeoPoint(35.0844, -106.6504), 0.9),
+    City("Lincoln, NE", GeoPoint(40.8136, -96.7026), 0.3),
+    City("Omaha, NE", GeoPoint(41.2565, -95.9345), 0.9),
+    City("Anchorage, AK", GeoPoint(61.2181, -149.9003), 0.4),
+    City("Honolulu, HI", GeoPoint(21.3069, -157.8583), 1.0),
+)
+
+#: European cities — Fig 4.3's suspected cheater also "visited" Europe.
+EUROPEAN_CITIES: Tuple[City, ...] = (
+    City("London, UK", GeoPoint(51.5074, -0.1278), 9.0),
+    City("Paris, France", GeoPoint(48.8566, 2.3522), 10.5),
+    City("Berlin, Germany", GeoPoint(52.5200, 13.4050), 3.4),
+    City("Amsterdam, Netherlands", GeoPoint(52.3676, 4.9041), 1.1),
+    City("Madrid, Spain", GeoPoint(40.4168, -3.7038), 6.0),
+)
+
+
+def city_by_name(name: str, cities: Sequence[City] = US_CITIES) -> City:
+    """Look up a city by exact name, raising :class:`GeoError` if unknown."""
+    for city in cities:
+        if city.name == name:
+            return city
+    raise GeoError(f"unknown city: {name!r}")
+
+
+def point_in_polygon(
+    point: GeoPoint, outline: Sequence[Tuple[float, float]]
+) -> bool:
+    """Ray-casting point-in-polygon test over (lat, lon) vertex tuples."""
+    if len(outline) < 3:
+        raise GeoError("polygon needs at least 3 vertices")
+    inside = False
+    x, y = point.longitude, point.latitude
+    n = len(outline)
+    for i in range(n):
+        y1, x1 = outline[i]
+        y2, x2 = outline[(i + 1) % n]
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) / (y2 - y1) * (x2 - x1)
+            if x < x_cross:
+                inside = not inside
+    return inside
+
+
+def in_contiguous_us(point: GeoPoint) -> bool:
+    """Is the point inside the coarse contiguous-US outline?"""
+    return point_in_polygon(point, CONTIGUOUS_US_OUTLINE)
+
+
+def contiguous_us_bbox() -> BoundingBox:
+    """Bounding box of the contiguous-US outline."""
+    return BoundingBox.around(
+        [GeoPoint(lat, lon) for lat, lon in CONTIGUOUS_US_OUTLINE]
+    )
+
+
+def all_cities() -> List[City]:
+    """US plus European cities, for world generation."""
+    return list(US_CITIES) + list(EUROPEAN_CITIES)

@@ -1,0 +1,141 @@
+"""The public server-side developer API (§3.1, spoofing channel 3).
+
+"Foursquare provides a set of application APIs that allow developers to
+create new applications ... These APIs can be employed by a location cheater
+to check into a place."  The API accepts a latitude/longitude *as request
+parameters*, so a cheater needs no device at all — the thesis notes this is
+"more convenient to issue a large-scale cheating attack".
+
+Responses are a deliberately simple ``key=value`` line format so the attack
+tooling can parse them without a JSON dependency mismatch with 2010-era
+clients.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from typing import Dict, Optional
+
+from repro.errors import ServiceError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.simnet.http import (
+    HTTP_NOT_FOUND,
+    HTTP_UNAUTHORIZED,
+    HttpRequest,
+    HttpResponse,
+    Router,
+)
+
+
+class TokenRegistry:
+    """OAuth-style bearer tokens mapping to user accounts."""
+
+    def __init__(self) -> None:
+        self._tokens: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def issue(self, user_id: int) -> str:
+        """Mint a fresh token for ``user_id``."""
+        token = secrets.token_hex(16)
+        with self._lock:
+            self._tokens[token] = user_id
+        return token
+
+    def resolve(self, token: str) -> Optional[int]:
+        """The user a token belongs to, or None."""
+        with self._lock:
+            return self._tokens.get(token)
+
+    def revoke(self, token: str) -> bool:
+        """Invalidate a token; returns whether it existed."""
+        with self._lock:
+            return self._tokens.pop(token, None) is not None
+
+
+def _kv(payload: Dict[str, object]) -> str:
+    """Serialize a flat dict as ``key=value`` lines."""
+    return "\n".join(f"{key}={value}" for key, value in payload.items())
+
+
+def parse_kv(body: str) -> Dict[str, str]:
+    """Parse the ``key=value`` line format back into a dict."""
+    result: Dict[str, str] = {}
+    for line in body.splitlines():
+        if "=" in line:
+            key, _, value = line.partition("=")
+            result[key] = value
+    return result
+
+
+class LbsnApiServer:
+    """HTTP endpoints of the developer API."""
+
+    def __init__(self, service: LbsnService, tokens: Optional[TokenRegistry] = None) -> None:
+        self.service = service
+        self.tokens = tokens or TokenRegistry()
+
+    def install_routes(self, router: Router) -> None:
+        """Attach API routes to a router."""
+        router.add("POST", r"/api/checkin", self._checkin)
+        router.add("GET", r"/api/venues/near", self._venues_near)
+
+    def _authenticated_user(self, request: HttpRequest) -> Optional[int]:
+        auth = request.header("Authorization")
+        if auth.startswith("Bearer "):
+            return self.tokens.resolve(auth[len("Bearer ") :])
+        token = request.params.get("oauth_token", "")
+        return self.tokens.resolve(token) if token else None
+
+    def _checkin(self, request: HttpRequest, match) -> HttpResponse:
+        user_id = self._authenticated_user(request)
+        if user_id is None:
+            return HttpResponse(status=HTTP_UNAUTHORIZED, body="status=unauthorized")
+        try:
+            venue_id = int(request.params["venue_id"])
+            latitude = float(request.params["ll_lat"])
+            longitude = float(request.params["ll_lng"])
+        except (KeyError, ValueError):
+            return HttpResponse(
+                status=HTTP_NOT_FOUND, body="status=bad_request"
+            )
+        try:
+            result = self.service.check_in(
+                user_id=user_id,
+                venue_id=venue_id,
+                reported_location=GeoPoint(latitude, longitude),
+            )
+        except ServiceError as exc:
+            return HttpResponse(status=HTTP_NOT_FOUND, body=f"status=error\nmessage={exc}")
+        return HttpResponse(
+            body=_kv(
+                {
+                    "status": result.checkin.status.value,
+                    "points": result.points,
+                    "badges": ",".join(result.new_badges),
+                    "mayor": "1" if result.became_mayor else "0",
+                    "special": (
+                        result.special_unlocked.description
+                        if result.special_unlocked
+                        else ""
+                    ),
+                    "warnings": ";".join(result.warnings),
+                }
+            )
+        )
+
+    def _venues_near(self, request: HttpRequest, match) -> HttpResponse:
+        try:
+            latitude = float(request.params["ll_lat"])
+            longitude = float(request.params["ll_lng"])
+        except (KeyError, ValueError):
+            return HttpResponse(status=HTTP_NOT_FOUND, body="status=bad_request")
+        venues = self.service.nearby_venues(GeoPoint(latitude, longitude))
+        lines = [f"count={len(venues)}"]
+        for venue in venues:
+            lines.append(
+                f"venue={venue.venue_id}|{venue.name}|"
+                f"{venue.location.latitude:.6f}|{venue.location.longitude:.6f}"
+            )
+        return HttpResponse(body="\n".join(lines))

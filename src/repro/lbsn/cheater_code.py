@@ -1,0 +1,268 @@
+"""The "cheater code": server-side anti-cheating rules (§2.3).
+
+The thesis reverse-engineered three rules from Foursquare's concealed
+cheater code; this module implements them verbatim so the automated-cheating
+scheduler faces the same evasion problem the authors did:
+
+* **Frequent check-ins** — a user cannot check in to the same venue again
+  within one hour; such attempts are refused outright.
+* **Super-human speed** — consecutive check-ins far apart in space but close
+  in time imply impossible travel; the check-in is recorded but flagged, so
+  it earns no rewards.
+* **Rapid-fire check-ins** — the fourth check-in inside a 180 m x 180 m
+  square with one-minute spacing draws a warning and is flagged.
+
+Each rule can be disabled individually for the E10/E4 ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.geo.coordinates import GeoPoint, METERS_PER_MILE
+from repro.geo.distance import haversine_m, speed_mps
+from repro.lbsn.models import CheckIn, CheckInStatus
+
+RULE_FREQUENT = "frequent-checkins"
+RULE_SUPERHUMAN = "super-human-speed"
+RULE_RAPID_FIRE = "rapid-fire-checkins"
+RULE_SHADOW_BAN = "reputation-shadow-ban"
+
+
+class RuleAction(Enum):
+    """What a triggered rule does to the check-in."""
+
+    ALLOW = "allow"
+    #: Refuse entirely; the attempt is not recorded as activity.
+    REJECT = "reject"
+    #: Record, count toward totals, but strip all rewards.
+    FLAG = "flag"
+
+
+@dataclass(frozen=True)
+class RuleVerdict:
+    """Outcome of evaluating the rule set against one attempt."""
+
+    action: RuleAction
+    rule: Optional[str] = None
+    message: str = ""
+    warnings: tuple = ()
+
+    @classmethod
+    def allow(cls, warnings: Sequence[str] = ()) -> "RuleVerdict":
+        """A passing verdict, optionally carrying warnings."""
+        return cls(action=RuleAction.ALLOW, warnings=tuple(warnings))
+
+
+@dataclass
+class CheaterCodeConfig:
+    """Tunable parameters; defaults reproduce the thesis's observations."""
+
+    #: Frequent-check-in window: same venue refused within this many seconds.
+    same_venue_interval_s: float = 3_600.0
+    #: Super-human-speed threshold.  The thesis's safe envelope (1 mile per
+    #: 5 minutes = 12 mph) must pass; commercial-flight speeds must not.
+    max_speed_mps: float = 67.0  # ~150 mph
+    #: Displacements below this never trigger the speed rule (GPS jitter and
+    #: same-building hops are not "travel").
+    min_speed_rule_distance_m: float = 2.0 * METERS_PER_MILE
+    #: Rapid-fire square edge (the thesis's "180 meters by 180 meters").
+    rapid_fire_square_m: float = 180.0
+    #: Rapid-fire interval between consecutive check-ins.
+    rapid_fire_interval_s: float = 60.0
+    #: Rapid-fire fires on this attempt number within the window.
+    rapid_fire_count: int = 4
+    #: Reputation shadow-ban: once a user has accumulated this many flagged
+    #: check-ins, every further check-in is flagged too.  The thesis's
+    #: §4.2 cheater group shows exactly this outcome — thousands of counted
+    #: but reward-less check-ins ("their check-ins were invalidated") — so
+    #: the rule is inferred from observed behaviour rather than named in
+    #: §2.3.  Set to 0 to disable.
+    shadow_ban_threshold: int = 50
+    #: Rule toggles for the ablation benches.
+    enable_frequent: bool = True
+    enable_superhuman: bool = True
+    enable_rapid_fire: bool = True
+
+
+class CheaterCode:
+    """Evaluates the anti-cheating rule set for one check-in attempt.
+
+    The evaluator is deliberately stateless: it receives the user's recorded
+    history from the service, so it can run inside the store lock without
+    keeping shadow state that could drift.
+    """
+
+    def __init__(self, config: Optional[CheaterCodeConfig] = None) -> None:
+        self.config = config or CheaterCodeConfig()
+
+    def evaluate(
+        self,
+        venue_id: int,
+        venue_location: GeoPoint,
+        timestamp: float,
+        history: Sequence[CheckIn],
+        location_of_venue,
+        prior_flagged_count: int = 0,
+    ) -> RuleVerdict:
+        """Judge an attempt at ``venue_id`` given the user's ``history``.
+
+        ``history`` is the user's recorded check-ins, oldest first
+        (REJECTED attempts never enter history).  ``location_of_venue`` maps
+        a venue id to its :class:`GeoPoint` for the rapid-fire area test.
+        ``prior_flagged_count`` is the user's lifetime flagged total, for
+        the reputation shadow-ban.
+
+        Rule precedence follows severity: an outright rejection (frequent
+        check-ins) preempts a mere flag; the shadow-ban runs first because
+        a banned account's attempts never earn rewards regardless.
+        """
+        threshold = self.config.shadow_ban_threshold
+        if threshold > 0 and prior_flagged_count >= threshold:
+            return RuleVerdict(
+                action=RuleAction.FLAG,
+                rule=RULE_SHADOW_BAN,
+                message="account flagged for repeated location cheating",
+            )
+        if self.config.enable_frequent:
+            verdict = self._check_frequent(venue_id, timestamp, history)
+            if verdict is not None:
+                return verdict
+        if self.config.enable_superhuman:
+            verdict = self._check_superhuman(venue_location, timestamp, history)
+            if verdict is not None:
+                return verdict
+        if self.config.enable_rapid_fire:
+            verdict = self._check_rapid_fire(
+                venue_location, timestamp, history, location_of_venue
+            )
+            if verdict is not None:
+                return verdict
+        return RuleVerdict.allow()
+
+    # Individual rules ---------------------------------------------------
+
+    def _check_frequent(
+        self, venue_id: int, timestamp: float, history: Sequence[CheckIn]
+    ) -> Optional[RuleVerdict]:
+        """Same venue within one hour -> refuse the check-in outright."""
+        window_start = timestamp - self.config.same_venue_interval_s
+        for checkin in reversed(history):
+            if checkin.timestamp < window_start:
+                break
+            if checkin.venue_id == venue_id:
+                return RuleVerdict(
+                    action=RuleAction.REJECT,
+                    rule=RULE_FREQUENT,
+                    message=(
+                        "already checked in to this venue within the last hour"
+                    ),
+                )
+        return None
+
+    def _check_superhuman(
+        self,
+        venue_location: GeoPoint,
+        timestamp: float,
+        history: Sequence[CheckIn],
+    ) -> Optional[RuleVerdict]:
+        """Impossible implied travel speed since the previous check-in.
+
+        Only *accepted* (valid) check-ins anchor the speed test: once a user
+        is flagged, subsequent positions are untrusted anyway, and anchoring
+        on flagged positions would let an attacker "reset" their location by
+        deliberately tripping the rule.
+        """
+        # Half the Earth's circumference bounds any great-circle distance;
+        # once the elapsed time makes even that distance sub-threshold, no
+        # older anchor can trigger the rule, so the scan stops.  This keeps
+        # the rule O(hours of history) even for accounts with tens of
+        # thousands of flagged records.
+        max_possible_distance_m = 20_037_508.0
+        anchor = None
+        for checkin in reversed(history):
+            elapsed_to_candidate = timestamp - checkin.timestamp
+            if (
+                elapsed_to_candidate * self.config.max_speed_mps
+                > max_possible_distance_m
+            ):
+                break
+            if checkin.status is CheckInStatus.VALID:
+                anchor = checkin
+                break
+        if anchor is None:
+            return None
+        distance = haversine_m(anchor.reported_location, venue_location)
+        if distance < self.config.min_speed_rule_distance_m:
+            return None
+        elapsed = timestamp - anchor.timestamp
+        speed = speed_mps(anchor.reported_location, venue_location, elapsed)
+        if speed > self.config.max_speed_mps:
+            return RuleVerdict(
+                action=RuleAction.FLAG,
+                rule=RULE_SUPERHUMAN,
+                message=(
+                    f"super human speed: {distance / 1000.0:.1f} km in "
+                    f"{max(elapsed, 0.0):.0f}s"
+                ),
+            )
+        return None
+
+    def _check_rapid_fire(
+        self,
+        venue_location: GeoPoint,
+        timestamp: float,
+        history: Sequence[CheckIn],
+        location_of_venue,
+    ) -> Optional[RuleVerdict]:
+        """Fourth check-in in a small square at one-minute spacing -> flag.
+
+        We walk backwards through recent accepted check-ins collecting a
+        chain whose consecutive gaps are all within the rapid-fire interval;
+        if the chain (including the new attempt) reaches the configured
+        count and every point fits in the 180 m square, the rule fires.
+        """
+        chain_points: List[GeoPoint] = [venue_location]
+        last_time = timestamp
+        for checkin in reversed(history):
+            if checkin.status is CheckInStatus.REJECTED:
+                continue
+            gap = last_time - checkin.timestamp
+            if gap > self.config.rapid_fire_interval_s * 1.5:
+                break
+            location = location_of_venue(checkin.venue_id)
+            if location is None:
+                break
+            chain_points.append(location)
+            last_time = checkin.timestamp
+            if len(chain_points) >= self.config.rapid_fire_count:
+                break
+        if len(chain_points) < self.config.rapid_fire_count:
+            return None
+        if self._fits_square(chain_points, self.config.rapid_fire_square_m):
+            return RuleVerdict(
+                action=RuleAction.FLAG,
+                rule=RULE_RAPID_FIRE,
+                message="rapid-fire check-ins",
+                warnings=("rapid-fire check-ins",),
+            )
+        return None
+
+    @staticmethod
+    def _fits_square(points: Sequence[GeoPoint], edge_m: float) -> bool:
+        """Do all points fit in an axis-aligned square of side ``edge_m``?"""
+        from repro.geo.distance import (
+            meters_per_degree_latitude,
+            meters_per_degree_longitude,
+        )
+
+        lats = [p.latitude for p in points]
+        lons = [p.longitude for p in points]
+        lat_extent_m = (max(lats) - min(lats)) * meters_per_degree_latitude()
+        mid_lat = (max(lats) + min(lats)) / 2.0
+        lon_extent_m = (max(lons) - min(lons)) * meters_per_degree_longitude(
+            mid_lat
+        )
+        return lat_extent_m <= edge_m and lon_extent_m <= edge_m

@@ -1,0 +1,240 @@
+"""A Gowalla-style item economy — the §1.1 generality claim, made testable.
+
+The thesis's method chapter closes: "The methods may also apply to other
+similar LBSs."  Gowalla (the paper's second-named service) rewarded
+check-ins with collectible *items* dropped at venues rather than
+mayorships.  This module bolts that reward scheme onto the same service
+substrate, so the identical spoofing channels and scheduler can be run
+against a structurally different LBSN: the attack code does not change,
+only the loot does.
+
+Mechanics (modeled on 2010 Gowalla):
+
+* Venues seed with a few items of varying rarity.
+* A valid check-in lets the visitor pick up one item (rarest first) and
+  optionally drop one of their own — items circulate.
+* Collectors prize completing rare-item sets; an item-farming attack is a
+  tour over seeded venues, exactly like a mayorship harvest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+
+class ItemRarity(Enum):
+    """Gowalla items came in tiers; rare ones drove the collecting game."""
+
+    COMMON = 1
+    UNCOMMON = 2
+    RARE = 3
+    EPIC = 4
+
+    @property
+    def score(self) -> int:
+        """Collection points for holding one item of this tier."""
+        return 10 ** (self.value - 1)
+
+
+_ITEM_NAMES = (
+    "Espresso Cup", "Sombrero", "Compass", "Harmonica", "Cactus",
+    "Paper Lantern", "Old Map", "Snow Globe", "Vinyl Record", "Bonsai",
+    "Gold Pan", "Lighthouse", "Totem", "Gramophone", "Meteorite",
+)
+
+
+@dataclass(frozen=True)
+class Item:
+    """One collectible: identity, display name, rarity tier."""
+
+    item_id: int
+    name: str
+    rarity: ItemRarity
+
+
+@dataclass
+class ItemEvent:
+    """What happened to the visitor's satchel at one check-in."""
+
+    picked_up: Optional[Item] = None
+    dropped: Optional[Item] = None
+
+
+class ItemSystem:
+    """The item economy layered on an :class:`LbsnService`.
+
+    The service itself is untouched: the item system *observes* check-in
+    results and moves items accordingly, the way Gowalla's loot layer sat
+    on top of its check-in flow.
+    """
+
+    def __init__(
+        self,
+        service: LbsnService,
+        seed: int = 0,
+        seeded_fraction: float = 0.25,
+        items_per_venue: int = 2,
+    ) -> None:
+        if not 0.0 <= seeded_fraction <= 1.0:
+            raise ServiceError(
+                f"seeded fraction must be in [0, 1]: {seeded_fraction}"
+            )
+        if items_per_venue < 1:
+            raise ServiceError(
+                f"items per venue must be >= 1: {items_per_venue}"
+            )
+        self.service = service
+        self._rng = random.Random(seed)
+        self._next_item_id = 1
+        #: venue_id -> items currently lying there.
+        self._venue_items: Dict[int, List[Item]] = {}
+        #: user_id -> satchel contents.
+        self._satchels: Dict[int, List[Item]] = {}
+        self._seed_venues(seeded_fraction, items_per_venue)
+
+    # Seeding -----------------------------------------------------------
+
+    def _mint(self) -> Item:
+        roll = self._rng.random()
+        if roll < 0.60:
+            rarity = ItemRarity.COMMON
+        elif roll < 0.85:
+            rarity = ItemRarity.UNCOMMON
+        elif roll < 0.97:
+            rarity = ItemRarity.RARE
+        else:
+            rarity = ItemRarity.EPIC
+        item = Item(
+            item_id=self._next_item_id,
+            name=self._rng.choice(_ITEM_NAMES),
+            rarity=rarity,
+        )
+        self._next_item_id += 1
+        return item
+
+    def _seed_venues(self, fraction: float, per_venue: int) -> None:
+        for venue in self.service.store.iter_venues():
+            if self._rng.random() < fraction:
+                self._venue_items[venue.venue_id] = [
+                    self._mint() for _ in range(per_venue)
+                ]
+
+    # Queries -------------------------------------------------------------
+
+    def items_at(self, venue_id: int) -> List[Item]:
+        """Items currently lying at a venue."""
+        return list(self._venue_items.get(venue_id, []))
+
+    def satchel_of(self, user_id: int) -> List[Item]:
+        """A user's current item collection."""
+        return list(self._satchels.get(user_id, []))
+
+    def collection_score(self, user_id: int) -> int:
+        """Rarity-weighted score of a user's satchel."""
+        return sum(item.rarity.score for item in self.satchel_of(user_id))
+
+    def seeded_venue_ids(self) -> List[int]:
+        """Venues that still hold at least one item (attack targets)."""
+        return sorted(
+            venue_id
+            for venue_id, items in self._venue_items.items()
+            if items
+        )
+
+    # The loot hook --------------------------------------------------------
+
+    def on_checkin(self, user_id: int, venue_id: int, status: CheckInStatus,
+                   drop: bool = False) -> ItemEvent:
+        """Apply item mechanics to one check-in outcome.
+
+        Only VALID check-ins move items — a flagged or rejected check-in
+        earns nothing, mirroring the host service's reward policy.  The
+        visitor takes the rarest item present; with ``drop`` they leave
+        their most common one behind (Gowalla's swap custom).
+        """
+        event = ItemEvent()
+        if status is not CheckInStatus.VALID:
+            return event
+        pile = self._venue_items.get(venue_id)
+        if pile:
+            pile.sort(key=lambda item: item.rarity.value, reverse=True)
+            event.picked_up = pile.pop(0)
+            self._satchels.setdefault(user_id, []).append(event.picked_up)
+        if drop:
+            satchel = self._satchels.get(user_id, [])
+            if len(satchel) > 1:
+                satchel.sort(key=lambda item: item.rarity.value)
+                event.dropped = satchel.pop(0)
+                self._venue_items.setdefault(venue_id, []).append(
+                    event.dropped
+                )
+        return event
+
+
+def farm_items(
+    system: ItemSystem,
+    channel,
+    scheduler,
+    planner,
+    max_targets: int = 25,
+) -> Dict[str, object]:
+    """An item-farming raid: the mayorship harvest, re-aimed at loot.
+
+    Builds a tour over seeded venues with the SAME planner/scheduler/
+    channel stack used against the Foursquare-style rewards — demonstrating
+    the §1.1 claim that the attack transfers across LBSNs unchanged.
+    Returns a summary dict (attempts, detections, items, score).
+    """
+    from repro.attack.campaign import greedy_route, tour_from_targets
+    from repro.attack.targeting import TargetVenue
+
+    service = system.service
+    targets = []
+    for venue_id in system.seeded_venue_ids()[: max_targets * 3]:
+        venue = service.store.get_venue(venue_id)
+        if venue is None:
+            continue
+        targets.append(
+            TargetVenue(
+                venue_id=venue_id,
+                name=venue.name,
+                latitude=venue.location.latitude,
+                longitude=venue.location.longitude,
+                special=None,
+                reason="item cache",
+            )
+        )
+        if len(targets) >= max_targets:
+            break
+    if not targets:
+        raise ServiceError("no seeded venues to farm")
+    tour = tour_from_targets(greedy_route(targets))
+    schedule = scheduler.build(tour)
+    picked: List[Item] = []
+    detected = 0
+    user_id = channel.app.user_id
+    for entry in schedule:
+        if entry.fire_at > service.clock.now():
+            service.clock.advance_to(entry.fire_at)
+        channel.set_location(entry.location)
+        outcome = channel.check_in(entry.venue_id)
+        if not outcome.rewarded:
+            detected += 1
+        event = system.on_checkin(
+            user_id, entry.venue_id, outcome.status
+        )
+        if event.picked_up:
+            picked.append(event.picked_up)
+    return {
+        "attempts": len(schedule.entries),
+        "detected": detected,
+        "items": picked,
+        "score": system.collection_score(user_id),
+    }

@@ -1,0 +1,114 @@
+"""Mayorship computation (§2.1).
+
+"Mayorship of a venue is granted to the user who checked in to that venue
+the most days in the past 60 days. Only the number of days with check-ins to
+this venue are counted, without consideration of how many check-ins occurred
+per day or the total number of check-ins."
+
+Properties the thesis relies on and which are reproduced here:
+
+* A single check-in suffices at a venue nobody else visits (the
+  865-mayorship user of §3.4).
+* There is only one mayor per venue, and an incumbent who keeps checking in
+  daily cannot be displaced by ties — a challenger must strictly exceed the
+  incumbent's day count (§2.1's "if an attacker got the mayorship ... no
+  other user can get the mayorship from the attacker").
+* Only VALID check-ins count; flagged cheaters earn no mayorships (§4.2's
+  second group of heavy users has zero mayorships).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.lbsn.models import CheckIn, CheckInStatus
+from repro.simnet.clock import SECONDS_PER_DAY, day_index
+
+#: The competition window, in days.
+MAYORSHIP_WINDOW_DAYS = 60
+
+
+def _window_start_index(checkins: Sequence[CheckIn], window_start: float) -> int:
+    """Binary-search the first check-in at or after ``window_start``.
+
+    Venue histories are append-ordered by timestamp, so the 60-day window
+    is a suffix; scanning only that suffix keeps mayor recomputation cheap
+    on venues with long lifetimes (a daily-check-in mayor accumulates
+    hundreds of records, of which the window holds a fraction).
+    """
+    low, high = 0, len(checkins)
+    while low < high:
+        mid = (low + high) // 2
+        if checkins[mid].timestamp < window_start:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def checkin_days_by_user(
+    checkins: Sequence[CheckIn], now: float
+) -> Dict[int, int]:
+    """Distinct check-in days per user at one venue over the last 60 days.
+
+    ``checkins`` is the venue's full recorded history in time order; only
+    valid check-ins inside the window are counted, and multiple check-ins
+    on one calendar day collapse to a single day.
+    """
+    window_start = now - MAYORSHIP_WINDOW_DAYS * SECONDS_PER_DAY
+    days: Dict[int, set] = {}
+    for index in range(_window_start_index(checkins, window_start), len(checkins)):
+        checkin = checkins[index]
+        if checkin.status is not CheckInStatus.VALID:
+            continue
+        if checkin.timestamp > now:
+            continue
+        days.setdefault(checkin.user_id, set()).add(
+            day_index(checkin.timestamp)
+        )
+    return {user_id: len(day_set) for user_id, day_set in days.items()}
+
+
+@dataclass(frozen=True)
+class MayorDecision:
+    """Result of recomputing a venue's mayor."""
+
+    mayor_id: Optional[int]
+    previous_mayor_id: Optional[int]
+    day_counts: Dict[int, int]
+
+    @property
+    def changed(self) -> bool:
+        """Did the mayorship move to a different user (or appear/vanish)?"""
+        return self.mayor_id != self.previous_mayor_id
+
+
+def decide_mayor(
+    checkins: Sequence[CheckIn],
+    now: float,
+    incumbent_id: Optional[int],
+) -> MayorDecision:
+    """Recompute a venue's mayor from its check-in history.
+
+    The incumbent retains the title unless a challenger has *strictly more*
+    distinct days in the window.  When the incumbent has dropped out of the
+    window entirely, the best remaining challenger (ties broken by lower
+    user id, i.e. earlier registrant) takes over.  A venue with no valid
+    window check-ins has no mayor.
+    """
+    day_counts = checkin_days_by_user(checkins, now)
+    if not day_counts:
+        return MayorDecision(None, incumbent_id, day_counts)
+
+    incumbent_days = day_counts.get(incumbent_id, 0) if incumbent_id else 0
+    best_id, best_days = None, -1
+    for user_id in sorted(day_counts):
+        days = day_counts[user_id]
+        if days > best_days:
+            best_id, best_days = user_id, days
+
+    if incumbent_days > 0 and best_days <= incumbent_days:
+        # Incumbent still active and unbeaten (ties keep the crown).
+        return MayorDecision(incumbent_id, incumbent_id, day_counts)
+    return MayorDecision(best_id, incumbent_id, day_counts)

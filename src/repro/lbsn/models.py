@@ -1,0 +1,210 @@
+"""Data model of the simulated location-based social network.
+
+These records mirror the entities the thesis observes on Foursquare: users
+with points/badges/mayorships, venues with specials and recent-visitor lists,
+and check-ins that may be flagged by the cheater code.  A flagged check-in
+*still counts toward the user's total* but yields no rewards — §4.3: "all
+detected cheating check-ins still count in the total number of check-ins,
+but do not receive any rewards".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.geo.coordinates import GeoPoint
+
+
+class VenueCategory(Enum):
+    """Coarse venue taxonomy used by the workload generator and analysis."""
+
+    COFFEE = "coffee"
+    RESTAURANT = "restaurant"
+    BAR = "bar"
+    SHOP = "shop"
+    GROCERY = "grocery"
+    HOTEL = "hotel"
+    AIRPORT = "airport"
+    LANDMARK = "landmark"
+    OFFICE = "office"
+    GYM = "gym"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Special:
+    """A real-world reward a partner venue offers (§2.1).
+
+    The thesis found "more than 90% of the rewards were only for mayors";
+    the remainder unlock at a check-in count threshold.
+    """
+
+    description: str
+    mayor_only: bool = True
+    #: For non-mayor specials: total check-ins at this venue that unlock it.
+    unlock_checkins: int = 1
+
+
+@dataclass
+class User:
+    """A registered account.
+
+    Only ~26.1% of crawled users had a username-based profile URL (§3.2),
+    hence ``username`` is optional while ``user_id`` is always present.
+    """
+
+    user_id: int
+    display_name: str
+    username: Optional[str] = None
+    home_city: str = ""
+    created_at: float = 0.0
+    #: Total check-ins INCLUDING flagged ones (Foursquare's observed policy).
+    total_checkins: int = 0
+    #: Check-ins that passed all verification and earned rewards.
+    valid_checkins: int = 0
+    points: int = 0
+    badges: Set[str] = field(default_factory=set)
+    friends: Set[int] = field(default_factory=set)
+    #: Distinct venues this user has validly checked into.
+    venues_visited: Set[int] = field(default_factory=set)
+    #: Distinct calendar days with at least one valid check-in.
+    active_days: Set[int] = field(default_factory=set)
+    #: Venues this user is *currently* mayor of (maintained by the service).
+    mayorship_count: int = 0
+
+    @property
+    def flagged_checkins(self) -> int:
+        """Recorded check-ins the cheater code stripped of rewards."""
+        return self.total_checkins - self.valid_checkins
+
+    @property
+    def badge_count(self) -> int:
+        """Number of distinct badges earned."""
+        return len(self.badges)
+
+    def profile_url(self) -> str:
+        """The ID-based public profile path the crawler enumerates."""
+        return f"/user/{self.user_id}"
+
+
+@dataclass(frozen=True)
+class Tip:
+    """A public comment left on a venue page.
+
+    §2.2's abuse case: "A business owner may use location cheating to
+    check into a competing business, and badmouth that business by leaving
+    negative comments."
+    """
+
+    author_id: int
+    text: str
+    created_at: float
+
+
+@dataclass
+class Venue:
+    """A check-in target: coffee shop, restaurant, landmark, ..."""
+
+    venue_id: int
+    name: str
+    location: GeoPoint
+    address: str = ""
+    city: str = ""
+    category: VenueCategory = VenueCategory.OTHER
+    created_at: float = 0.0
+    special: Optional[Special] = None
+    mayor_id: Optional[int] = None
+    #: Total number of valid check-ins here.
+    checkin_count: int = 0
+    #: Distinct users who have validly checked in here.
+    unique_visitors: Set[int] = field(default_factory=set)
+    #: The public "Who's been here" list: most recent distinct visitor
+    #: user-ids, newest first, truncated to RECENT_VISITOR_LIMIT.
+    recent_visitors: List[int] = field(default_factory=list)
+    tips: List[Tip] = field(default_factory=list)
+    #: Valid check-ins here per user, maintained incrementally by the
+    #: service so special-unlock checks avoid rescanning venue history.
+    visitor_valid_counts: Dict[int, int] = field(default_factory=dict)
+
+    #: How many entries the venue page shows in "Who's been here".
+    RECENT_VISITOR_LIMIT = 10
+
+    @property
+    def unique_visitor_count(self) -> int:
+        """Distinct valid visitors ever."""
+        return len(self.unique_visitors)
+
+    @property
+    def has_special(self) -> bool:
+        """Whether the venue offers any real-world reward."""
+        return self.special is not None
+
+    def profile_url(self) -> str:
+        """The ID-based public venue page path."""
+        return f"/venue/{self.venue_id}"
+
+    def record_recent_visitor(self, user_id: int) -> None:
+        """Move ``user_id`` to the head of the recent-visitor list."""
+        if user_id in self.recent_visitors:
+            self.recent_visitors.remove(user_id)
+        self.recent_visitors.insert(0, user_id)
+        del self.recent_visitors[self.RECENT_VISITOR_LIMIT :]
+
+
+class CheckInStatus(Enum):
+    """Terminal state of a check-in attempt."""
+
+    #: Passed GPS verification and the cheater code; rewards credited.
+    VALID = "valid"
+    #: Recorded, counts toward totals, but flagged by the cheater code —
+    #: no points, no badge progress, no mayorship credit.
+    FLAGGED = "flagged"
+    #: Refused outright (e.g. same venue within one hour); not recorded
+    #: as activity at all.
+    REJECTED = "rejected"
+
+
+@dataclass
+class CheckIn:
+    """One check-in attempt and its outcome."""
+
+    checkin_id: int
+    user_id: int
+    venue_id: int
+    timestamp: float
+    #: Where the device claimed to be (the GPS reading the server saw).
+    reported_location: GeoPoint
+    status: CheckInStatus = CheckInStatus.VALID
+    #: Name of the cheater-code rule that flagged/rejected this check-in.
+    flagged_rule: Optional[str] = None
+    points_awarded: int = 0
+
+    @property
+    def is_valid(self) -> bool:
+        """Did this check-in earn rewards?"""
+        return self.status is CheckInStatus.VALID
+
+
+@dataclass
+class CheckInResult:
+    """What the server tells the client after a check-in attempt."""
+
+    checkin: CheckIn
+    points: int = 0
+    new_badges: List[str] = field(default_factory=list)
+    became_mayor: bool = False
+    lost_mayor_user_id: Optional[int] = None
+    special_unlocked: Optional[Special] = None
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        """True when the check-in was recorded (valid or merely flagged)."""
+        return self.checkin.status is not CheckInStatus.REJECTED
+
+    @property
+    def rewarded(self) -> bool:
+        """True when the check-in earned points/badges/mayor credit."""
+        return self.checkin.status is CheckInStatus.VALID

@@ -1,0 +1,444 @@
+"""The LBSN service itself: registration, venues, and the check-in pipeline.
+
+This is the simulated stand-in for Foursquare's servers.  A check-in attempt
+flows through the same stages the thesis describes:
+
+1. **GPS verification** — the claimed venue must lie near the location the
+   device reported; "if a user claims that he/she is currently in a location
+   far away from the location reported by the GPS of his/her phone, this
+   check-in will be considered invalid" (§2.3).
+2. **Cheater code** — the three server-side rules of
+   :mod:`repro.lbsn.cheater_code`.
+3. **Rewards** — points, badges, mayorship recomputation, and specials, for
+   valid check-ins only.
+
+The service never sees real GPS hardware; it trusts whatever coordinates the
+client reports — which is precisely the root vulnerability the paper
+identifies.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ServiceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+from repro.lbsn.cheater_code import CheaterCode, RuleAction
+from repro.lbsn.mayorship import decide_mayor
+from repro.lbsn.models import (
+    CheckIn,
+    CheckInResult,
+    CheckInStatus,
+    Special,
+    User,
+    Venue,
+    VenueCategory,
+)
+from repro.lbsn.rewards import BadgeEngine, PointsPolicy
+from repro.lbsn.specials import special_unlocked_by
+from repro.lbsn.store import DataStore
+from repro.simnet.clock import SimClock, day_index
+
+#: Reason string recorded when GPS verification rejects an attempt.
+RULE_GPS_VERIFICATION = "gps-verification"
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level tunables."""
+
+    #: How close (meters) the reported GPS fix must be to the venue.  The
+    #: client's "nearby venues" list uses the same radius, so a venue the
+    #: client can see is always one the server will accept.
+    gps_verification_radius_m: float = 1_000.0
+    #: Radius of the client's nearby-venue suggestion list.
+    nearby_radius_m: float = 1_000.0
+    #: Maximum venues returned by a nearby query.
+    nearby_limit: int = 30
+
+
+@dataclass
+class ServiceCounters:
+    """Aggregate outcome counters, read by tests and benches."""
+
+    valid: int = 0
+    flagged: int = 0
+    rejected: int = 0
+    flagged_by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, status: CheckInStatus, rule: Optional[str]) -> None:
+        """Tally one check-in outcome."""
+        if status is CheckInStatus.VALID:
+            self.valid += 1
+        elif status is CheckInStatus.FLAGGED:
+            self.flagged += 1
+        else:
+            self.rejected += 1
+        if rule:
+            self.flagged_by_rule[rule] = self.flagged_by_rule.get(rule, 0) + 1
+
+
+class LbsnService:
+    """The simulated location-based social network server."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        cheater_code: Optional[CheaterCode] = None,
+        badge_engine: Optional[BadgeEngine] = None,
+        points_policy: Optional[PointsPolicy] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.store = DataStore()
+        self.cheater_code = cheater_code or CheaterCode()
+        self.badges = badge_engine or BadgeEngine()
+        self.points = points_policy or PointsPolicy()
+        self.config = config or ServiceConfig()
+        self.counters = ServiceCounters()
+        #: venue-ids currently mayored, per user.
+        self._mayor_venues: Dict[int, Set[int]] = {}
+        self._lock = threading.RLock()
+
+    # Registration -------------------------------------------------------
+
+    def register_user(
+        self,
+        display_name: str,
+        username: Optional[str] = None,
+        home_city: str = "",
+    ) -> User:
+        """Create an account with the next sequential user ID."""
+        if not display_name:
+            raise ServiceError("display_name must be non-empty")
+        with self._lock:
+            user = User(
+                user_id=self.store.user_ids.allocate(),
+                display_name=display_name,
+                username=username,
+                home_city=home_city,
+                created_at=self.clock.now(),
+            )
+            return self.store.add_user(user)
+
+    def create_venue(
+        self,
+        name: str,
+        location: GeoPoint,
+        address: str = "",
+        city: str = "",
+        category: VenueCategory = VenueCategory.OTHER,
+        special: Optional[Special] = None,
+    ) -> Venue:
+        """Register a venue with the next sequential venue ID."""
+        if not name:
+            raise ServiceError("venue name must be non-empty")
+        with self._lock:
+            venue = Venue(
+                venue_id=self.store.venue_ids.allocate(),
+                name=name,
+                location=location,
+                address=address,
+                city=city,
+                category=category,
+                created_at=self.clock.now(),
+                special=special,
+            )
+            return self.store.add_venue(venue)
+
+    # Queries --------------------------------------------------------------
+
+    def nearby_venues(self, location: GeoPoint) -> List[Venue]:
+        """The suggestion list the client app shows around ``location``."""
+        venues = self.store.venues_near(location, self.config.nearby_radius_m)
+        return venues[: self.config.nearby_limit]
+
+    def mayorships_of(self, user_id: int) -> List[Venue]:
+        """Venues the user is currently mayor of."""
+        with self._lock:
+            venue_ids = sorted(self._mayor_venues.get(user_id, set()))
+        return [self.store.require_venue(venue_id) for venue_id in venue_ids]
+
+    def mayorship_count(self, user_id: int) -> int:
+        """How many venues the user is currently mayor of."""
+        with self._lock:
+            return len(self._mayor_venues.get(user_id, set()))
+
+    # The check-in pipeline ------------------------------------------------
+
+    def check_in(
+        self,
+        user_id: int,
+        venue_id: int,
+        reported_location: GeoPoint,
+        timestamp: Optional[float] = None,
+    ) -> CheckInResult:
+        """Process one check-in attempt end to end.
+
+        ``reported_location`` is whatever the client sent — the server has
+        no way to tell a genuine GPS fix from a spoofed one.
+        """
+        now = self.clock.now() if timestamp is None else timestamp
+        with self._lock:
+            user = self.store.require_user(user_id)
+            venue = self.store.require_venue(venue_id)
+
+            # Stage 1: GPS verification.
+            distance = haversine_m(reported_location, venue.location)
+            if distance > self.config.gps_verification_radius_m:
+                checkin = self._record(
+                    user,
+                    venue,
+                    now,
+                    reported_location,
+                    CheckInStatus.REJECTED,
+                    RULE_GPS_VERIFICATION,
+                )
+                return CheckInResult(
+                    checkin=checkin,
+                    warnings=[
+                        f"you appear to be {distance / 1000.0:.1f} km from "
+                        f"{venue.name}"
+                    ],
+                )
+
+            # Stage 2: the cheater code.
+            history = self.store.checkins_of_user(user_id)
+            verdict = self.cheater_code.evaluate(
+                venue_id=venue_id,
+                venue_location=venue.location,
+                timestamp=now,
+                history=history,
+                location_of_venue=self._venue_location,
+                prior_flagged_count=user.flagged_checkins,
+            )
+            if verdict.action is RuleAction.REJECT:
+                checkin = self._record(
+                    user,
+                    venue,
+                    now,
+                    reported_location,
+                    CheckInStatus.REJECTED,
+                    verdict.rule,
+                )
+                return CheckInResult(
+                    checkin=checkin, warnings=[verdict.message]
+                )
+            if verdict.action is RuleAction.FLAG:
+                checkin = self._record(
+                    user,
+                    venue,
+                    now,
+                    reported_location,
+                    CheckInStatus.FLAGGED,
+                    verdict.rule,
+                )
+                return CheckInResult(
+                    checkin=checkin, warnings=list(verdict.warnings)
+                )
+
+            # Stage 3: a valid check-in earns rewards.
+            return self._reward(user, venue, now, reported_location, verdict)
+
+    def _venue_location(self, venue_id: int) -> Optional[GeoPoint]:
+        venue = self.store.get_venue(venue_id)
+        return None if venue is None else venue.location
+
+    def _first_valid_of_day(self, user_id: int, now: float) -> bool:
+        """Is this the user's first valid check-in of the calendar day?
+
+        Scans backwards and stops at the first record from an earlier day,
+        so the cost is bounded by one day's activity, not lifetime history.
+        """
+        today = day_index(now)
+        for checkin in reversed(self.store.checkins_of_user(user_id)):
+            day = day_index(checkin.timestamp)
+            if day < today:
+                break
+            if day == today and checkin.status is CheckInStatus.VALID:
+                return False
+        return True
+
+    def _record(
+        self,
+        user: User,
+        venue: Venue,
+        now: float,
+        reported_location: GeoPoint,
+        status: CheckInStatus,
+        rule: Optional[str],
+    ) -> CheckIn:
+        """Persist a non-valid attempt, applying Foursquare's count policy.
+
+        Rejected attempts never become activity.  Flagged attempts are
+        recorded and increment the user's raw total (but nothing else) —
+        the policy §4.3 documents.
+        """
+        checkin = CheckIn(
+            checkin_id=self.store.checkin_ids.allocate(),
+            user_id=user.user_id,
+            venue_id=venue.venue_id,
+            timestamp=now,
+            reported_location=reported_location,
+            status=status,
+            flagged_rule=rule,
+        )
+        if status is not CheckInStatus.REJECTED:
+            self.store.add_checkin(checkin)
+            user.total_checkins += 1
+        self.counters.record(status, rule)
+        return checkin
+
+    def _reward(
+        self,
+        user: User,
+        venue: Venue,
+        now: float,
+        reported_location: GeoPoint,
+        verdict,
+    ) -> CheckInResult:
+        """Apply the full reward pipeline for a valid check-in."""
+        first_visit = venue.venue_id not in user.venues_visited
+        first_of_day = self._first_valid_of_day(user.user_id, now)
+
+        checkin = CheckIn(
+            checkin_id=self.store.checkin_ids.allocate(),
+            user_id=user.user_id,
+            venue_id=venue.venue_id,
+            timestamp=now,
+            reported_location=reported_location,
+            status=CheckInStatus.VALID,
+        )
+        self.store.add_checkin(checkin)
+
+        # User/venue counters.
+        user.total_checkins += 1
+        user.valid_checkins += 1
+        user.venues_visited.add(venue.venue_id)
+        user.active_days.add(day_index(now))
+        venue.checkin_count += 1
+        venue.unique_visitors.add(user.user_id)
+        venue.record_recent_visitor(user.user_id)
+
+        # Mayorship recomputation over the 60-day window.
+        decision = decide_mayor(
+            self.store.checkins_at_venue(venue.venue_id),
+            now,
+            venue.mayor_id,
+        )
+        became_mayor = False
+        lost_mayor: Optional[int] = None
+        if decision.changed:
+            lost_mayor = decision.previous_mayor_id
+            self._transfer_mayorship(venue, decision.mayor_id)
+            became_mayor = decision.mayor_id == user.user_id
+
+        # Points.
+        awarded = self.points.score(first_visit, first_of_day, became_mayor)
+        user.points += awarded
+        checkin.points_awarded = awarded
+
+        # Badges, judged over history including this check-in.
+        new_badges = self.badges.evaluate(
+            user, self.store.checkins_of_user(user.user_id)
+        )
+
+        # Specials (per-user valid counts are maintained incrementally).
+        valid_here = venue.visitor_valid_counts.get(user.user_id, 0) + 1
+        venue.visitor_valid_counts[user.user_id] = valid_here
+        is_mayor_after = venue.mayor_id == user.user_id
+        special = special_unlocked_by(venue, user, valid_here, is_mayor_after)
+
+        self.counters.record(CheckInStatus.VALID, None)
+        return CheckInResult(
+            checkin=checkin,
+            points=awarded,
+            new_badges=new_badges,
+            became_mayor=became_mayor,
+            lost_mayor_user_id=lost_mayor,
+            special_unlocked=special,
+        )
+
+    def _transfer_mayorship(
+        self, venue: Venue, new_mayor_id: Optional[int]
+    ) -> None:
+        old = venue.mayor_id
+        if old is not None:
+            self._mayor_venues.get(old, set()).discard(venue.venue_id)
+            old_user = self.store.get_user(old)
+            if old_user is not None:
+                old_user.mayorship_count = max(0, old_user.mayorship_count - 1)
+        venue.mayor_id = new_mayor_id
+        if new_mayor_id is not None:
+            self._mayor_venues.setdefault(new_mayor_id, set()).add(
+                venue.venue_id
+            )
+            new_user = self.store.get_user(new_mayor_id)
+            if new_user is not None:
+                new_user.mayorship_count += 1
+
+    # Tips -------------------------------------------------------------------
+
+    def post_tip(
+        self,
+        user_id: int,
+        venue_id: int,
+        text: str,
+        timestamp: Optional[float] = None,
+    ):
+        """Leave a public comment on a venue page.
+
+        Requires at least one *valid* check-in at the venue — which is no
+        protection at all against a location cheater, who can manufacture
+        that check-in from anywhere (the §2.2 badmouthing scenario).
+        """
+        if not text:
+            raise ServiceError("tip text must be non-empty")
+        with self._lock:
+            self.store.require_user(user_id)
+            venue = self.store.require_venue(venue_id)
+            if venue.visitor_valid_counts.get(user_id, 0) < 1:
+                raise ServiceError(
+                    "check in to this venue before leaving a tip"
+                )
+            from repro.lbsn.models import Tip
+
+            tip = Tip(
+                author_id=user_id,
+                text=text,
+                created_at=self.clock.now() if timestamp is None else timestamp,
+            )
+            venue.tips.append(tip)
+            return tip
+
+    # Maintenance ------------------------------------------------------------
+
+    def refresh_mayorship(self, venue_id: int) -> Optional[int]:
+        """Recompute one venue's mayor at the current clock time.
+
+        Check-ins age out of the 60-day window even with no new activity;
+        analyses that read mayor state after long simulated gaps call this
+        (or :meth:`refresh_all_mayorships`) first.
+        """
+        with self._lock:
+            venue = self.store.require_venue(venue_id)
+            decision = decide_mayor(
+                self.store.checkins_at_venue(venue_id),
+                self.clock.now(),
+                venue.mayor_id,
+            )
+            if decision.changed:
+                self._transfer_mayorship(venue, decision.mayor_id)
+            return venue.mayor_id
+
+    def refresh_all_mayorships(self) -> int:
+        """Recompute every venue's mayor; returns how many changed."""
+        changed = 0
+        for venue in self.store.iter_venues():
+            before = venue.mayor_id
+            if self.refresh_mayorship(venue.venue_id) != before:
+                changed += 1
+        return changed

@@ -1,0 +1,90 @@
+"""Real-world rewards ("specials") offered by partner venues (§2.1).
+
+"More than 90% of the rewards were only for mayors"; the remainder unlock at
+a check-in-count threshold ("some special offers that do not require
+mayorship which are much easier to obtain", §3.4).  This module decides when
+a check-in unlocks a special, and provides the catalogue helpers the
+targeting analysis queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lbsn.models import Special, User, Venue
+
+#: Stock offer texts assigned by the workload generator.
+MAYOR_SPECIAL_TEXTS = (
+    "Free cup of coffee for the mayor!",
+    "Mayor gets 20% off any entree.",
+    "The mayor drinks free on Fridays.",
+    "Free dessert for the mayor.",
+    "Mayor special: free upgrade.",
+)
+
+UNLOCKED_SPECIAL_TEXTS = (
+    "Free appetizer on your 3rd check-in.",
+    "Every 5th check-in earns a free drink.",
+    "Check in twice, get 10% off.",
+)
+
+
+def special_unlocked_by(
+    venue: Venue,
+    user: User,
+    user_valid_checkins_here: int,
+    is_mayor_after: bool,
+) -> Optional[Special]:
+    """The special this check-in unlocks for ``user``, if any.
+
+    Mayor-only specials unlock exactly when the user holds (or just took)
+    the mayorship; count-based specials unlock when the user's valid
+    check-in count at this venue reaches the threshold.
+    """
+    special = venue.special
+    if special is None:
+        return None
+    if special.mayor_only:
+        return special if is_mayor_after else None
+    if user_valid_checkins_here >= special.unlock_checkins:
+        return special
+    return None
+
+
+def venues_with_specials(venues: List[Venue]) -> List[Venue]:
+    """All venues offering any special."""
+    return [venue for venue in venues if venue.has_special]
+
+
+def mayor_only_fraction(venues: List[Venue]) -> float:
+    """Fraction of specials that are mayor-only (thesis: > 0.9)."""
+    offering = venues_with_specials(venues)
+    if not offering:
+        return 0.0
+    mayor_only = sum(1 for venue in offering if venue.special.mayor_only)
+    return mayor_only / len(offering)
+
+
+def undefended_special_venues(venues: List[Venue]) -> List[Venue]:
+    """Venues with a mayor-only special and **no current mayor** (§3.4).
+
+    These are the attack's prime targets: "venues that provide special
+    offers to their mayors and don't have a mayor yet ... It is relatively
+    easy to become the mayor of these venues."
+    """
+    return [
+        venue
+        for venue in venues
+        if venue.has_special
+        and venue.special.mayor_only
+        and venue.mayor_id is None
+    ]
+
+
+def no_mayorship_specials(venues: List[Venue]) -> List[Venue]:
+    """Venues whose special does not require mayorship at all (§3.4)."""
+    return [
+        venue
+        for venue in venues
+        if venue.has_special and not venue.special.mayor_only
+    ]

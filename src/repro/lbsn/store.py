@@ -1,0 +1,198 @@
+"""Thread-safe in-memory datastore backing the LBSN service.
+
+One coarse reentrant lock guards all tables.  The crawler hammers the web
+server from many threads while the attack campaign checks in concurrently,
+so every public method takes the lock; the service layer composes multi-step
+operations under :meth:`locked`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ServiceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.grid import SpatialGrid
+from repro.lbsn.models import CheckIn, User, Venue
+from repro.simnet.ids import SequentialIdAllocator
+
+
+class DataStore:
+    """Users, venues, check-ins, and the spatial index over venues."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._users: Dict[int, User] = {}
+        self._venues: Dict[int, Venue] = {}
+        self._checkins: Dict[int, CheckIn] = {}
+        self._checkins_by_user: Dict[int, List[CheckIn]] = {}
+        self._checkins_by_venue: Dict[int, List[CheckIn]] = {}
+        self._usernames: Dict[str, int] = {}
+        self._venue_grid: SpatialGrid[int] = SpatialGrid(cell_size_deg=0.01)
+        self.user_ids = SequentialIdAllocator()
+        self.venue_ids = SequentialIdAllocator()
+        self.checkin_ids = SequentialIdAllocator()
+
+    @contextmanager
+    def locked(self) -> Iterator[None]:
+        """Hold the store lock across a multi-step operation."""
+        with self._lock:
+            yield
+
+    # Users ------------------------------------------------------------
+
+    def add_user(self, user: User) -> User:
+        """Insert a user; the ID must already be allocated and unused."""
+        with self._lock:
+            if user.user_id in self._users:
+                raise ServiceError(f"duplicate user id {user.user_id}")
+            if user.username is not None:
+                if user.username in self._usernames:
+                    raise ServiceError(f"duplicate username {user.username!r}")
+                self._usernames[user.username] = user.user_id
+            self._users[user.user_id] = user
+            self._checkins_by_user.setdefault(user.user_id, [])
+            return user
+
+    def get_user(self, user_id: int) -> Optional[User]:
+        """User by numeric ID, or None."""
+        with self._lock:
+            return self._users.get(user_id)
+
+    def get_user_by_username(self, username: str) -> Optional[User]:
+        """User by username (the second URL form in §3.2), or None."""
+        with self._lock:
+            user_id = self._usernames.get(username)
+            return None if user_id is None else self._users.get(user_id)
+
+    def require_user(self, user_id: int) -> User:
+        """User by ID, raising :class:`ServiceError` when missing."""
+        user = self.get_user(user_id)
+        if user is None:
+            raise ServiceError(f"no such user: {user_id}")
+        return user
+
+    def user_count(self) -> int:
+        """Total registered users."""
+        with self._lock:
+            return len(self._users)
+
+    def iter_users(self) -> List[User]:
+        """Snapshot list of all users."""
+        with self._lock:
+            return list(self._users.values())
+
+    # Venues -----------------------------------------------------------
+
+    def add_venue(self, venue: Venue) -> Venue:
+        """Insert a venue and index its location."""
+        with self._lock:
+            if venue.venue_id in self._venues:
+                raise ServiceError(f"duplicate venue id {venue.venue_id}")
+            self._venues[venue.venue_id] = venue
+            self._checkins_by_venue.setdefault(venue.venue_id, [])
+            self._venue_grid.insert(venue.venue_id, venue.location)
+            return venue
+
+    def get_venue(self, venue_id: int) -> Optional[Venue]:
+        """Venue by numeric ID, or None."""
+        with self._lock:
+            return self._venues.get(venue_id)
+
+    def require_venue(self, venue_id: int) -> Venue:
+        """Venue by ID, raising :class:`ServiceError` when missing."""
+        venue = self.get_venue(venue_id)
+        if venue is None:
+            raise ServiceError(f"no such venue: {venue_id}")
+        return venue
+
+    def venue_count(self) -> int:
+        """Total registered venues."""
+        with self._lock:
+            return len(self._venues)
+
+    def iter_venues(self) -> List[Venue]:
+        """Snapshot list of all venues."""
+        with self._lock:
+            return list(self._venues.values())
+
+    def venues_near(
+        self, point: GeoPoint, radius_m: float
+    ) -> List[Venue]:
+        """Venues within ``radius_m`` of ``point``, nearest first.
+
+        This backs both the client app's "nearby venues" suggestion list
+        and the rapid-fire rule's area query.
+        """
+        with self._lock:
+            hits = self._venue_grid.query_radius(point, radius_m)
+            return [self._venues[venue_id] for venue_id, _, _ in hits]
+
+    def nearest_venue(
+        self, point: GeoPoint, max_radius_m: float = 50_000.0
+    ) -> Optional[Venue]:
+        """The closest venue to ``point`` within ``max_radius_m``."""
+        with self._lock:
+            hit = self._venue_grid.nearest(point, max_radius_m=max_radius_m)
+            return None if hit is None else self._venues[hit[0]]
+
+    # Check-ins ----------------------------------------------------------
+
+    def add_checkin(self, checkin: CheckIn) -> CheckIn:
+        """Record a check-in attempt (any status)."""
+        with self._lock:
+            if checkin.checkin_id in self._checkins:
+                raise ServiceError(f"duplicate checkin id {checkin.checkin_id}")
+            self._checkins[checkin.checkin_id] = checkin
+            self._checkins_by_user.setdefault(checkin.user_id, []).append(
+                checkin
+            )
+            self._checkins_by_venue.setdefault(checkin.venue_id, []).append(
+                checkin
+            )
+            return checkin
+
+    def get_checkin(self, checkin_id: int) -> Optional[CheckIn]:
+        """Look up one check-in by ID."""
+        with self._lock:
+            return self._checkins.get(checkin_id)
+
+    def checkins_of_user(self, user_id: int) -> List[CheckIn]:
+        """All recorded check-ins by a user, oldest first.
+
+        Returns the **live internal list** to keep history scans O(1) per
+        access (heavy cheater accounts accumulate 10k+ records, and the
+        check-in pipeline reads history on every attempt).  Callers must
+        treat it as read-only; mutation goes through :meth:`add_checkin`.
+        """
+        with self._lock:
+            return self._checkins_by_user.setdefault(user_id, [])
+
+    def checkins_at_venue(self, venue_id: int) -> List[CheckIn]:
+        """All recorded check-ins at a venue, oldest first.
+
+        Same live-reference contract as :meth:`checkins_of_user`.
+        """
+        with self._lock:
+            return self._checkins_by_venue.setdefault(venue_id, [])
+
+    def checkin_count(self) -> int:
+        """Total recorded check-ins (valid + flagged)."""
+        with self._lock:
+            return len(self._checkins)
+
+    def last_checkin_of_user(self, user_id: int) -> Optional[CheckIn]:
+        """Most recent recorded check-in by ``user_id``, or None."""
+        with self._lock:
+            checkins = self._checkins_by_user.get(user_id)
+            return checkins[-1] if checkins else None
+
+    def recent_checkins_of_user(
+        self, user_id: int, limit: int
+    ) -> List[CheckIn]:
+        """Up to ``limit`` most recent check-ins by a user, newest first."""
+        with self._lock:
+            checkins = self._checkins_by_user.get(user_id, [])
+            return list(reversed(checkins[-limit:]))

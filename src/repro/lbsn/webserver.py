@@ -1,0 +1,172 @@
+"""The public website: HTML profile pages for users and venues (§3.2).
+
+The crawl is only possible because profile pages are public, addressed by
+incrementing numeric IDs, and contain machine-extractable structure.  This
+renderer reproduces all three properties: ``/user/<id>`` (plus the
+``/user/<username>`` variant only ~26% of users have) and ``/venue/<id>``
+pages whose markup the crawler's regular expressions pick apart, exactly as
+the thesis's C# crawler did.
+
+Two defense hooks are built in:
+
+* ``show_whos_been_here`` — Foursquare removed the "Who's been here" section
+  right after the thesis's crawl finished (§6.2.1); setting this False
+  reproduces the post-patch site.
+* ``visitor_obfuscator`` — §5.2 suggests hashing user IDs in the recent
+  check-in list; when installed, the rendered visitor references are opaque
+  tokens instead of crawlable ``/user/<id>`` links.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Callable, Optional
+
+from repro.lbsn.models import User, Venue
+from repro.lbsn.service import LbsnService
+from repro.simnet.http import (
+    HTTP_NOT_FOUND,
+    HttpRequest,
+    HttpResponse,
+    Router,
+)
+
+VisitorObfuscator = Callable[[int], str]
+
+
+class LbsnWebServer:
+    """Renders the service's state as public HTML pages."""
+
+    def __init__(
+        self,
+        service: LbsnService,
+        show_whos_been_here: bool = True,
+        visitor_obfuscator: Optional[VisitorObfuscator] = None,
+    ) -> None:
+        self.service = service
+        self.show_whos_been_here = show_whos_been_here
+        self.visitor_obfuscator = visitor_obfuscator
+
+    def install_routes(self, router: Router) -> None:
+        """Attach the site's routes to a router."""
+        router.add("GET", r"/user/(?P<ident>[A-Za-z0-9_\-]+)", self._user_page)
+        router.add("GET", r"/venue/(?P<venue_id>\d+)", self._venue_page)
+
+    # Page handlers --------------------------------------------------------
+
+    def _user_page(self, request: HttpRequest, match) -> HttpResponse:
+        ident = match.group("ident")
+        if ident.isdigit():
+            user = self.service.store.get_user(int(ident))
+        else:
+            user = self.service.store.get_user_by_username(ident)
+        if user is None:
+            return HttpResponse(status=HTTP_NOT_FOUND, body="No such user")
+        return HttpResponse(body=self.render_user(user))
+
+    def _venue_page(self, request: HttpRequest, match) -> HttpResponse:
+        venue = self.service.store.get_venue(int(match.group("venue_id")))
+        if venue is None:
+            return HttpResponse(status=HTTP_NOT_FOUND, body="No such venue")
+        return HttpResponse(body=self.render_venue(venue))
+
+    # Renderers --------------------------------------------------------------
+
+    def render_user(self, user: User) -> str:
+        """The public user profile page.
+
+        Mayorships and full check-in history are deliberately absent — the
+        thesis notes they "are hidden from the public, since these two types
+        of information may expose his/her location privacy" — so the crawler
+        must *infer* them from venue pages.
+        """
+        name = html.escape(user.display_name)
+        username_row = (
+            f'<div class="username">@{html.escape(user.username)}</div>'
+            if user.username
+            else ""
+        )
+        badges = "".join(
+            f'<li class="badge">{html.escape(badge)}</li>'
+            for badge in sorted(user.badges)
+        )
+        friends = "".join(
+            f'<a class="friend" href="/user/{friend_id}">user {friend_id}</a>'
+            for friend_id in sorted(user.friends)
+        )
+        return f"""<!DOCTYPE html>
+<html><head><title>{name} on SimSquare</title></head>
+<body>
+<div class="profile" data-user-id="{user.user_id}">
+  <h1 class="fn">{name}</h1>
+  {username_row}
+  <div class="homecity">{html.escape(user.home_city)}</div>
+  <div class="stats">
+    <span class="checkin-count">{user.total_checkins}</span> check-ins
+    <span class="badge-count">{user.badge_count}</span> badges
+    <span class="points">{user.points}</span> points
+  </div>
+  <ul class="badges">{badges}</ul>
+  <div class="friends">{friends}</div>
+</div>
+</body></html>"""
+
+    def render_venue(self, venue: Venue) -> str:
+        """The public venue page, including mayor link and recent visitors."""
+        name = html.escape(venue.name)
+        mayor_html = (
+            f'<a class="mayor" href="/user/{venue.mayor_id}">'
+            f"user {venue.mayor_id}</a>"
+            if venue.mayor_id is not None
+            else '<span class="mayor none">No mayor yet</span>'
+        )
+        special_html = ""
+        if venue.special is not None:
+            kind = "mayor-only" if venue.special.mayor_only else "unlocked"
+            special_html = (
+                f'<div class="special {kind}">'
+                f"{html.escape(venue.special.description)}</div>"
+            )
+        visitors_html = ""
+        if self.show_whos_been_here:
+            entries = []
+            for user_id in venue.recent_visitors:
+                if self.visitor_obfuscator is not None:
+                    token = html.escape(self.visitor_obfuscator(user_id))
+                    entries.append(f'<span class="visitor">{token}</span>')
+                else:
+                    entries.append(
+                        f'<a class="visitor" href="/user/{user_id}">'
+                        f"user {user_id}</a>"
+                    )
+            visitors_html = (
+                '<div class="whos-been-here"><h2>Who\'s been here</h2>'
+                + "".join(entries)
+                + "</div>"
+            )
+        tips = "".join(
+            f'<li class="tip" data-author="{tip.author_id}">'
+            f"{html.escape(tip.text)}</li>"
+            for tip in venue.tips
+        )
+        return f"""<!DOCTYPE html>
+<html><head><title>{name} on SimSquare</title></head>
+<body>
+<div class="venue" data-venue-id="{venue.venue_id}">
+  <h1 class="venue-name">{name}</h1>
+  <div class="address">{html.escape(venue.address)}</div>
+  <div class="city">{html.escape(venue.city)}</div>
+  <div class="geo">
+    <span class="latitude">{venue.location.latitude:.6f}</span>
+    <span class="longitude">{venue.location.longitude:.6f}</span>
+  </div>
+  <div class="stats">
+    <span class="checkins-here">{venue.checkin_count}</span> check-ins from
+    <span class="unique-visitors">{venue.unique_visitor_count}</span> visitors
+  </div>
+  <div class="mayor-box">{mayor_html}</div>
+  {special_html}
+  {visitors_html}
+  <ul class="tips">{tips}</ul>
+</div>
+</body></html>"""

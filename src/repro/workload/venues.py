@@ -1,0 +1,258 @@
+"""Synthetic venue population calibrated to the thesis's crawl (§3.2-§3.3).
+
+The generator reproduces the *geographic* and *commercial* structure the
+analysis depends on:
+
+* Venues cluster in weighted metropolitan areas but a configurable fraction
+  sits in small towns sampled uniformly inside the contiguous-US outline, so
+  a scatter of any national chain "forms the shape of the United States
+  territory" (Fig 3.4).
+* National chains (Starbucks first among them, for the Fig 3.4 query
+  ``LIKE "%Starbucks%"``) get branches in proportion to city weight.
+* A fraction of venues carry specials, >90% of them mayor-only (§2.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.geo.regions import (
+    ALASKA_ANCHORS,
+    EUROPEAN_CITIES,
+    HAWAII_ANCHORS,
+    US_CITIES,
+    City,
+    contiguous_us_bbox,
+    in_contiguous_us,
+)
+from repro.lbsn.models import Special, VenueCategory
+from repro.lbsn.service import LbsnService
+from repro.lbsn.specials import MAYOR_SPECIAL_TEXTS, UNLOCKED_SPECIAL_TEXTS
+
+#: National chains and the venue category they belong to.  Starbucks is
+#: first and most numerous: Fig 3.4 is a map of its branches.
+CHAINS: Tuple[Tuple[str, VenueCategory, float], ...] = (
+    ("Starbucks", VenueCategory.COFFEE, 0.30),
+    ("McDonald's", VenueCategory.RESTAURANT, 0.20),
+    ("Wendy's", VenueCategory.RESTAURANT, 0.12),
+    ("Subway", VenueCategory.RESTAURANT, 0.14),
+    ("Target", VenueCategory.SHOP, 0.08),
+    ("Walgreens", VenueCategory.SHOP, 0.10),
+    ("Hilton", VenueCategory.HOTEL, 0.06),
+)
+
+_INDEPENDENT_NAMES = (
+    "Blue Door Cafe",
+    "Corner Bar",
+    "City Diner",
+    "Main Street Books",
+    "The Daily Grind",
+    "Harbor Grill",
+    "Sunset Lounge",
+    "Green Market",
+    "Old Town Pizza",
+    "Union Gym",
+    "Midtown Deli",
+    "Riverside Tavern",
+)
+
+_CATEGORY_POOL = (
+    VenueCategory.COFFEE,
+    VenueCategory.RESTAURANT,
+    VenueCategory.BAR,
+    VenueCategory.SHOP,
+    VenueCategory.GROCERY,
+    VenueCategory.HOTEL,
+    VenueCategory.LANDMARK,
+    VenueCategory.OFFICE,
+    VenueCategory.GYM,
+    VenueCategory.OTHER,
+)
+
+
+@dataclass
+class VenueGeneratorConfig:
+    """Shape parameters of the venue population."""
+
+    #: Fraction of venues placed in the weighted major cities; the rest go
+    #: to uniform small-town locations that fill out the US silhouette.
+    city_fraction: float = 0.70
+    #: Fraction of venues that belong to a national chain.
+    chain_fraction: float = 0.18
+    #: Fraction of venues carrying a special.
+    special_fraction: float = 0.03
+    #: Of specials, the mayor-only share (thesis: "more than 90%").
+    mayor_only_share: float = 0.92
+    #: Small fractions in Alaska / Hawaii / Europe so the Fig 4.3 cheater
+    #: has somewhere remote to "visit".
+    alaska_fraction: float = 0.004
+    hawaii_fraction: float = 0.004
+    europe_fraction: float = 0.02
+
+
+@dataclass
+class GeneratedVenues:
+    """Output of :func:`generate_venues`: ids grouped for later stages."""
+
+    venue_ids: List[int] = field(default_factory=list)
+    venue_ids_by_city: Dict[str, List[int]] = field(default_factory=dict)
+    small_town_venue_ids: List[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Total venues created."""
+        return len(self.venue_ids)
+
+
+class VenueGenerator:
+    """Creates the venue population inside a service."""
+
+    def __init__(
+        self,
+        service: LbsnService,
+        config: Optional[VenueGeneratorConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.service = service
+        self.config = config or VenueGeneratorConfig()
+        self._rng = random.Random(seed)
+        self._bbox = contiguous_us_bbox()
+        self._branch_counters: Dict[str, int] = {}
+
+    def generate(self, count: int) -> GeneratedVenues:
+        """Create ``count`` venues and return the grouping record."""
+        if count < 0:
+            raise ReproError(f"venue count must be non-negative: {count}")
+        result = GeneratedVenues()
+        for _ in range(count):
+            region_roll = self._rng.random()
+            config = self.config
+            if region_roll < config.europe_fraction:
+                city = self._weighted_city(EUROPEAN_CITIES)
+                location = self._city_point(city)
+                venue_id = self._create(location, city.name)
+                result.venue_ids_by_city.setdefault(city.name, []).append(
+                    venue_id
+                )
+            elif region_roll < config.europe_fraction + config.alaska_fraction:
+                location = self._anchor_point(ALASKA_ANCHORS)
+                venue_id = self._create(location, "Alaska")
+                result.venue_ids_by_city.setdefault("Alaska", []).append(
+                    venue_id
+                )
+            elif region_roll < (
+                config.europe_fraction
+                + config.alaska_fraction
+                + config.hawaii_fraction
+            ):
+                location = self._anchor_point(HAWAII_ANCHORS)
+                venue_id = self._create(location, "Hawaii")
+                result.venue_ids_by_city.setdefault("Hawaii", []).append(
+                    venue_id
+                )
+            elif self._rng.random() < config.city_fraction:
+                city = self._weighted_city(US_CITIES)
+                location = self._city_point(city)
+                venue_id = self._create(location, city.name)
+                result.venue_ids_by_city.setdefault(city.name, []).append(
+                    venue_id
+                )
+            else:
+                location = self._small_town_point()
+                venue_id = self._create(location, "small town")
+                result.small_town_venue_ids.append(venue_id)
+            result.venue_ids.append(venue_id)
+        return result
+
+    # Placement ---------------------------------------------------------
+
+    def _weighted_city(self, cities: Sequence[City]) -> City:
+        total = sum(city.weight for city in cities)
+        roll = self._rng.uniform(0.0, total)
+        cumulative = 0.0
+        for city in cities:
+            cumulative += city.weight
+            if roll <= cumulative:
+                return city
+        return cities[-1]
+
+    def _city_point(self, city: City) -> GeoPoint:
+        """A point near the city center, denser toward downtown."""
+        # Exponential radial falloff concentrates venues downtown.
+        radius = min(
+            city.radius_m * 3.0,
+            self._rng.expovariate(1.0 / (city.radius_m / 2.0)),
+        )
+        bearing = self._rng.uniform(0.0, 360.0)
+        return destination_point(city.center, bearing, radius)
+
+    def _anchor_point(self, anchors: Sequence[Tuple[float, float]]) -> GeoPoint:
+        lat, lon = anchors[self._rng.randrange(len(anchors))]
+        return destination_point(
+            GeoPoint(lat, lon),
+            self._rng.uniform(0.0, 360.0),
+            self._rng.uniform(0.0, 8_000.0),
+        )
+
+    def _small_town_point(self) -> GeoPoint:
+        """Uniform rejection sampling inside the contiguous-US outline."""
+        for _ in range(1_000):
+            point = GeoPoint(
+                self._rng.uniform(self._bbox.south, self._bbox.north),
+                self._rng.uniform(self._bbox.west, self._bbox.east),
+            )
+            if in_contiguous_us(point):
+                return point
+        raise ReproError("rejection sampling failed to hit the US outline")
+
+    # Venue records -------------------------------------------------------
+
+    def _create(self, location: GeoPoint, city_label: str) -> int:
+        name, category = self._pick_name(city_label)
+        special = self._pick_special()
+        venue = self.service.create_venue(
+            name=name,
+            location=location,
+            address=f"{self._rng.randint(1, 9999)} "
+            f"{self._rng.choice(('Main St', '1st Ave', 'Oak St', 'Broadway'))}",
+            city=city_label,
+            category=category,
+            special=special,
+        )
+        return venue.venue_id
+
+    def _pick_name(self, city_label: str) -> Tuple[str, VenueCategory]:
+        if self._rng.random() < self.config.chain_fraction:
+            total = sum(share for _, _, share in CHAINS)
+            roll = self._rng.uniform(0.0, total)
+            cumulative = 0.0
+            for chain_name, category, share in CHAINS:
+                cumulative += share
+                if roll <= cumulative:
+                    branch = self._branch_counters.get(chain_name, 0) + 1
+                    self._branch_counters[chain_name] = branch
+                    return f"{chain_name} #{branch}", category
+        base = self._rng.choice(_INDEPENDENT_NAMES)
+        suffix = self._rng.randint(1, 99_999)
+        category = self._rng.choice(_CATEGORY_POOL)
+        return f"{base} {suffix}", category
+
+    def _pick_special(self) -> Optional[Special]:
+        if self._rng.random() >= self.config.special_fraction:
+            return None
+        if self._rng.random() < self.config.mayor_only_share:
+            return Special(
+                description=self._rng.choice(MAYOR_SPECIAL_TEXTS),
+                mayor_only=True,
+            )
+        return Special(
+            description=self._rng.choice(UNLOCKED_SPECIAL_TEXTS),
+            mayor_only=False,
+            unlock_checkins=self._rng.randint(2, 5),
+        )

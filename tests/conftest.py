@@ -1,0 +1,63 @@
+"""Shared fixtures: a small populated world, its web stack, and a crawl.
+
+World construction replays tens of thousands of check-ins, so the expensive
+fixtures are session-scoped; tests must treat them as read-only and build
+their own ``LbsnService`` when they need to mutate state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler import crawl_full_site
+from repro.geo import GeoPoint
+from repro.lbsn import LbsnService
+from repro.workload import build_web_stack, build_world
+
+#: Small but structurally complete: ~950 users, ~2800 venues.
+WORLD_SCALE = 0.0005
+WORLD_SEED = 424_242
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A populated simulated world (read-only)."""
+    return build_world(scale=WORLD_SCALE, seed=WORLD_SEED)
+
+
+@pytest.fixture(scope="session")
+def web_stack(world):
+    """The world's website + API over simulated HTTP (read-only)."""
+    return build_web_stack(world, seed=7)
+
+
+@pytest.fixture(scope="session")
+def crawl(world, web_stack):
+    """A completed full-site crawl: (database, user_stats, venue_stats)."""
+    machines = [web_stack.network.create_egress() for _ in range(3)]
+    database, user_stats, venue_stats = crawl_full_site(
+        web_stack.transport, machines
+    )
+    return database, user_stats, venue_stats
+
+
+@pytest.fixture(scope="session")
+def crawl_db(crawl):
+    """Just the crawl database (derived columns recomputed)."""
+    return crawl[0]
+
+
+@pytest.fixture
+def service():
+    """A fresh, empty service for tests that mutate state."""
+    return LbsnService()
+
+
+@pytest.fixture
+def sf_venue(service):
+    """The thesis's remote target: Fisherman's Wharf Sign, San Francisco."""
+    return service.create_venue(
+        "Fisherman's Wharf Sign",
+        GeoPoint(37.8080, -122.4177),
+        city="San Francisco, CA",
+    )

@@ -1,0 +1,116 @@
+"""Tests for the Fig 4.1 analysis (recent vs total check-ins)."""
+
+import pytest
+
+from repro.analysis.activity import (
+    high_ratio_users,
+    recent_vs_total_curve,
+    trackable_users,
+)
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.parser import ParsedUser, ParsedVenue
+from repro.errors import ReproError
+
+
+def seed_db(entries):
+    """entries: list of (user_id, total_checkins, recent_venue_count)."""
+    db = CrawlDatabase()
+    venue_id = 0
+    for user_id, total, recent in entries:
+        db.upsert_user(
+            ParsedUser(
+                user_id=user_id,
+                display_name=f"U{user_id}",
+                username=None,
+                home_city="",
+                total_checkins=total,
+                total_badges=0,
+                points=0,
+            )
+        )
+        for _ in range(recent):
+            venue_id += 1
+            db.upsert_venue(
+                ParsedVenue(
+                    venue_id=venue_id,
+                    name=f"V{venue_id}",
+                    address="",
+                    city="",
+                    latitude=35.0,
+                    longitude=-106.0,
+                    checkins_here=1,
+                    unique_visitors=1,
+                    mayor_id=None,
+                    special=None,
+                    special_mayor_only=False,
+                    recent_visitor_ids=[user_id],
+                )
+            )
+    db.recompute_derived()
+    return db
+
+
+class TestCurve:
+    def test_bucket_averages(self):
+        db = seed_db([(1, 10, 2), (2, 12, 4), (3, 200, 50)])
+        curve = recent_vs_total_curve(db, bucket_width=25)
+        first = curve[0]
+        assert first.total_checkins == 12  # bucket [0,25) centered
+        assert first.average_recent == pytest.approx(3.0)
+        assert first.users == 2
+
+    def test_zero_checkin_users_excluded(self):
+        db = seed_db([(1, 0, 0), (2, 10, 1)])
+        curve = recent_vs_total_curve(db)
+        assert sum(point.users for point in curve) == 1
+
+    def test_max_total_cutoff(self):
+        db = seed_db([(1, 10, 1), (2, 5_000, 10)])
+        curve = recent_vs_total_curve(db, max_total=2_000)
+        assert sum(point.users for point in curve) == 1
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ReproError):
+            recent_vs_total_curve(seed_db([]), bucket_width=0)
+
+    def test_fig41_shape_on_world(self, crawl_db):
+        # The curve must rise: heavier users have more recent check-ins.
+        curve = recent_vs_total_curve(crawl_db, bucket_width=50)
+        assert len(curve) >= 3
+        light = [p for p in curve if p.total_checkins <= 100]
+        heavy = [p for p in curve if p.total_checkins >= 300]
+        assert light and heavy
+        light_avg = sum(p.average_recent for p in light) / len(light)
+        heavy_avg = sum(p.average_recent for p in heavy) / len(heavy)
+        assert heavy_avg > light_avg
+
+
+class TestHighRatio:
+    def test_finds_ratio_outliers(self):
+        db = seed_db([(1, 600, 500), (2, 600, 20)])
+        suspects = high_ratio_users(db, min_total=500, min_ratio=0.5)
+        assert [u.user_id for u in suspects] == [1]
+
+    def test_sorted_by_ratio(self):
+        db = seed_db([(1, 600, 400), (2, 500, 450)])
+        suspects = high_ratio_users(db, min_total=500, min_ratio=0.5)
+        assert [u.user_id for u in suspects] == [2, 1]
+
+    def test_mega_cheater_flagged_in_world(self, world, crawl_db):
+        # The Fig 4.3 persona keeps a very high recent/total ratio.
+        suspects = high_ratio_users(crawl_db, min_total=100, min_ratio=0.3)
+        assert world.roster.mega_cheater.user_id in {
+            u.user_id for u in suspects
+        }
+
+
+class TestTrackableUsers:
+    def test_band_statistics(self):
+        db = seed_db([(1, 600, 100), (2, 1_000, 200), (3, 100, 5)])
+        count, average = trackable_users(db, min_total=500, max_total=2_000)
+        assert count == 2
+        assert average == pytest.approx(150.0)
+
+    def test_empty_band(self):
+        db = seed_db([(1, 10, 1)])
+        assert trackable_users(db) == (0, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for detector quality evaluation."""
+
+import pytest
+
+from repro.analysis.detection import CheaterDetector, DetectorConfig, SuspicionReport
+from repro.analysis.evaluation import (
+    DetectionQuality,
+    best_f1,
+    format_sweep_table,
+    quality_at_threshold,
+    score_population,
+    threshold_sweep,
+)
+from repro.errors import ReproError
+
+
+def report(user_id, score):
+    # combined_score is (a+r+p)/3; set all three factors to `score`.
+    return SuspicionReport(
+        user_id=user_id,
+        total_checkins=100,
+        activity_score=score,
+        reward_score=score,
+        pattern_score=score,
+    )
+
+
+class TestConfusionMatrix:
+    def test_perfect_separation(self):
+        reports = [report(1, 0.9), report(2, 0.1)]
+        quality = quality_at_threshold(reports, {1}, threshold=0.5)
+        assert quality.true_positives == 1
+        assert quality.true_negatives == 1
+        assert quality.false_positives == 0
+        assert quality.false_negatives == 0
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_missed_cheater(self):
+        reports = [report(1, 0.2)]
+        quality = quality_at_threshold(reports, {1}, threshold=0.5)
+        assert quality.false_negatives == 1
+        assert quality.recall == 0.0
+
+    def test_false_alarm(self):
+        reports = [report(2, 0.9)]
+        quality = quality_at_threshold(reports, set(), threshold=0.5)
+        assert quality.false_positives == 1
+        assert quality.false_positive_rate == 1.0
+
+    def test_empty_denominators(self):
+        # Degenerate empty matrix: vacuous precision/recall of 1.0.
+        quality = DetectionQuality(0.5, 0, 0, 0, 0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+        assert quality.false_positive_rate == 0.0
+
+
+class TestSweep:
+    def test_recall_monotone_nonincreasing(self):
+        reports = [report(i, i / 10.0) for i in range(1, 10)]
+        sweep = threshold_sweep(reports, {7, 8, 9})
+        recalls = [q.recall for q in sweep]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_best_f1_selects_maximum(self):
+        reports = [report(1, 0.9), report(2, 0.85), report(3, 0.2)]
+        sweep = threshold_sweep(reports, {1, 2})
+        best = best_f1(sweep)
+        assert best.f1 == max(q.f1 for q in sweep)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            threshold_sweep([], set())
+        with pytest.raises(ReproError):
+            best_f1([])
+
+    def test_format_table(self):
+        reports = [report(1, 0.9)]
+        rows = format_sweep_table(threshold_sweep(reports, {1}))
+        assert rows[0].startswith("threshold")
+        assert len(rows) == 9
+
+
+class TestOnWorld:
+    def test_detector_quality_on_planted_cheaters(self, world, crawl_db):
+        detector = CheaterDetector(
+            crawl_db, DetectorConfig(min_total_checkins=150)
+        )
+        reports = score_population(detector)
+        cheaters = {s.user_id for s in world.roster.caught_cheaters}
+        cheaters.add(world.roster.mega_cheater.user_id)
+        scored_ids = {r.user_id for r in reports}
+        assert cheaters <= scored_ids
+
+        sweep = threshold_sweep(reports, cheaters)
+        best = best_f1(sweep)
+        # The planted cheaters are separable well above chance.
+        assert best.recall >= 0.5
+        assert best.precision >= 0.5
+        assert best.false_positive_rate < 0.1

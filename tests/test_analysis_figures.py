@@ -1,0 +1,93 @@
+"""Tests for the figure-series export API."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureData,
+    all_figures,
+    fig_3_4_starbucks,
+    fig_3_5_tour,
+    fig_4_1_recent_vs_total,
+    fig_4_2_badges,
+    fig_4_3_user_map,
+)
+from repro.errors import ReproError
+
+
+class TestFigureData:
+    def test_rows_and_csv(self):
+        data = FigureData(
+            figure="x",
+            title="t",
+            columns={"a": [1.0, 2.0], "b": [3.0, 4.5]},
+        )
+        assert data.rows == 2
+        csv = data.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1] == "1,3"
+        assert csv.splitlines()[2] == "2,4.5"
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ReproError):
+            FigureData(
+                figure="x", title="t", columns={"a": [1.0], "b": [1.0, 2.0]}
+            )
+
+    def test_empty(self):
+        assert FigureData(figure="x", title="t").rows == 0
+
+
+class TestCorpusFigures:
+    def test_fig_3_4(self, crawl_db):
+        data = fig_3_4_starbucks(crawl_db)
+        assert data.rows > 10
+        assert set(data.columns) == {"longitude", "latitude"}
+        # All US/Europe longitudes are west of +20 east.
+        assert all(lon < 20.0 for lon in data.columns["longitude"])
+
+    def test_fig_4_1(self, crawl_db):
+        data = fig_4_1_recent_vs_total(crawl_db, bucket_width=50)
+        assert data.rows >= 3
+        assert data.columns["total_checkins"] == sorted(
+            data.columns["total_checkins"]
+        )
+
+    def test_fig_4_2(self, crawl_db):
+        data = fig_4_2_badges(crawl_db, bucket_width=100)
+        assert data.rows >= 3
+        assert all(b >= 0 for b in data.columns["average_badges"])
+
+    def test_fig_4_3(self, world, crawl_db):
+        data = fig_4_3_user_map(
+            crawl_db, world.roster.mega_cheater.user_id
+        )
+        assert data.rows > 10
+
+    def test_all_figures(self, world, crawl_db):
+        figures = all_figures(
+            crawl_db,
+            cheater_user_id=world.roster.mega_cheater.user_id,
+            normal_user_id=world.roster.power_users[0].user_id,
+        )
+        assert len(figures) == 5
+        for figure in figures:
+            assert figure.to_csv()
+
+
+class TestTourFigure:
+    def test_fig_3_5(self, world):
+        from repro.attack.tour import TourPlanner, VenueCatalog
+        from repro.geo.regions import city_by_name
+
+        planner = TourPlanner(VenueCatalog.from_service(world.service))
+        tour = planner.plan_city_spiral(
+            city_by_name("New York, NY").center, steps=20
+        )
+        data = fig_3_5_tour(tour)
+        assert data.rows == len(tour.stops)
+        assert set(data.columns) == {
+            "intended_longitude",
+            "intended_latitude",
+            "actual_longitude",
+            "actual_latitude",
+        }

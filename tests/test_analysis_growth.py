@@ -1,0 +1,92 @@
+"""Tests for the ID-clock growth model (§4.3's account-age inference)."""
+
+import pytest
+
+from repro.analysis.growth import (
+    GrowthModel,
+    activity_rates,
+    growth_model_from_crawl,
+)
+from repro.errors import ReproError
+
+
+class TestGrowthModel:
+    def test_newest_account_has_age_zero(self):
+        model = GrowthModel(max_user_id=1_000, service_age_days=500.0)
+        assert model.registration_age_days(1_000) == pytest.approx(0.0)
+
+    def test_first_account_is_service_age_old(self):
+        model = GrowthModel(max_user_id=1_000_000, service_age_days=500.0)
+        age = model.registration_age_days(1)
+        assert age == pytest.approx(500.0, rel=0.01)
+
+    def test_quadratic_growth_midpoint(self):
+        # With cumulative ∝ t², half the IDs registered by t = T/sqrt(2),
+        # so the median-ID account is T*(1 - 1/sqrt(2)) ≈ 0.293T old.
+        model = GrowthModel(max_user_id=1_000, service_age_days=500.0)
+        age = model.registration_age_days(500)
+        assert age == pytest.approx(500.0 * (1.0 - 0.5**0.5), rel=0.01)
+
+    def test_linear_growth_midpoint(self):
+        model = GrowthModel(
+            max_user_id=1_000, service_age_days=500.0, exponent=1.0
+        )
+        assert model.registration_age_days(500) == pytest.approx(250.0)
+
+    def test_age_monotone_decreasing_in_id(self):
+        model = GrowthModel(max_user_id=10_000, service_age_days=510.0)
+        ages = [model.registration_age_days(uid) for uid in (1, 100, 5_000, 10_000)]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_younger_than_inference(self):
+        # The §4.3 call: a high-ID account is "less than one year" old.
+        model = GrowthModel(max_user_id=1_890_000, service_age_days=520.0)
+        late_registrant = int(1_890_000 * 0.7)
+        assert model.account_younger_than(late_registrant, days=365.0)
+        assert not model.account_younger_than(1, days=365.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            GrowthModel(max_user_id=0, service_age_days=100.0)
+        with pytest.raises(ReproError):
+            GrowthModel(max_user_id=10, service_age_days=0.0)
+        with pytest.raises(ReproError):
+            GrowthModel(max_user_id=10, service_age_days=10.0, exponent=0.0)
+        model = GrowthModel(max_user_id=10, service_age_days=10.0)
+        with pytest.raises(ReproError):
+            model.registration_age_days(0)
+
+
+class TestFromCrawl:
+    def test_fit_from_world_crawl(self, world, crawl_db):
+        from repro.simnet.clock import SECONDS_PER_DAY
+
+        service_age = world.horizon_s / SECONDS_PER_DAY
+        model = growth_model_from_crawl(crawl_db, service_age_days=service_age)
+        assert model.max_user_id == max(u.user_id for u in crawl_db.users())
+        # Personas registered last -> youngest estimated accounts.
+        mega = world.roster.mega_cheater.user_id
+        assert model.registration_age_days(mega) < service_age * 0.1
+
+    def test_empty_crawl_rejected(self):
+        from repro.crawler.database import CrawlDatabase
+
+        with pytest.raises(ReproError):
+            growth_model_from_crawl(CrawlDatabase(), service_age_days=100.0)
+
+
+class TestActivityRates:
+    def test_caught_cheaters_top_the_rate_table(self, world, crawl_db):
+        """§4.2's 16-checkins-per-day evidence, sharpened by the ID clock:
+        the brute cheaters dominate the per-day rate ranking."""
+        from repro.simnet.clock import SECONDS_PER_DAY
+
+        model = growth_model_from_crawl(
+            crawl_db, service_age_days=world.horizon_s / SECONDS_PER_DAY
+        )
+        rates = activity_rates(crawl_db, model, min_total_checkins=100)
+        assert rates
+        top_ids = {r.user_id for r in rates[:10]}
+        caught = {s.user_id for s in world.roster.caught_cheaters}
+        assert caught & top_ids
+        assert rates[0].checkins_per_day > 3.0

@@ -1,0 +1,124 @@
+"""Tests for the Fig 4.3/4.4 geographic pattern analysis."""
+
+import pytest
+
+from repro.analysis.patterns import (
+    PatternVerdict,
+    analyze_pattern,
+    checkin_map,
+    cluster_cities,
+    scan_patterns,
+)
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.parser import ParsedVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.geo.regions import US_CITIES
+
+NYC = GeoPoint(40.7128, -74.0060)
+LA = GeoPoint(34.0522, -118.2437)
+
+
+def db_with_user_at(user_id, points):
+    db = CrawlDatabase()
+    for index, point in enumerate(points, start=1):
+        db.upsert_venue(
+            ParsedVenue(
+                venue_id=index,
+                name=f"V{index}",
+                address="",
+                city="",
+                latitude=point.latitude,
+                longitude=point.longitude,
+                checkins_here=1,
+                unique_visitors=1,
+                mayor_id=None,
+                special=None,
+                special_mayor_only=False,
+                recent_visitor_ids=[user_id],
+            )
+        )
+    return db
+
+
+class TestClusterCities:
+    def test_two_distant_cities(self):
+        points = [NYC, destination_point(NYC, 90.0, 500.0), LA]
+        clusters = cluster_cities(points)
+        assert len(clusters) == 2
+
+    def test_single_metro(self):
+        points = [destination_point(NYC, b, 5_000.0) for b in (0, 90, 180)]
+        assert len(cluster_cities(points)) == 1
+
+    def test_empty(self):
+        assert cluster_cities([]) == []
+
+    def test_invalid_radius(self):
+        with pytest.raises(ReproError):
+            cluster_cities([NYC], radius_m=0.0)
+
+    def test_all_us_cities_distinct(self):
+        centers = [city.center for city in US_CITIES]
+        clusters = cluster_cities(centers)
+        # The metro list was chosen with >60 km separations.
+        assert len(clusters) >= len(US_CITIES) - 3
+
+
+class TestCheckinMap:
+    def test_joins_recent_rows_to_coordinates(self):
+        db = db_with_user_at(1, [NYC, LA])
+        points = checkin_map(db, 1)
+        assert len(points) == 2
+
+    def test_unknown_user_empty(self):
+        assert checkin_map(CrawlDatabase(), 99) == []
+
+
+class TestAnalyzePattern:
+    def test_scattered_user_suspicious(self):
+        # 12 distinct metros: the Fig 4.3 shape.
+        points = [city.center for city in US_CITIES[:12]]
+        db = db_with_user_at(1, points)
+        report = analyze_pattern(db, 1, suspicious_city_count=10)
+        assert report.verdict is PatternVerdict.SUSPICIOUS
+        assert report.city_count >= 10
+        assert report.diameter_m > 1_000_000
+
+    def test_concentrated_user_normal(self):
+        # The Fig 4.4 shape: one home metro plus a vacation.
+        points = [destination_point(NYC, b * 36.0, 4_000.0) for b in range(8)]
+        points += [LA, destination_point(LA, 10.0, 2_000.0)]
+        db = db_with_user_at(1, points)
+        report = analyze_pattern(db, 1)
+        assert report.verdict is PatternVerdict.NORMAL
+        assert report.city_count == 2
+        assert report.concentration >= 0.5
+
+    def test_insufficient_data(self):
+        db = db_with_user_at(1, [NYC])
+        report = analyze_pattern(db, 1, min_points=5)
+        assert report.verdict is PatternVerdict.INSUFFICIENT_DATA
+        assert report.bbox is None
+
+
+class TestWorldPatterns:
+    def test_mega_cheater_vs_normal_user(self, world, crawl_db):
+        mega_report = analyze_pattern(
+            crawl_db, world.roster.mega_cheater.user_id
+        )
+        assert mega_report.verdict is PatternVerdict.SUSPICIOUS
+
+        # A power user concentrates in one city: normal verdict.
+        power_report = analyze_pattern(
+            crawl_db, world.roster.power_users[0].user_id
+        )
+        assert power_report.verdict is PatternVerdict.NORMAL
+        assert power_report.city_count <= 3
+
+    def test_scan_finds_the_mega_cheater_first(self, world, crawl_db):
+        reports = scan_patterns(crawl_db, min_recent_checkins=30)
+        assert reports
+        top_ids = [r.user_id for r in reports[:3]]
+        assert world.roster.mega_cheater.user_id in top_ids

@@ -1,0 +1,157 @@
+"""Tests for the §6.2.1 privacy-leakage analysis."""
+
+import pytest
+
+from repro.analysis.privacy import (
+    build_timelines,
+    find_co_locations,
+    infer_home,
+    privacy_exposure_report,
+)
+from repro.crawler.snapshots import SnapshotStore
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import LbsnWebServer
+from repro.simnet.clock import SECONDS_PER_DAY
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+LINCOLN = GeoPoint(40.8136, -96.7026)
+DENVER = GeoPoint(39.7392, -104.9903)
+
+
+@pytest.fixture
+def surveilled():
+    """A site crawled daily while two users live their lives."""
+    service = LbsnService()
+    alice = service.register_user("Alice")
+    bob = service.register_user("Bob")
+    home_venues = [
+        service.create_venue(
+            f"Lincoln {index}",
+            destination_point(LINCOLN, index * 30.0, 900.0 * (index + 1)),
+        )
+        for index in range(10)
+    ]
+    denver_venue = service.create_venue("Denver Stop", DENVER)
+
+    router = Router()
+    LbsnWebServer(service).install_routes(router)
+    network = Network(seed=4)
+    transport = HttpTransport(router, network, clock=service.clock)
+    store = SnapshotStore(transport, [network.create_egress()], service.clock)
+
+    store.take_snapshot()
+    # Ten days: Alice visits a different Lincoln venue each day; Bob joins
+    # her twice; Alice takes a one-day Denver trip on day 6.
+    for day in range(10):
+        service.clock.advance(SECONDS_PER_DAY)
+        now = service.clock.now()
+        if day == 6:
+            service.check_in(
+                alice.user_id, denver_venue.venue_id, DENVER, timestamp=now
+            )
+        else:
+            venue = home_venues[day]
+            service.check_in(
+                alice.user_id, venue.venue_id, venue.location, timestamp=now
+            )
+            if day in (2, 5):
+                service.check_in(
+                    bob.user_id,
+                    venue.venue_id,
+                    venue.location,
+                    timestamp=now + 1_800.0,
+                )
+        store.take_snapshot()
+    return service, alice, bob, store
+
+
+class TestTimelines:
+    def test_alice_timeline_reconstructed(self, surveilled):
+        service, alice, bob, store = surveilled
+        timelines = build_timelines(
+            store.diffs(), store.latest().database
+        )
+        assert alice.user_id in timelines
+        timeline = timelines[alice.user_id]
+        # Daily crawls bound each sighting to a one-day window.
+        assert timeline.sightings >= 8
+        for entry in timeline.entries:
+            assert entry.window_end - entry.window_start == pytest.approx(
+                SECONDS_PER_DAY
+            )
+
+    def test_entries_time_ordered(self, surveilled):
+        service, alice, bob, store = surveilled
+        timelines = build_timelines(store.diffs(), store.latest().database)
+        entries = timelines[alice.user_id].entries
+        starts = [entry.window_start for entry in entries]
+        assert starts == sorted(starts)
+
+    def test_between_filters_window(self, surveilled):
+        service, alice, bob, store = surveilled
+        timelines = build_timelines(store.diffs(), store.latest().database)
+        timeline = timelines[alice.user_id]
+        day3 = timeline.between(2 * SECONDS_PER_DAY, 3 * SECONDS_PER_DAY)
+        assert day3
+        assert len(day3) < timeline.sightings
+
+
+class TestHomeInference:
+    def test_home_is_lincoln_despite_the_trip(self, surveilled):
+        service, alice, bob, store = surveilled
+        timelines = build_timelines(store.diffs(), store.latest().database)
+        inference = infer_home(timelines[alice.user_id])
+        assert inference.home_center is not None
+        assert haversine_m(inference.home_center, LINCOLN) < 20_000.0
+        assert inference.confidence > 0.7
+
+    def test_empty_timeline(self):
+        from repro.analysis.privacy import LocationTimeline
+
+        inference = infer_home(LocationTimeline(user_id=9))
+        assert inference.home_center is None
+        assert inference.confidence == 0.0
+
+
+class TestCoLocation:
+    def test_repeated_co_appearances_found(self, surveilled):
+        service, alice, bob, store = surveilled
+        pairs = find_co_locations(store.diffs(), min_occurrences=2)
+        key = tuple(sorted((alice.user_id, bob.user_id)))
+        assert key in pairs
+        assert len(pairs[key]) == 2
+
+    def test_single_coincidence_filtered(self, surveilled):
+        service, alice, bob, store = surveilled
+        pairs = find_co_locations(store.diffs(), min_occurrences=3)
+        key = tuple(sorted((alice.user_id, bob.user_id)))
+        assert key not in pairs
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ReproError):
+            find_co_locations([], min_occurrences=0)
+
+
+class TestExposureReport:
+    def test_summary_counts(self, surveilled):
+        service, alice, bob, store = surveilled
+        report = privacy_exposure_report(
+            store.diffs(), store.latest().database
+        )
+        assert report.users_with_timelines == 2
+        assert report.total_sightings >= 10
+        assert report.median_time_bound_s == pytest.approx(SECONDS_PER_DAY)
+        assert report.homes_inferred == 2
+        assert report.high_confidence_homes >= 1
+        assert report.co_located_pairs == 1
+
+    def test_empty_input(self):
+        from repro.crawler.database import CrawlDatabase
+
+        report = privacy_exposure_report([], CrawlDatabase())
+        assert report.users_with_timelines == 0
+        assert report.median_time_bound_s == 0.0

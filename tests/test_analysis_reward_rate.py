@@ -1,0 +1,153 @@
+"""Tests for the Fig 4.2 analysis (badges vs check-ins, the extreme club)."""
+
+import pytest
+
+from repro.analysis.reward_rate import (
+    badges_vs_total_curve,
+    extreme_club,
+    low_reward_users,
+)
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.parser import ParsedUser, ParsedVenue
+from repro.errors import ReproError
+
+
+def seed_db(entries, mayor_of=None):
+    """entries: (user_id, total_checkins, total_badges) triples."""
+    db = CrawlDatabase()
+    for user_id, total, badges in entries:
+        db.upsert_user(
+            ParsedUser(
+                user_id=user_id,
+                display_name=f"U{user_id}",
+                username=None,
+                home_city="",
+                total_checkins=total,
+                total_badges=badges,
+                points=0,
+            )
+        )
+    venue_id = 0
+    for user_id in mayor_of or []:
+        venue_id += 1
+        db.upsert_venue(
+            ParsedVenue(
+                venue_id=venue_id,
+                name=f"V{venue_id}",
+                address="",
+                city="",
+                latitude=35.0,
+                longitude=-106.0,
+                checkins_here=1,
+                unique_visitors=1,
+                mayor_id=user_id,
+                special=None,
+                special_mayor_only=False,
+            )
+        )
+    db.recompute_derived()
+    return db
+
+
+class TestBadgeCurve:
+    def test_bucket_averaging(self):
+        db = seed_db([(1, 50, 4), (2, 60, 6), (3, 500, 30)])
+        curve = badges_vs_total_curve(db, bucket_width=100)
+        assert curve[0].average_badges == pytest.approx(5.0)
+        assert curve[0].users == 2
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ReproError):
+            badges_vs_total_curve(seed_db([]), bucket_width=0)
+
+    def test_fig42_rising_then_cheater_dip(self, world, crawl_db):
+        """Honest users' badges rise with check-ins; the caught-cheater
+        personas sit at huge totals with almost no badges."""
+        curve = badges_vs_total_curve(crawl_db, bucket_width=50)
+        low = next(p for p in curve if p.total_checkins < 100)
+        mid = [p for p in curve if 100 <= p.total_checkins <= 600]
+        assert mid
+        assert max(p.average_badges for p in mid) > low.average_badges
+
+        caught_ids = {s.user_id for s in world.roster.caught_cheaters}
+        for user_id in caught_ids:
+            row = crawl_db.user(user_id)
+            assert row.total_checkins > 300
+            assert row.total_badges < 20
+
+
+class TestLowRewardUsers:
+    def test_finds_heavy_badgeless_accounts(self):
+        db = seed_db([(1, 2_000, 2), (2, 2_000, 60), (3, 100, 0)])
+        rows = low_reward_users(db, min_total=1_000, max_badges=10)
+        assert [u.user_id for u in rows] == [1]
+
+    def test_sorted_by_total_descending(self):
+        db = seed_db([(1, 1_500, 1), (2, 3_000, 1)])
+        rows = low_reward_users(db)
+        assert [u.user_id for u in rows] == [2, 1]
+
+    def test_world_caught_cheaters_detected(self, world, crawl_db):
+        rows = low_reward_users(crawl_db, min_total=300, max_badges=15)
+        found = {u.user_id for u in rows}
+        for spec in world.roster.caught_cheaters:
+            assert spec.user_id in found
+
+
+class TestExtremeClub:
+    def test_two_groups_split_by_mayorships(self):
+        db = seed_db(
+            [(1, 6_000, 80), (2, 7_000, 3), (3, 100, 5)],
+            mayor_of=[1, 1, 1],
+        )
+        club = extreme_club(db, min_total=5_000)
+        assert club.size == 2
+        assert [u.user_id for u in club.with_mayorships] == [1]
+        assert [u.user_id for u in club.without_mayorships] == [2]
+
+    def test_sorted_by_total(self):
+        db = seed_db([(1, 6_000, 1), (2, 9_000, 1)])
+        club = extreme_club(db, min_total=5_000)
+        assert [u.user_id for u in club.members] == [2, 1]
+
+    def test_world_club_structure(self, world, crawl_db):
+        """§4.2: heavy accounts split into mayored power users and
+        near-mayorless caught cheaters (persona volumes are scaled down in
+        the test world, so the groups are compared directly rather than
+        through the absolute 5000-check-in threshold)."""
+        power_ids = {s.user_id for s in world.roster.power_users}
+        caught_ids = {s.user_id for s in world.roster.caught_cheaters}
+        # Power users hold far more mayorships than any caught cheater.
+        min_power = min(crawl_db.user(uid).total_mayors for uid in power_ids)
+        max_caught = max(crawl_db.user(uid).total_mayors for uid in caught_ids)
+        assert min_power > 3 * max_caught
+        assert min_power >= 10  # "mayor of tens of venues"
+        # ...and far more badges per check-in.
+        def badge_rate(uid):
+            row = crawl_db.user(uid)
+            return row.total_badges / max(1, row.total_checkins)
+
+        assert min(badge_rate(uid) for uid in power_ids) > 2 * max(
+            badge_rate(uid) for uid in caught_ids
+        )
+
+    def test_full_activity_club_is_persona_only(self):
+        """At full persona activity the >=5000 club is exactly the 11
+        injected accounts, split 6 / 5 by mayorships as in §4.2."""
+        from repro.crawler import crawl_full_site
+        from repro.workload import build_world, build_web_stack
+
+        # Tiny organic world, full-volume personas.
+        world = build_world(scale=0.0002, seed=99, persona_activity=1.0)
+        stack = build_web_stack(world)
+        database, _, _ = crawl_full_site(
+            stack.transport, [stack.network.create_egress()]
+        )
+        club = extreme_club(database, min_total=5_000)
+        assert club.size == 11
+        assert len(club.with_mayorships) == 6
+        assert len(club.without_mayorships) == 5
+        caught_ids = {s.user_id for s in world.roster.caught_cheaters}
+        assert {u.user_id for u in club.without_mayorships} == caught_ids
+        # The top account is the 12,500-check-in caught cheater.
+        assert club.members[0].user_id in caught_ids

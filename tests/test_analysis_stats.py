@@ -1,0 +1,69 @@
+"""Tests for the E8 population statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    compute_population_stats,
+    format_stats_table,
+)
+
+
+class TestWorldStats:
+    """All proportions measured against the thesis's anchors (E8)."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, crawl_db):
+        return compute_population_stats(crawl_db)
+
+    def test_zero_checkin_fraction(self, stats):
+        assert stats.zero_checkin_fraction == pytest.approx(0.363, abs=0.04)
+
+    def test_light_checkin_fraction(self, stats):
+        assert stats.light_checkin_fraction == pytest.approx(0.204, abs=0.04)
+
+    def test_more_than_half_under_six(self, stats):
+        assert stats.under_six_fraction > 0.5
+
+    def test_heavy_user_fraction(self, stats):
+        # Paper: 0.2% with >= 1000 check-ins.
+        assert 0.0 < stats.heavy_user_fraction < 0.01
+
+    def test_username_fraction(self, stats):
+        assert stats.username_fraction == pytest.approx(0.261, abs=0.05)
+
+    def test_one_visitor_exceeds_one_checkin_venues(self, stats):
+        # Paper: 2,014,305 one-visitor venues > 1,291,125 one-check-in
+        # venues (a single visitor may check in repeatedly).
+        assert stats.venues_with_one_visitor > stats.venues_with_one_checkin
+        assert stats.venues_with_one_checkin > 0
+
+    def test_mayor_only_specials_dominate(self, stats):
+        assert stats.mayor_only_special_fraction > 0.9
+
+    def test_average_mayorships_per_mayor(self, stats):
+        # Paper: 5.45 on average; assert the same order of magnitude.
+        assert 2.0 < stats.average_mayorships_per_mayor < 12.0
+
+    def test_mayored_venues_exceed_mayor_holders(self, stats):
+        assert stats.venues_with_mayors > stats.users_with_mayorships
+
+    def test_recent_records_many_per_user(self, stats):
+        # Paper: 20 M records over 1.89 M users (>= 10 per user is a
+        # lower bound; ours counts only surviving list entries).
+        assert stats.recent_checkin_records > stats.users
+
+    def test_format_table_rows(self, stats):
+        rows = format_stats_table(stats)
+        assert len(rows) >= 12
+        assert any("36.3%" in row for row in rows)
+        assert any("Starbucks" not in row for row in rows)
+
+
+class TestEmptyDatabase:
+    def test_zero_safe(self):
+        from repro.crawler.database import CrawlDatabase
+
+        stats = compute_population_stats(CrawlDatabase())
+        assert stats.users == 0
+        assert stats.zero_checkin_fraction == 0.0
+        assert stats.average_mayorships_per_mayor == 0.0

@@ -1,0 +1,136 @@
+"""Tests for tips and the §2.2 badmouthing attack."""
+
+import pytest
+
+from repro.attack.badmouth import BadmouthCampaign
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.targeting import TargetVenue
+from repro.crawler.parser import parse_venue_page
+from repro.errors import ReproError, ServiceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import LbsnWebServer
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+class TestTips:
+    def test_tip_requires_valid_checkin(self, service):
+        user = service.register_user("U")
+        venue = service.create_venue("V", ABQ)
+        with pytest.raises(ServiceError):
+            service.post_tip(user.user_id, venue.venue_id, "nice place")
+        service.check_in(user.user_id, venue.venue_id, ABQ)
+        tip = service.post_tip(user.user_id, venue.venue_id, "nice place")
+        assert tip.author_id == user.user_id
+        assert venue.tips == [tip]
+
+    def test_empty_tip_rejected(self, service):
+        user = service.register_user("U")
+        venue = service.create_venue("V", ABQ)
+        service.check_in(user.user_id, venue.venue_id, ABQ)
+        with pytest.raises(ServiceError):
+            service.post_tip(user.user_id, venue.venue_id, "")
+
+    def test_flagged_checkin_does_not_unlock_tips(self, service):
+        # A flagged (super-human-speed) check-in earns no tip rights.
+        user = service.register_user("U")
+        near = service.create_venue("Near", ABQ)
+        far = service.create_venue(
+            "Far", GeoPoint(37.7749, -122.4194)
+        )
+        service.check_in(user.user_id, near.venue_id, ABQ, timestamp=0.0)
+        result = service.check_in(
+            user.user_id, far.venue_id, far.location, timestamp=60.0
+        )
+        assert not result.rewarded
+        with pytest.raises(ServiceError):
+            service.post_tip(user.user_id, far.venue_id, "meh")
+
+    def test_tips_rendered_and_crawlable(self, service):
+        user = service.register_user("U")
+        venue = service.create_venue("V", ABQ)
+        service.check_in(user.user_id, venue.venue_id, ABQ)
+        service.post_tip(user.user_id, venue.venue_id, "Great <coffee> & cake")
+        page = LbsnWebServer(service).render_venue(venue)
+        parsed = parse_venue_page(page)
+        assert parsed.tips == [(user.user_id, "Great <coffee> & cake")]
+
+
+class TestBadmouthCampaign:
+    def _competitors(self, service, count=5):
+        venues = [
+            service.create_venue(
+                f"Rival {index}",
+                destination_point(ABQ, index * 50.0, 900.0 + 400.0 * index),
+            )
+            for index in range(count)
+        ]
+        return [
+            TargetVenue(
+                venue_id=venue.venue_id,
+                name=venue.name,
+                latitude=venue.location.latitude,
+                longitude=venue.location.longitude,
+                special=None,
+                reason="competitor",
+            )
+            for venue in venues
+        ]
+
+    def test_smear_posts_everywhere_undetected(self, service):
+        targets = self._competitors(service)
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = BadmouthCampaign(service, channel, user.user_id)
+        report = campaign.smear(targets)
+        assert report.checkins_attempted == 5
+        assert report.detected == 0
+        assert report.tips_posted == 5
+        assert report.tips_refused == 0
+        for target in targets:
+            venue = service.store.get_venue(target.venue_id)
+            assert venue.tips
+            assert venue.tips[0].author_id == user.user_id
+
+    def test_custom_text_picker(self, service):
+        targets = self._competitors(service, count=2)
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = BadmouthCampaign(service, channel, user.user_id)
+        report = campaign.smear(
+            targets, text_picker=lambda target, index: f"bad #{index}"
+        )
+        assert report.posted_texts == ["bad #0", "bad #1"]
+
+    def test_empty_target_list_rejected(self, service):
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = BadmouthCampaign(service, channel, user.user_id)
+        with pytest.raises(ReproError):
+            campaign.smear([])
+
+    def test_remote_smear_across_country(self, service):
+        """The attacker badmouths venues in another state entirely."""
+        sf = GeoPoint(37.7749, -122.4194)
+        venues = [
+            service.create_venue(
+                f"SF Rival {index}",
+                destination_point(sf, index * 60.0, 1_000.0 * (index + 1)),
+            )
+            for index in range(3)
+        ]
+        targets = [
+            TargetVenue(
+                venue_id=venue.venue_id,
+                name=venue.name,
+                latitude=venue.location.latitude,
+                longitude=venue.location.longitude,
+                special=None,
+                reason="competitor",
+            )
+            for venue in venues
+        ]
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = BadmouthCampaign(service, channel, user.user_id)
+        report = campaign.smear(targets)
+        assert report.tips_posted == 3
+        assert report.detected == 0

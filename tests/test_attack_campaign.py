@@ -1,0 +1,157 @@
+"""Integration tests for end-to-end cheating campaigns (§3.3-§3.4)."""
+
+import pytest
+
+from repro.attack.campaign import CheatingCampaign, greedy_route, tour_from_targets
+from repro.attack.scheduler import CheckInScheduler
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.targeting import TargetVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.models import Special
+from repro.lbsn.service import LbsnService
+from repro.simnet.clock import SECONDS_PER_DAY, SimClock
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+def target_from_venue(venue, reason="test"):
+    return TargetVenue(
+        venue_id=venue.venue_id,
+        name=venue.name,
+        latitude=venue.location.latitude,
+        longitude=venue.location.longitude,
+        special=venue.special.description if venue.special else None,
+        reason=reason,
+    )
+
+
+class TestGreedyRoute:
+    def test_orders_by_nearest_neighbour(self):
+        targets = [
+            TargetVenue(1, "far", 36.0, -106.65, None, ""),
+            TargetVenue(2, "near", 35.09, -106.65, None, ""),
+            TargetVenue(3, "mid", 35.5, -106.65, None, ""),
+        ]
+        route = greedy_route(targets, start=ABQ)
+        assert [t.venue_id for t in route] == [2, 3, 1]
+
+    def test_without_start_begins_at_first(self):
+        targets = [
+            TargetVenue(1, "a", 35.0, -106.0, None, ""),
+            TargetVenue(2, "b", 36.0, -106.0, None, ""),
+        ]
+        route = greedy_route(targets)
+        assert route[0].venue_id == 1
+
+    def test_empty(self):
+        assert greedy_route([]) == []
+
+    def test_tour_from_targets_preserves_order(self):
+        targets = [
+            TargetVenue(5, "a", 35.0, -106.0, None, ""),
+            TargetVenue(9, "b", 36.0, -106.0, None, ""),
+        ]
+        assert tour_from_targets(targets).venue_ids == [5, 9]
+
+
+@pytest.fixture
+def harvest_world():
+    service = LbsnService()
+    venues = []
+    for index in range(8):
+        venues.append(
+            service.create_venue(
+                f"Special Cafe {index}",
+                destination_point(ABQ, index * 45.0, 1_000.0 + index * 700.0),
+                special=Special(f"Mayor special {index}"),
+            )
+        )
+    user, emulator, channel = build_emulator_attacker(service)
+    return service, venues, user, channel
+
+
+class TestHarvest:
+    def test_harvest_wins_every_unclaimed_mayorship(self, harvest_world):
+        service, venues, user, channel = harvest_world
+        campaign = CheatingCampaign(service.clock, channel)
+        targets = [target_from_venue(v) for v in venues]
+        report = campaign.harvest(targets, start=ABQ)
+        assert report.attempts == len(venues)
+        assert report.detected == 0
+        assert report.mayorships_won == len(venues)
+        assert len(report.specials) == len(venues)
+        assert service.mayorship_count(user.user_id) == len(venues)
+
+    def test_harvest_requires_targets(self, harvest_world):
+        service, venues, user, channel = harvest_world
+        campaign = CheatingCampaign(service.clock, channel)
+        with pytest.raises(ReproError):
+            campaign.harvest([])
+
+
+class TestMayorshipDenial:
+    def test_denial_strips_victim_crowns(self):
+        service = LbsnService()
+        victim = service.register_user("Victim")
+        venues = [
+            service.create_venue(
+                f"Venue {index}",
+                destination_point(ABQ, index * 60.0, 1_200.0 * (index + 1)),
+            )
+            for index in range(3)
+        ]
+        # The victim holds all three mayorships via one check-in each.
+        for index, venue in enumerate(venues):
+            result = service.check_in(
+                victim.user_id,
+                venue.venue_id,
+                venue.location,
+                timestamp=index * 7_200.0,
+            )
+            assert result.became_mayor
+        assert service.mayorship_count(victim.user_id) == 3
+
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = CheatingCampaign(service.clock, channel)
+        targets = [target_from_venue(v, "denial") for v in venues]
+        report = campaign.mayorship_denial(targets, days=3)
+        assert report.detected == 0
+        assert service.mayorship_count(victim.user_id) == 0
+        assert service.mayorship_count(user.user_id) == 3
+        assert report.mayorships_won == 3
+
+    def test_denial_validates_inputs(self):
+        service = LbsnService()
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = CheatingCampaign(service.clock, channel)
+        with pytest.raises(ReproError):
+            campaign.mayorship_denial([], days=3)
+        with pytest.raises(ReproError):
+            campaign.mayorship_denial(
+                [TargetVenue(1, "x", 35.0, -106.0, None, "")], days=0
+            )
+
+
+class TestMaintenance:
+    def test_incumbent_with_daily_checkins_is_unbeatable(self):
+        # §2.1's observation, exercised through the campaign API.
+        service = LbsnService()
+        venue = service.create_venue("Contested", ABQ)
+        user, emulator, channel = build_emulator_attacker(service)
+        campaign = CheatingCampaign(service.clock, channel)
+        target = target_from_venue(venue, "maintain")
+        campaign.maintain_mayorships([target], days=5)
+        assert venue.mayor_id == user.user_id
+
+        # A rival with a couple of check-ins cannot take the crown.
+        rival = service.register_user("Rival")
+        for day in range(2):
+            service.check_in(
+                rival.user_id,
+                venue.venue_id,
+                ABQ,
+                timestamp=service.clock.now() + day * SECONDS_PER_DAY + 60.0,
+            )
+        assert venue.mayor_id == user.user_id

@@ -1,0 +1,188 @@
+"""Tests for the naive-bot baseline and the multi-account fleet."""
+
+import pytest
+
+from repro.attack.fleet import AttackFleet, partition_targets
+from repro.attack.naive import NaiveAutoCheckinBot, NaiveBotConfig
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.targeting import TargetVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.geo.regions import US_CITIES
+from repro.lbsn.service import LbsnService
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+def targets_from_venues(venues):
+    return [
+        TargetVenue(
+            venue_id=venue.venue_id,
+            name=venue.name,
+            latitude=venue.location.latitude,
+            longitude=venue.location.longitude,
+            special=None,
+            reason="test",
+        )
+        for venue in venues
+    ]
+
+
+def cross_country_service(count=12):
+    service = LbsnService()
+    venues = [
+        service.create_venue(f"V{index}", US_CITIES[index % len(US_CITIES)].center)
+        for index in range(count)
+    ]
+    return service, venues
+
+
+def city_service(count=12):
+    service = LbsnService()
+    venues = [
+        service.create_venue(
+            f"V{index}",
+            destination_point(ABQ, index * 30.0, 800.0 + 150.0 * index),
+        )
+        for index in range(count)
+    ]
+    return service, venues
+
+
+class TestNaiveBot:
+    def test_cross_country_bot_gets_caught(self):
+        # The §2.2 baseline: Autosquare-style hammering across cities is
+        # flagged almost immediately by the speed rule.
+        service, venues = cross_country_service()
+        _, _, channel = build_emulator_attacker(service)
+        bot = NaiveAutoCheckinBot(service.clock, channel)
+        report = bot.run(targets_from_venues(venues))
+        assert report.attempts == len(venues)
+        assert report.detected >= report.attempts - 2
+        assert report.rewarded <= 2
+
+    def test_scheduler_beats_naive_on_same_targets(self):
+        # Head-to-head: same targets, naive bot vs the §3.3 scheduler.
+        from repro.attack.campaign import CheatingCampaign
+
+        service, venues = cross_country_service()
+        targets = targets_from_venues(venues)
+
+        _, _, naive_channel = build_emulator_attacker(service)
+        naive = NaiveAutoCheckinBot(service.clock, naive_channel).run(targets)
+
+        _, _, smart_channel = build_emulator_attacker(service)
+        campaign = CheatingCampaign(service.clock, smart_channel)
+        smart = campaign.harvest(targets)
+
+        assert naive.detected > 0
+        assert smart.detected == 0
+        assert smart.rewarded > naive.rewarded
+
+    def test_dense_city_bot_trips_rapid_fire_or_frequent(self):
+        service = LbsnService()
+        venues = [
+            service.create_venue(
+                f"Mall {index}", destination_point(ABQ, index * 30.0, 60.0)
+            )
+            for index in range(8)
+        ]
+        _, _, channel = build_emulator_attacker(service)
+        bot = NaiveAutoCheckinBot(
+            service.clock, channel, NaiveBotConfig(interval_s=30.0)
+        )
+        report = bot.run(targets_from_venues(venues))
+        assert report.flagged > 0
+
+    def test_invalid_inputs(self):
+        service = LbsnService()
+        _, _, channel = build_emulator_attacker(service)
+        with pytest.raises(ReproError):
+            NaiveAutoCheckinBot(
+                service.clock, channel, NaiveBotConfig(interval_s=0.0)
+            )
+        bot = NaiveAutoCheckinBot(service.clock, channel)
+        with pytest.raises(ReproError):
+            bot.run([])
+
+
+class TestPartitioning:
+    def test_partition_counts(self):
+        service, venues = city_service(10)
+        targets = targets_from_venues(venues)
+        batches = partition_targets(targets, 3)
+        assert sum(len(batch) for batch in batches) == 10
+        assert all(batch for batch in batches)
+
+    def test_partition_is_geographically_coherent(self):
+        # Two far-apart clusters, two accounts: each account should get
+        # one cluster, not a mix.
+        service = LbsnService()
+        cluster_a = [
+            service.create_venue(
+                f"A{index}", destination_point(ABQ, index * 40.0, 500.0)
+            )
+            for index in range(4)
+        ]
+        far = destination_point(ABQ, 90.0, 800_000.0)
+        cluster_b = [
+            service.create_venue(
+                f"B{index}", destination_point(far, index * 40.0, 500.0)
+            )
+            for index in range(4)
+        ]
+        targets = targets_from_venues(cluster_a + cluster_b)
+        batches = partition_targets(targets, 2)
+        for batch in batches:
+            points = [GeoPoint(t.latitude, t.longitude) for t in batch]
+            spread = max(
+                haversine_m(points[0], point) for point in points
+            )
+            assert spread < 100_000.0
+
+    def test_single_account_gets_everything(self):
+        service, venues = city_service(5)
+        batches = partition_targets(targets_from_venues(venues), 1)
+        assert len(batches) == 1
+        assert len(batches[0]) == 5
+
+    def test_invalid_account_count(self):
+        with pytest.raises(ReproError):
+            partition_targets([], 0)
+
+
+class TestFleet:
+    def test_fleet_sweeps_undetected(self):
+        service, venues = city_service(12)
+        fleet = AttackFleet(service, accounts=3)
+        report = fleet.sweep(targets_from_venues(venues))
+        assert report.accounts == 3
+        assert report.attempts == 12
+        assert report.detected == 0
+        assert report.rewarded == 12
+        assert report.mayorships_won == 12
+
+    def test_fleet_makespan_shrinks_with_accounts(self):
+        # More accounts = shorter per-account sweeps: the scale-up payoff.
+        def makespan(accounts):
+            service, venues = cross_country_service(12)
+            fleet = AttackFleet(service, accounts=accounts)
+            return fleet.sweep(targets_from_venues(venues)).makespan_s
+
+        assert makespan(4) < makespan(1)
+
+    def test_fleet_accounts_are_distinct_users(self):
+        service, venues = city_service(6)
+        fleet = AttackFleet(service, accounts=3)
+        fleet.sweep(targets_from_venues(venues))
+        names = {
+            user.display_name
+            for user in service.store.iter_users()
+            if user.display_name.startswith("Fleet Account")
+        }
+        assert len(names) == 3
+
+    def test_invalid_fleet_size(self):
+        with pytest.raises(ReproError):
+            AttackFleet(LbsnService(), accounts=0)

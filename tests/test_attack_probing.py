@@ -1,0 +1,116 @@
+"""Tests for black-box rule discovery (the thesis's own methodology)."""
+
+import pytest
+
+from repro.attack.probing import ProbedEnvelope, RuleProber
+from repro.errors import ReproError
+from repro.lbsn.cheater_code import CheaterCode, CheaterCodeConfig
+from repro.lbsn.service import LbsnService
+
+
+def service_with(config=None):
+    service = LbsnService()
+    if config is not None:
+        service.cheater_code = CheaterCode(config)
+    return service
+
+
+class TestIndividualProbes:
+    def test_discovers_the_one_hour_holddown(self):
+        prober = RuleProber(service_with())
+        hold = prober.probe_same_venue_hold()
+        # True boundary: 3600 s.  The probe returns an accepted value
+        # within its resolution of the boundary, from above.
+        assert 3_600.0 <= hold <= 3_600.0 * 1.1
+
+    def test_discovers_a_custom_holddown(self):
+        config = CheaterCodeConfig(same_venue_interval_s=7_200.0)
+        prober = RuleProber(service_with(config))
+        hold = prober.probe_same_venue_hold()
+        assert 7_200.0 <= hold <= 7_200.0 * 1.1
+
+    def test_discovers_the_speed_ceiling(self):
+        prober = RuleProber(service_with())
+        speed = prober.probe_speed_ceiling()
+        # True ceiling: 67 m/s; probe returns accepted value just below.
+        assert 0.85 * 67.0 <= speed <= 67.0
+
+    def test_discovers_a_custom_speed_ceiling(self):
+        config = CheaterCodeConfig(max_speed_mps=200.0)
+        prober = RuleProber(service_with(config))
+        speed = prober.probe_speed_ceiling()
+        assert 0.85 * 200.0 <= speed <= 200.0
+
+    def test_discovers_the_rapid_fire_gap(self):
+        prober = RuleProber(service_with())
+        gap = prober.probe_rapid_fire_gap()
+        # The rule's chain-break boundary is interval * 1.5 = 90 s.
+        assert 85.0 <= gap <= 110.0
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ReproError):
+            RuleProber(service_with(), resolution=0.0)
+
+
+class TestEnvelope:
+    def test_probe_all_assembles_envelope(self):
+        envelope = RuleProber(service_with()).probe_all()
+        assert envelope.same_venue_hold_s >= 3_600.0
+        assert envelope.safe_speed_mps <= 67.0
+        assert envelope.rapid_fire_safe_gap_s >= 85.0
+
+    def test_interval_for_respects_speed_margin(self):
+        envelope = ProbedEnvelope(
+            same_venue_hold_s=3_700.0,
+            safe_speed_mps=60.0,
+            rapid_fire_safe_gap_s=100.0,
+        )
+        interval = envelope.interval_for(48_000.0)  # 48 km hop
+        implied = 48_000.0 / interval
+        assert implied <= 60.0 * 0.8 + 1e-9
+        # Short hops floor at the rapid-fire-safe spacing.
+        assert envelope.interval_for(10.0) == 100.0
+
+    def test_probed_envelope_schedules_cleanly_on_a_strict_service(self):
+        """End-to-end generalisation: probe a STRICTER-than-Foursquare
+        service, then run an attack paced by the probed envelope —
+        undetected, where the stock scheduler would have been flagged."""
+        from repro.attack.spoofing import build_emulator_attacker
+        from repro.geo.coordinates import GeoPoint
+        from repro.geo.distance import destination_point
+
+        config = CheaterCodeConfig(
+            max_speed_mps=3.0,  # walking pace only!
+            same_venue_interval_s=2.0 * 3_600.0,
+        )
+        service = service_with(config)
+        prober = RuleProber(service)
+        envelope = prober.probe_all()
+        assert envelope.safe_speed_mps <= 3.0
+
+        anchor = GeoPoint(35.2, -106.6)
+        venues = [
+            service.create_venue(
+                f"Strict V{index}",
+                destination_point(anchor, index * 40.0, 4_000.0 * (index + 1)),
+            )
+            for index in range(5)
+        ]
+        _, _, channel = build_emulator_attacker(service)
+        timestamp = service.clock.now()
+        previous = None
+        detected = 0
+        for venue in venues:
+            if previous is not None:
+                from repro.geo.distance import haversine_m
+
+                hop = haversine_m(previous.location, venue.location)
+                timestamp += envelope.interval_for(hop)
+            if timestamp > service.clock.now():
+                service.clock.advance_to(timestamp)
+            channel.set_location(venue.location)
+            outcome = channel.check_in(venue.venue_id)
+            if not outcome.rewarded:
+                detected += 1
+            previous = venue
+        assert detected == 0

@@ -1,0 +1,172 @@
+"""Unit tests for the cheater-code-evading scheduler (§3.3)."""
+
+import pytest
+
+from repro.attack.scheduler import (
+    BASE_INTERVAL_S,
+    CheckInScheduler,
+    ExecutionReport,
+    interval_for_distance,
+)
+from repro.attack.spoofing import SpoofOutcome
+from repro.attack.tour import PlannedTour, TourStop
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.models import CheckInStatus
+from repro.simnet.clock import SimClock
+
+START = GeoPoint(35.06, -106.62)
+
+
+def tour_of(points_and_ids):
+    tour = PlannedTour()
+    for venue_id, location in points_and_ids:
+        tour.stops.append(
+            TourStop(intended=location, venue_id=venue_id, venue_location=location)
+        )
+    return tour
+
+
+class TestIntervalRule:
+    def test_under_one_mile_is_five_minutes(self):
+        # "for distance D less than 1 mile, we should set T to 5 minutes"
+        assert interval_for_distance(0.0) == BASE_INTERVAL_S
+        assert interval_for_distance(0.9 * METERS_PER_MILE) == BASE_INTERVAL_S
+
+    def test_exactly_one_mile_is_five_minutes(self):
+        assert interval_for_distance(METERS_PER_MILE) == BASE_INTERVAL_S
+
+    def test_beyond_one_mile_scales_linearly(self):
+        # "if D > 1 mile, we let T = D * 5 minutes"
+        assert interval_for_distance(3.0 * METERS_PER_MILE) == pytest.approx(
+            3.0 * BASE_INTERVAL_S
+        )
+        assert interval_for_distance(100.0 * METERS_PER_MILE) == pytest.approx(
+            100.0 * BASE_INTERVAL_S
+        )
+
+
+class TestBuild:
+    def test_intervals_follow_distance(self):
+        clock = SimClock()
+        scheduler = CheckInScheduler(clock)
+        near = destination_point(START, 90.0, 0.5 * METERS_PER_MILE)
+        far = destination_point(near, 90.0, 2.0 * METERS_PER_MILE)
+        schedule = scheduler.build(tour_of([(1, START), (2, near), (3, far)]))
+        entries = schedule.entries
+        assert entries[1].fire_at - entries[0].fire_at == pytest.approx(
+            BASE_INTERVAL_S
+        )
+        assert entries[2].fire_at - entries[1].fire_at == pytest.approx(
+            2.0 * BASE_INTERVAL_S, rel=0.01
+        )
+
+    def test_same_venue_pushed_past_holddown(self):
+        clock = SimClock()
+        scheduler = CheckInScheduler(clock)
+        near = destination_point(START, 90.0, 300.0)
+        schedule = scheduler.build(
+            tour_of([(1, START), (2, near), (1, START)])
+        )
+        gap = schedule.entries[2].fire_at - schedule.entries[0].fire_at
+        assert gap > 3_600.0
+
+    def test_empty_tour(self):
+        scheduler = CheckInScheduler(SimClock())
+        schedule = scheduler.build(PlannedTour())
+        assert len(schedule) == 0
+        assert schedule.duration_s == 0.0
+
+    def test_lead_in_from_previous_execution(self):
+        # After executing a schedule, the next one must respect the
+        # distance from the last check-in (no super-human hand-off).
+        clock = SimClock()
+        scheduler = CheckInScheduler(clock)
+
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def set_location(self, location):
+                pass
+
+            def check_in(self, venue_id):
+                self.calls.append((venue_id, clock.now()))
+                return SpoofOutcome(status=CheckInStatus.VALID)
+
+        recorder = Recorder()
+        first = scheduler.build(tour_of([(1, START)]))
+        scheduler.execute(first, recorder)
+        far = destination_point(START, 90.0, 100.0 * METERS_PER_MILE)
+        second = scheduler.build(tour_of([(2, far)]))
+        lead = second.entries[0].fire_at - first.entries[0].fire_at
+        assert lead >= 0.98 * 100.0 * BASE_INTERVAL_S
+
+
+class TestExecute:
+    def test_clock_advances_to_each_entry(self):
+        clock = SimClock()
+        scheduler = CheckInScheduler(clock)
+        timestamps = []
+
+        class Channel:
+            def set_location(self, location):
+                pass
+
+            def check_in(self, venue_id):
+                timestamps.append(clock.now())
+                return SpoofOutcome(status=CheckInStatus.VALID)
+
+        near = destination_point(START, 90.0, 200.0)
+        schedule = scheduler.build(tour_of([(1, START), (2, near)]))
+        scheduler.execute(schedule, Channel())
+        assert timestamps == [entry.fire_at for entry in schedule.entries]
+
+    def test_report_tallies_outcomes(self):
+        clock = SimClock()
+        scheduler = CheckInScheduler(clock)
+        outcomes = iter(
+            [
+                SpoofOutcome(
+                    status=CheckInStatus.VALID,
+                    points=5,
+                    new_badges=["Newbie"],
+                    became_mayor=True,
+                    special="Free coffee",
+                ),
+                SpoofOutcome(status=CheckInStatus.FLAGGED),
+                SpoofOutcome(status=CheckInStatus.REJECTED),
+            ]
+        )
+
+        class Channel:
+            def set_location(self, location):
+                pass
+
+            def check_in(self, venue_id):
+                return next(outcomes)
+
+        points = [
+            destination_point(START, 90.0, index * 400.0) for index in range(3)
+        ]
+        schedule = scheduler.build(
+            tour_of([(i + 1, p) for i, p in enumerate(points)])
+        )
+        report = scheduler.execute(schedule, Channel())
+        assert report.attempts == 3
+        assert report.rewarded == 1
+        assert report.flagged == 1
+        assert report.rejected == 1
+        assert report.detected == 2
+        assert not report.undetected
+        assert report.points == 5
+        assert report.badges == ["Newbie"]
+        assert report.mayorships_won == 1
+        assert report.specials == ["Free coffee"]
+
+
+class TestExecutionReport:
+    def test_undetected_requires_attempts(self):
+        assert not ExecutionReport().undetected
+        report = ExecutionReport(attempts=5)
+        assert report.undetected

@@ -1,0 +1,181 @@
+"""Unit tests for the four spoofing channels (§3.1) — the E1 experiment.
+
+Every channel must pass GPS verification for a check-in thousands of miles
+from the attacker's real position, and the outcomes must be identical in
+the service's eyes: the root cause is that the server trusts the reported
+coordinates, whatever layer produced them.
+"""
+
+import pytest
+
+from repro.attack.spoofing import (
+    ApiHookSpoofer,
+    BluetoothSpoofer,
+    EmulatorSpoofer,
+    GpsModuleSpoofer,
+    ServerApiSpoofer,
+    SpoofOutcome,
+    build_emulator_attacker,
+)
+from repro.device.client_app import LbsnClientApp
+from repro.device.emulator import Device, DeviceEmulator
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.api import LbsnApiServer
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+ABQ = GeoPoint(35.0844, -106.6504)  # the attacker's real location
+SF = GeoPoint(37.8080, -122.4177)  # Fisherman's Wharf
+
+
+@pytest.fixture
+def service_with_wharf():
+    service = LbsnService()
+    wharf = service.create_venue(
+        "Fisherman's Wharf Sign", SF, city="San Francisco, CA"
+    )
+    return service, wharf
+
+
+def make_device_channel(service, channel_class):
+    user = service.register_user("Attacker")
+    device = Device(service.clock, ABQ, gps_seed=2)
+    app = LbsnClientApp(service, device.location_api, user.user_id)
+    return user, channel_class(device, app)
+
+
+class TestChannelOneApiHook:
+    def test_remote_checkin_rewarded(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, channel = make_device_channel(service, ApiHookSpoofer)
+        channel.set_location(SF)
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.status is CheckInStatus.VALID
+        assert outcome.rewarded
+        assert outcome.became_mayor
+
+    def test_restore_returns_to_truth(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, channel = make_device_channel(service, ApiHookSpoofer)
+        channel.set_location(SF)
+        channel.restore()
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.status is CheckInStatus.REJECTED
+
+
+class TestChannelTwoGpsModule:
+    def test_hardware_hack_rewarded(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, channel = make_device_channel(service, GpsModuleSpoofer)
+        channel.set_location(SF)
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.rewarded
+
+    def test_bluetooth_simulator_rewarded(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, channel = make_device_channel(service, BluetoothSpoofer)
+        channel.set_location(SF)
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.rewarded
+
+
+class TestChannelThreeServerApi:
+    def test_api_checkin_rewarded(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user = service.register_user("API Attacker")
+        api_server = LbsnApiServer(service)
+        router = Router()
+        api_server.install_routes(router)
+        network = Network(seed=1)
+        transport = HttpTransport(router, network)
+        egress = network.create_egress()
+        token = api_server.tokens.issue(user.user_id)
+        channel = ServerApiSpoofer(transport, egress, token)
+        channel.set_location(SF)
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.status is CheckInStatus.VALID
+        assert outcome.became_mayor
+        assert outcome.points > 0
+
+    def test_checkin_without_location_raises(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user = service.register_user("API Attacker")
+        api_server = LbsnApiServer(service)
+        router = Router()
+        api_server.install_routes(router)
+        network = Network(seed=1)
+        transport = HttpTransport(router, network)
+        channel = ServerApiSpoofer(
+            transport, network.create_egress(), api_server.tokens.issue(user.user_id)
+        )
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            channel.check_in(wharf.venue_id)
+
+
+class TestChannelFourEmulator:
+    def test_build_emulator_attacker_end_to_end(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, emulator, channel = build_emulator_attacker(service)
+        assert emulator.market_enabled  # recovery image flashed
+        channel.set_location(SF)
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.rewarded
+        assert outcome.became_mayor
+
+    def test_geo_fix_failure_raises(self, service_with_wharf):
+        service, wharf = service_with_wharf
+        user, emulator, channel = build_emulator_attacker(service)
+
+        class BrokenConsole:
+            def execute(self, command):
+                return "KO: console locked"
+
+        emulator.console = BrokenConsole()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            channel.set_location(SF)
+
+
+class TestE1FullStory:
+    def test_badge_and_mayorship_like_the_thesis(self, service_with_wharf):
+        """§3.1's experiment: 10 distinct venues -> Adventurer; 4 daily
+        check-ins at Fisherman's Wharf -> mayorship maintained."""
+        service, wharf = service_with_wharf
+        from repro.geo.distance import destination_point
+
+        venues = [wharf] + [
+            service.create_venue(
+                f"SF Venue {index}",
+                destination_point(SF, index * 36.0, 2_000.0 + index * 120.0),
+            )
+            for index in range(9)
+        ]
+        user, emulator, channel = build_emulator_attacker(service)
+        earned = []
+        for index, venue in enumerate(venues):
+            service.clock.advance(1_800.0)
+            channel.set_location(venue.location)
+            outcome = channel.check_in(venue.venue_id)
+            assert outcome.rewarded
+            earned.extend(outcome.new_badges)
+        assert "Adventurer" in earned
+
+        # Keep checking into the Wharf daily; the crown stays ours.
+        for _ in range(4):
+            service.clock.advance(86_400.0)
+            channel.set_location(SF)
+            outcome = channel.check_in(wharf.venue_id)
+            assert outcome.rewarded
+        assert wharf.mayor_id == user.user_id
+
+
+class TestSpoofOutcome:
+    def test_rewarded_property(self):
+        assert SpoofOutcome(status=CheckInStatus.VALID).rewarded
+        assert not SpoofOutcome(status=CheckInStatus.FLAGGED).rewarded
+        assert not SpoofOutcome(status=CheckInStatus.REJECTED).rewarded

@@ -1,0 +1,105 @@
+"""Unit tests for crawl-driven victim selection (§3.4)."""
+
+import pytest
+
+from repro.attack.targeting import VenueProfileAnalyzer
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.parser import ParsedUser, ParsedVenue
+from repro.geo.coordinates import GeoPoint
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+def venue(
+    venue_id,
+    special=None,
+    special_mayor_only=True,
+    mayor_id=None,
+    unique_visitors=0,
+    recent_visitor_ids=(),
+):
+    return ParsedVenue(
+        venue_id=venue_id,
+        name=f"V{venue_id}",
+        address="",
+        city="",
+        latitude=ABQ.latitude,
+        longitude=ABQ.longitude,
+        checkins_here=unique_visitors,
+        unique_visitors=unique_visitors,
+        mayor_id=mayor_id,
+        special=special,
+        special_mayor_only=special_mayor_only,
+        recent_visitor_ids=list(recent_visitor_ids),
+    )
+
+
+def user(user_id, total_checkins=10):
+    return ParsedUser(
+        user_id=user_id,
+        display_name=f"U{user_id}",
+        username=None,
+        home_city="",
+        total_checkins=total_checkins,
+        total_badges=1,
+        points=10,
+    )
+
+
+@pytest.fixture
+def database():
+    db = CrawlDatabase()
+    db.upsert_venue(venue(1, special="Mayor coffee", mayor_id=None))
+    db.upsert_venue(venue(2, special="Mayor tea", mayor_id=77))
+    db.upsert_venue(
+        venue(3, special="3rd visit free", special_mayor_only=False)
+    )
+    db.upsert_venue(venue(4))
+    db.upsert_venue(
+        venue(
+            5,
+            special="Mayor cake",
+            mayor_id=None,
+            unique_visitors=1,
+            recent_visitor_ids=[42],
+        )
+    )
+    for venue_id in range(6, 12):
+        db.upsert_venue(venue(venue_id, mayor_id=42))
+    db.upsert_user(user(42))
+    db.recompute_derived()
+    return db
+
+
+class TestTargetQueries:
+    def test_easy_mayor_specials(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        targets = analyzer.easy_mayor_specials()
+        assert {t.venue_id for t in targets} == {1, 5}
+        assert all(t.special for t in targets)
+        assert all("no mayor" in t.reason for t in targets)
+
+    def test_uncontested_mayor_specials(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        targets = analyzer.uncontested_mayor_specials(max_visitors=1)
+        # Venues 1, 2 (0 visitors) and 5 (1 visitor) qualify.
+        assert {t.venue_id for t in targets} == {1, 2, 5}
+
+    def test_no_mayorship_specials(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        assert [t.venue_id for t in analyzer.no_mayorship_specials()] == [3]
+
+    def test_mayorships_of_victim(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        targets = analyzer.mayorships_of_victim(42)
+        assert {t.venue_id for t in targets} == set(range(6, 12))
+
+    def test_venues_visited_by_victim(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        targets = analyzer.venues_visited_by_victim(42)
+        assert [t.venue_id for t in targets] == [5]
+
+    def test_suspected_mayor_farmers(self, database):
+        analyzer = VenueProfileAnalyzer(database)
+        assert analyzer.suspected_mayor_farmers(min_mayorships=5) == [42]
+        assert analyzer.suspected_mayor_farmers(min_mayorships=10) == []

@@ -1,0 +1,134 @@
+"""Unit tests for venue catalogs and tour planning (§3.3)."""
+
+import pytest
+
+from repro.attack.tour import PlannedTour, TourPlanner, TourStop, VenueCatalog
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.parser import ParsedVenue
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.geo.path import MoveCommand, VirtualPath
+from repro.lbsn.service import LbsnService
+
+START = GeoPoint(35.06, -106.62)
+
+
+def parsed_venue(venue_id, location):
+    return ParsedVenue(
+        venue_id=venue_id,
+        name=f"V{venue_id}",
+        address="",
+        city="",
+        latitude=location.latitude,
+        longitude=location.longitude,
+        checkins_here=0,
+        unique_visitors=0,
+        mayor_id=None,
+        special=None,
+        special_mayor_only=False,
+    )
+
+
+class TestVenueCatalog:
+    def test_from_crawl_database(self):
+        database = CrawlDatabase()
+        database.upsert_venue(parsed_venue(1, START))
+        catalog = VenueCatalog.from_crawl_database(database)
+        assert len(catalog) == 1
+        assert catalog.location_of(1) == START
+
+    def test_from_service(self):
+        service = LbsnService()
+        venue = service.create_venue("V", START)
+        catalog = VenueCatalog.from_service(service)
+        assert catalog.nearest_venue(START) == venue.venue_id
+
+    def test_nearest_with_exclusions(self):
+        catalog = VenueCatalog()
+        catalog.add(1, destination_point(START, 0.0, 100.0))
+        catalog.add(2, destination_point(START, 0.0, 500.0))
+        assert catalog.nearest_venue(START) == 1
+        assert catalog.nearest_venue(START, exclude={1}) == 2
+
+    def test_nearest_respects_max_radius(self):
+        catalog = VenueCatalog()
+        catalog.add(1, destination_point(START, 0.0, 9_000.0))
+        assert catalog.nearest_venue(START, max_radius_m=1_000.0) is None
+
+
+class TestTourPlanner:
+    def _grid_catalog(self, spacing_m=450.0, size=6):
+        """Venues on a regular grid centered on START."""
+        catalog = VenueCatalog()
+        venue_id = 0
+        half = size // 2
+        for row in range(-half, size - half):
+            for col in range(-half, size - half):
+                venue_id += 1
+                north = destination_point(
+                    START, 0.0 if row >= 0 else 180.0, abs(row) * spacing_m
+                )
+                point = destination_point(
+                    north, 90.0 if col >= 0 else 270.0, abs(col) * spacing_m
+                )
+                catalog.add(venue_id, point)
+        return catalog
+
+    def test_plan_snaps_each_waypoint(self):
+        catalog = self._grid_catalog()
+        planner = TourPlanner(catalog)
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 450.0))
+        path.add_move(MoveCommand("east", 450.0))
+        tour = planner.plan(path)
+        assert len(tour.stops) == 2
+        for stop in tour.stops:
+            assert haversine_m(stop.intended, stop.venue_location) < 300.0
+
+    def test_no_revisit_by_default(self):
+        catalog = VenueCatalog()
+        catalog.add(1, START)
+        planner = TourPlanner(catalog)
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 100.0))
+        path.add_move(MoveCommand("south", 100.0))
+        tour = planner.plan(path, max_snap_radius_m=2_000.0)
+        # Only one stop: the single venue cannot be visited twice.
+        assert tour.venue_ids == [1]
+
+    def test_revisit_allowed_when_enabled(self):
+        catalog = VenueCatalog()
+        catalog.add(1, START)
+        planner = TourPlanner(catalog)
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 100.0))
+        path.add_move(MoveCommand("south", 100.0))
+        tour = planner.plan(path, revisit=True, max_snap_radius_m=2_000.0)
+        assert tour.venue_ids == [1, 1]
+
+    def test_waypoints_without_venues_skipped(self):
+        catalog = VenueCatalog()
+        catalog.add(1, START)
+        planner = TourPlanner(catalog)
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 100.0))
+        path.add_move(MoveCommand("north", 40_000.0))  # empty wilderness
+        tour = planner.plan(path, max_snap_radius_m=2_000.0)
+        assert tour.venue_ids == [1]
+
+    def test_city_spiral_plans_25_stops(self):
+        # The Fig 3.5 run: 25 check-ins along the spiral.
+        catalog = self._grid_catalog(spacing_m=450.0, size=12)
+        planner = TourPlanner(catalog)
+        tour = planner.plan_city_spiral(START, steps=30)
+        assert len(tour.stops) >= 25
+        assert tour.mean_drift_m() < 600.0
+
+    def test_city_spiral_rejects_zero_steps(self):
+        planner = TourPlanner(self._grid_catalog())
+        with pytest.raises(ReproError):
+            planner.plan_city_spiral(START, steps=0)
+
+    def test_mean_drift_empty_tour(self):
+        assert PlannedTour().mean_drift_m() == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--scale", "0.0002", "--seed", "5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scale == 0.0005
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "status=valid" in out
+        assert "mayor=True" in out
+
+    def test_crawl_prints_statistics(self, capsys):
+        assert main(["crawl"] + SMALL + ["--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "crawled" in out
+        assert "zero-check-in users" in out
+
+    def test_attack_runs_clean(self, capsys):
+        assert main(["attack"] + SMALL + ["--steps", "15", "--harvest", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 detected" in out
+        assert "harvest:" in out
+
+    def test_detect_lists_suspects(self, capsys):
+        assert main(["detect"] + SMALL + ["--min-checkins", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "suspects:" in out
+
+    def test_defend_prints_table(self, capsys):
+        assert main(["defend"] + SMALL + ["--claims", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "distance-bounding" in out
+        assert "wifi-venue-verification" in out
+
+    def test_figures_writes_csvs(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        assert main(["figures"] + SMALL + ["--out", str(out)]) == 0
+        written = list(out.glob("*.csv"))
+        assert len(written) >= 5
+        header = written[0].read_text().splitlines()[0]
+        assert "," in header

@@ -1,0 +1,87 @@
+"""Unit tests for the page fetcher's retry and error semantics."""
+
+import pytest
+
+from repro.crawler.fetcher import PageFetcher
+from repro.errors import CrawlError
+from repro.simnet.http import HttpResponse, HttpTransport, Router
+from repro.simnet.network import Network
+
+
+class FlakyServer:
+    """Serves a scripted sequence of status codes."""
+
+    def __init__(self, statuses, body="page"):
+        self.statuses = list(statuses)
+        self.body = body
+        self.calls = 0
+
+    def __call__(self, request, match):
+        status = self.statuses[min(self.calls, len(self.statuses) - 1)]
+        self.calls += 1
+        return HttpResponse(status=status, body=self.body)
+
+
+def make_fetcher(handler, max_retries=2):
+    network = Network(seed=1)
+    router = Router()
+    router.add("GET", r"/page", handler)
+    transport = HttpTransport(router, network)
+    return PageFetcher(
+        transport, network.create_egress(), max_retries=max_retries
+    )
+
+
+class TestFetch:
+    def test_success_returns_body(self):
+        fetcher = make_fetcher(FlakyServer([200]))
+        assert fetcher.fetch("/page") == "page"
+
+    def test_404_returns_none(self):
+        fetcher = make_fetcher(FlakyServer([404]))
+        assert fetcher.fetch("/page") is None
+
+    def test_5xx_retried_until_success(self):
+        server = FlakyServer([500, 500, 200])
+        fetcher = make_fetcher(server, max_retries=2)
+        assert fetcher.fetch("/page") == "page"
+        assert server.calls == 3
+
+    def test_5xx_exhausted_raises(self):
+        server = FlakyServer([500, 500, 500, 500])
+        fetcher = make_fetcher(server, max_retries=2)
+        with pytest.raises(CrawlError):
+            fetcher.fetch("/page")
+        assert server.calls == 3  # initial + 2 retries
+
+    def test_rate_limit_raises_immediately(self):
+        server = FlakyServer([429])
+        fetcher = make_fetcher(server)
+        with pytest.raises(CrawlError, match="rate limited"):
+            fetcher.fetch("/page")
+        assert server.calls == 1
+
+    def test_forbidden_raises_without_retry(self):
+        server = FlakyServer([403])
+        fetcher = make_fetcher(server)
+        with pytest.raises(CrawlError):
+            fetcher.fetch("/page")
+        assert server.calls == 1
+
+    def test_401_raises(self):
+        fetcher = make_fetcher(FlakyServer([401]))
+        with pytest.raises(CrawlError):
+            fetcher.fetch("/page")
+
+    def test_negative_retries_rejected(self):
+        network = Network(seed=1)
+        transport = HttpTransport(Router(), network)
+        with pytest.raises(CrawlError):
+            PageFetcher(transport, network.create_egress(), max_retries=-1)
+
+    def test_zero_retries_single_attempt(self):
+        server = FlakyServer([500])
+        fetcher = make_fetcher(server, max_retries=0)
+        with pytest.raises(CrawlError):
+            fetcher.fetch("/page")
+        assert server.calls == 1

@@ -1,0 +1,172 @@
+"""Tests for repeated crawling and snapshot diffing."""
+
+import pytest
+
+from repro.crawler.snapshots import (
+    CrawlSnapshot,
+    SnapshotStore,
+    diff_snapshots,
+)
+from repro.errors import CrawlError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import LbsnWebServer
+from repro.simnet.clock import SECONDS_PER_DAY
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+@pytest.fixture
+def live_site():
+    service = LbsnService()
+    users = [service.register_user(f"U{index}") for index in range(4)]
+    venues = [
+        service.create_venue(f"V{index}", ABQ) for index in range(3)
+    ]
+    router = Router()
+    LbsnWebServer(service).install_routes(router)
+    network = Network(seed=2)
+    transport = HttpTransport(router, network, clock=service.clock)
+    store = SnapshotStore(
+        transport, [network.create_egress()], service.clock
+    )
+    return service, users, venues, store
+
+
+class TestSnapshotStore:
+    def test_snapshot_records_time_and_data(self, live_site):
+        service, users, venues, store = live_site
+        service.clock.advance(100.0)
+        snapshot = store.take_snapshot()
+        assert snapshot.taken_at == 100.0
+        assert snapshot.database.user_count() == 4
+        assert store.latest() is snapshot
+
+    def test_requires_machines(self, live_site):
+        service, users, venues, store = live_site
+        with pytest.raises(CrawlError):
+            SnapshotStore(store.transport, [], service.clock)
+
+
+class TestDiffing:
+    def test_new_visitor_becomes_observation(self, live_site):
+        service, users, venues, store = live_site
+        store.take_snapshot()
+        service.clock.advance(SECONDS_PER_DAY)
+        service.check_in(
+            users[0].user_id, venues[1].venue_id, ABQ
+        )
+        store.take_snapshot()
+        (diff,) = store.diffs()
+        assert len(diff.observed_checkins) == 1
+        observation = diff.observed_checkins[0]
+        assert observation.user_id == users[0].user_id
+        assert observation.venue_id == venues[1].venue_id
+        assert observation.window_s == pytest.approx(SECONDS_PER_DAY)
+        assert diff.total_deltas[users[0].user_id] == 1
+
+    def test_unchanged_lists_produce_nothing(self, live_site):
+        service, users, venues, store = live_site
+        service.check_in(users[0].user_id, venues[0].venue_id, ABQ)
+        store.take_snapshot()
+        service.clock.advance(SECONDS_PER_DAY)
+        store.take_snapshot()
+        (diff,) = store.diffs()
+        assert diff.observed_checkins == []
+        assert diff.total_deltas == {}
+        assert diff.active_users == set()
+
+    def test_rotated_out_user_still_counted_via_totals(self, live_site):
+        """A venue list only holds 10: users pushed out between crawls
+        are invisible in lists but still show in the profile total."""
+        service, users, venues, store = live_site
+        hot = venues[0]
+        service.check_in(users[0].user_id, hot.venue_id, ABQ)
+        store.take_snapshot()
+        service.clock.advance(SECONDS_PER_DAY)
+        # Eleven fresh accounts wash user 0 out of the recent list.
+        for index in range(11):
+            extra = service.register_user(f"Wash {index}")
+            service.check_in(
+                extra.user_id,
+                hot.venue_id,
+                ABQ,
+                timestamp=service.clock.now() + index * 4_000.0,
+            )
+        # ...and user 0 checks in at another venue meanwhile.
+        service.check_in(
+            users[0].user_id,
+            venues[2].venue_id,
+            ABQ,
+            timestamp=service.clock.now() + 50_000.0,
+        )
+        store.take_snapshot()
+        (diff,) = store.diffs()
+        assert users[0].user_id in diff.active_users
+        assert diff.total_deltas[users[0].user_id] == 1
+
+    def test_wrong_order_rejected(self, live_site):
+        service, users, venues, store = live_site
+        first = store.take_snapshot()
+        service.clock.advance(10.0)
+        second = store.take_snapshot()
+        with pytest.raises(CrawlError):
+            diff_snapshots(second, first)
+
+    def test_multi_day_cadence(self, live_site):
+        service, users, venues, store = live_site
+        store.take_snapshot()
+        for day in range(3):
+            service.clock.advance(SECONDS_PER_DAY)
+            service.check_in(
+                users[day].user_id,
+                venues[day % 3].venue_id,
+                ABQ,
+            )
+            store.take_snapshot()
+        diffs = store.diffs()
+        assert len(diffs) == 3
+        observed_users = [
+            diff.observed_checkins[0].user_id for diff in diffs
+        ]
+        assert observed_users == [u.user_id for u in users[:3]]
+
+
+class TestReorderDetection:
+    def test_revisit_detected_via_list_reordering(self, live_site):
+        """A user already on a list who overtakes a previously-ahead
+        visitor must register as a fresh observation."""
+        service, users, venues, store = live_site
+        hot = venues[0]
+        service.check_in(users[0].user_id, hot.venue_id, ABQ, timestamp=0.0)
+        service.check_in(
+            users[1].user_id, hot.venue_id, ABQ, timestamp=3_600.0
+        )
+        service.clock.advance(7_200.0)
+        store.take_snapshot()  # list: [u1, u0]
+        service.clock.advance(SECONDS_PER_DAY)
+        service.check_in(
+            users[0].user_id, hot.venue_id, ABQ
+        )  # list becomes [u0, u1]
+        store.take_snapshot()
+        (diff,) = store.diffs()
+        observed = {obs.user_id for obs in diff.observed_checkins}
+        assert users[0].user_id in observed
+        assert users[1].user_id not in observed
+
+    def test_head_stay_revisit_is_invisible(self, live_site):
+        """The documented limitation: the sole head visitor re-checking
+        in leaves no public trace between crawls (except the total)."""
+        service, users, venues, store = live_site
+        hot = venues[0]
+        service.check_in(users[0].user_id, hot.venue_id, ABQ, timestamp=0.0)
+        service.clock.advance(7_200.0)
+        store.take_snapshot()
+        service.clock.advance(SECONDS_PER_DAY)
+        service.check_in(users[0].user_id, hot.venue_id, ABQ)
+        store.take_snapshot()
+        (diff,) = store.diffs()
+        assert diff.observed_checkins == []
+        assert diff.total_deltas[users[0].user_id] == 1

@@ -1,0 +1,79 @@
+"""Tests for the IP address-mapping verifier."""
+
+import pytest
+
+from repro.defense.address_mapping import (
+    AddressMappingConfig,
+    AddressMappingVerifier,
+)
+from repro.defense.verifier import LocationClaim, VerificationOutcome
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.simnet.network import GeoIpRegistry, IpAddress
+
+VENUE = GeoPoint(40.8136, -96.7026)  # Lincoln
+ATTACKER = GeoPoint(35.0844, -106.6504)  # Albuquerque
+
+
+def claim(ip):
+    return LocationClaim(
+        user_id=1,
+        venue_id=1,
+        venue_location=VENUE,
+        claimed_location=VENUE,
+        physical_location=ATTACKER,
+        client_ip=ip,
+    )
+
+
+@pytest.fixture
+def geoip():
+    registry = GeoIpRegistry()
+    registry.register(IpAddress("1.1.1.1"), VENUE)  # local gateway
+    registry.register(
+        IpAddress("2.2.2.2"), destination_point(VENUE, 90.0, 60_000.0)
+    )  # carrier gateway one metro over
+    registry.register(IpAddress("3.3.3.3"), ATTACKER)  # the attacker's ISP
+    return registry
+
+
+class TestVerification:
+    def test_local_ip_accepted(self, geoip):
+        verifier = AddressMappingVerifier(geoip)
+        assert verifier.verify(claim("1.1.1.1")).accepted
+
+    def test_nonlocal_carrier_gateway_tolerated(self, geoip):
+        # The §5.1 caveat: phones egress from nonlocal IPs, so the
+        # tolerance must absorb a metro-scale offset.
+        verifier = AddressMappingVerifier(geoip)
+        assert verifier.verify(claim("2.2.2.2")).accepted
+
+    def test_cross_country_ip_rejected(self, geoip):
+        verifier = AddressMappingVerifier(geoip)
+        result = verifier.verify(claim("3.3.3.3"))
+        assert result.outcome is VerificationOutcome.REJECT
+        assert result.estimated_distance_m > 1_000_000
+
+    def test_unmapped_ip_inconclusive_by_default(self, geoip):
+        verifier = AddressMappingVerifier(geoip)
+        result = verifier.verify(claim("9.9.9.9"))
+        assert result.outcome is VerificationOutcome.INCONCLUSIVE
+
+    def test_unmapped_ip_rejected_in_strict_mode(self, geoip):
+        verifier = AddressMappingVerifier(
+            geoip, AddressMappingConfig(reject_unmapped=True)
+        )
+        assert verifier.verify(claim("9.9.9.9")).rejected
+
+    def test_missing_ip_inconclusive(self, geoip):
+        verifier = AddressMappingVerifier(geoip)
+        result = verifier.verify(claim(None))
+        assert result.outcome is VerificationOutcome.INCONCLUSIVE
+
+    def test_tolerance_configurable(self, geoip):
+        tight = AddressMappingVerifier(
+            geoip, AddressMappingConfig(tolerance_m=10_000.0)
+        )
+        # Even the one-metro-over carrier gateway now fails: the thesis's
+        # point about why tight IP mapping is unusable for mobile.
+        assert tight.verify(claim("2.2.2.2")).rejected

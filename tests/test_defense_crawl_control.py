@@ -1,0 +1,229 @@
+"""Tests for crawl access control: login gating + rate limiting."""
+
+import pytest
+
+from repro.crawler.crawler import MultiThreadedCrawler
+from repro.crawler.database import CrawlDatabase
+from repro.crawler.frontier import CrawlMode
+from repro.defense.crawl_control import (
+    IpRateLimiter,
+    LoginGate,
+    RateLimiterConfig,
+    SessionRegistry,
+)
+from repro.simnet.http import (
+    HTTP_FORBIDDEN,
+    HTTP_TOO_MANY_REQUESTS,
+    HTTP_UNAUTHORIZED,
+    HttpRequest,
+)
+
+
+def request(path, ip="1.1.1.1", headers=None):
+    return HttpRequest(
+        method="GET", path=path, client_ip=ip, headers=headers or {}
+    )
+
+
+class TestSessionRegistry:
+    def test_login_resolve_revoke(self):
+        sessions = SessionRegistry()
+        token = sessions.login(7)
+        assert sessions.resolve(token) == 7
+        assert sessions.revoke(token)
+        assert sessions.resolve(token) is None
+
+
+class TestLoginGate:
+    def test_anonymous_profile_access_denied(self):
+        gate = LoginGate(SessionRegistry())
+        response = gate(request("/user/1"))
+        assert response.status == HTTP_UNAUTHORIZED
+        assert gate.stats.anonymous_denied == 1
+
+    def test_non_profile_paths_unaffected(self):
+        gate = LoginGate(SessionRegistry())
+        assert gate(request("/api/checkin")) is None
+        assert gate(request("/")) is None
+
+    def test_logged_in_access_allowed(self):
+        sessions = SessionRegistry()
+        token = sessions.login(7)
+        gate = LoginGate(sessions)
+        response = gate(request("/user/1", headers={"X-Session": token}))
+        assert response is None
+        assert gate.stats.allowed == 1
+
+    def test_per_account_budget_enforced(self):
+        sessions = SessionRegistry()
+        token = sessions.login(7)
+        gate = LoginGate(sessions, per_account_budget=5)
+        for _ in range(5):
+            assert gate(request("/user/1", headers={"X-Session": token})) is None
+        response = gate(request("/user/1", headers={"X-Session": token}))
+        assert response.status == HTTP_TOO_MANY_REQUESTS
+        assert gate.stats.over_budget_denied == 1
+
+    def test_unlimited_budget(self):
+        sessions = SessionRegistry()
+        token = sessions.login(7)
+        gate = LoginGate(sessions, per_account_budget=None)
+        for _ in range(100):
+            assert gate(request("/venue/1", headers={"X-Session": token})) is None
+
+
+class TestIpRateLimiter:
+    def test_burst_rate_triggers_block(self):
+        limiter = IpRateLimiter(
+            RateLimiterConfig(window_s=10.0, max_requests_per_window=20)
+        )
+        responses = [limiter(request(f"/user/{i*7}")) for i in range(1, 40)]
+        assert any(
+            r is not None and r.status == HTTP_TOO_MANY_REQUESTS
+            for r in responses
+        )
+        assert "1.1.1.1" in limiter.stats.blocked_ips
+        # Once blocked, everything is denied.
+        assert limiter(request("/user/1")).status == HTTP_FORBIDDEN
+
+    def test_sequential_enumeration_detected(self):
+        limiter = IpRateLimiter(
+            RateLimiterConfig(
+                window_s=0.0001,  # rate rule effectively off
+                max_requests_per_window=10_000,
+                enumeration_run_length=50,
+            )
+        )
+        response = None
+        for profile_id in range(1, 60):
+            response = limiter(request(f"/venue/{profile_id}"))
+            if response is not None:
+                break
+        assert response is not None
+        assert response.status == HTTP_FORBIDDEN
+        assert limiter.stats.enumeration_triggers == 1
+
+    def test_non_sequential_browsing_not_flagged(self):
+        limiter = IpRateLimiter(
+            RateLimiterConfig(
+                window_s=0.0001,
+                max_requests_per_window=10_000,
+                enumeration_run_length=20,
+            )
+        )
+        for profile_id in (5, 900, 23, 512, 7, 44, 1020, 3, 88, 61) * 5:
+            assert limiter(request(f"/user/{profile_id}")) is None
+
+    def test_different_ips_tracked_separately(self):
+        limiter = IpRateLimiter(
+            RateLimiterConfig(
+                window_s=0.0001,
+                max_requests_per_window=10_000,
+                enumeration_run_length=30,
+            )
+        )
+        for profile_id in range(1, 25):
+            assert limiter(request(f"/user/{profile_id}", ip="1.1.1.1")) is None
+            assert limiter(request(f"/user/{profile_id}", ip="2.2.2.2")) is None
+
+    def test_unblock(self):
+        limiter = IpRateLimiter(
+            RateLimiterConfig(enumeration_run_length=5)
+        )
+        for profile_id in range(1, 10):
+            limiter(request(f"/user/{profile_id}"))
+        assert "1.1.1.1" in limiter.stats.blocked_ips
+        assert limiter.unblock("1.1.1.1")
+        assert limiter(request("/user/500")) is None
+        assert not limiter.unblock("9.9.9.9")
+
+
+class TestAgainstRealCrawler:
+    def test_login_gate_stops_the_thesis_crawler(self, world, web_stack):
+        # Installing the gate on a fresh transport: the crawler's
+        # anonymous enumeration dies immediately.
+        from repro.simnet.http import HttpTransport
+
+        transport = HttpTransport(
+            web_stack.router, web_stack.network, clock=world.service.clock
+        )
+        transport.add_middleware(LoginGate(SessionRegistry()))
+        crawler = MultiThreadedCrawler(
+            transport,
+            CrawlDatabase(),
+            CrawlMode.USER,
+            [web_stack.network.create_egress()],
+            threads_per_machine=4,
+            stop_at=5_000,
+            abort_after_failures=100,
+        )
+        stats = crawler.run()
+        assert crawler.aborted
+        assert stats.hits == 0
+
+    def test_enumeration_detector_stops_single_ip_crawler(
+        self, world, web_stack
+    ):
+        from repro.simnet.http import HttpTransport
+
+        transport = HttpTransport(
+            web_stack.router, web_stack.network, clock=world.service.clock
+        )
+        limiter = IpRateLimiter(
+            RateLimiterConfig(
+                window_s=0.001,
+                max_requests_per_window=10_000,
+                enumeration_run_length=100,
+            )
+        )
+        transport.add_middleware(limiter)
+        crawler = MultiThreadedCrawler(
+            transport,
+            CrawlDatabase(),
+            CrawlMode.USER,
+            [web_stack.network.create_egress()],
+            threads_per_machine=1,  # single thread: perfectly sequential
+            stop_at=5_000,
+            abort_after_failures=50,
+        )
+        stats = crawler.run()
+        assert crawler.aborted
+        assert stats.hits < 200
+        assert limiter.stats.enumeration_triggers >= 1
+
+
+class TestNatCollateral:
+    def test_blocking_a_nat_counts_bystanders(self):
+        """§5.2 cites Casado & Freedman: most NATs hide only a few hosts,
+        so IP blocking's collateral damage is limited but nonzero."""
+        from repro.simnet.network import EgressKind, Network
+
+        network = Network(seed=8)
+        nat = network.create_egress(kind=EgressKind.NAT)
+        nat.add_client("crawler")
+        nat.add_client("innocent-roommate")
+        nat.add_client("innocent-flatmate")
+        limiter = IpRateLimiter(RateLimiterConfig(enumeration_run_length=5))
+        for profile_id in range(1, 10):
+            limiter(request(f"/user/{profile_id}", ip=nat.ip.value))
+        assert nat.ip.value in limiter.stats.blocked_ips
+        assert limiter.stats.collateral_clients(network) == 2
+
+    def test_direct_egress_has_no_collateral(self):
+        from repro.simnet.network import EgressKind, Network
+
+        network = Network(seed=9)
+        egress = network.create_egress(kind=EgressKind.DIRECT)
+        egress.add_client("crawler")
+        limiter = IpRateLimiter(RateLimiterConfig(enumeration_run_length=5))
+        for profile_id in range(1, 10):
+            limiter(request(f"/user/{profile_id}", ip=egress.ip.value))
+        assert limiter.stats.collateral_clients(network) == 0
+
+    def test_unknown_blocked_ip_ignored_in_collateral(self):
+        from repro.simnet.network import Network
+
+        network = Network(seed=10)
+        limiter = IpRateLimiter()
+        limiter.stats.blocked_ips.add("203.0.113.7")  # never allocated
+        assert limiter.stats.collateral_clients(network) == 0

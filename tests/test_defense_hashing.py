@@ -1,0 +1,81 @@
+"""Tests for profile-ID hashing (§5.2)."""
+
+import pytest
+
+from repro.defense.hashing import (
+    crack_unsalted_token,
+    hashed_visitor_obfuscator,
+    unsalted_visitor_obfuscator,
+)
+from repro.errors import DefenseError
+
+
+class TestKeyedObfuscator:
+    def test_deterministic(self):
+        obfuscate = hashed_visitor_obfuscator(b"secret")
+        assert obfuscate(42) == obfuscate(42)
+
+    def test_distinct_users_distinct_tokens(self):
+        obfuscate = hashed_visitor_obfuscator(b"secret")
+        tokens = {obfuscate(uid) for uid in range(1, 2_000)}
+        assert len(tokens) == 1_999
+
+    def test_secret_changes_tokens(self):
+        a = hashed_visitor_obfuscator(b"secret-a")
+        b = hashed_visitor_obfuscator(b"secret-b")
+        assert a(42) != b(42)
+
+    def test_token_reveals_no_id(self):
+        obfuscate = hashed_visitor_obfuscator(b"secret")
+        token = obfuscate(1852791)
+        assert "1852791" not in token
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(DefenseError):
+            hashed_visitor_obfuscator(b"")
+
+    def test_short_digest_rejected(self):
+        with pytest.raises(DefenseError):
+            hashed_visitor_obfuscator(b"secret", digest_chars=4)
+
+
+class TestUnsaltedWeakness:
+    def test_unsalted_token_cracked_by_enumeration(self):
+        # The dense public ID space makes unkeyed hashing worthless.
+        obfuscate = unsalted_visitor_obfuscator()
+        token = obfuscate(1_234)
+        assert crack_unsalted_token(token, max_user_id=2_000) == 1_234
+
+    def test_crack_fails_outside_range(self):
+        obfuscate = unsalted_visitor_obfuscator()
+        token = obfuscate(5_000)
+        assert crack_unsalted_token(token, max_user_id=100) is None
+
+    def test_keyed_token_survives_same_attack(self):
+        keyed = hashed_visitor_obfuscator(b"server-secret")
+        token = keyed(1_234)
+        assert crack_unsalted_token(token, max_user_id=5_000) is None
+
+
+class TestEndToEndStarvation:
+    def test_obfuscated_site_starves_pattern_analysis(self, world):
+        """With hashing deployed, a fresh crawl yields zero RecentCheckin
+        rows, killing Figs 4.1/4.3 and the §3.4 victim queries."""
+        from repro.analysis.patterns import analyze_pattern, PatternVerdict
+        from repro.crawler import crawl_full_site
+        from repro.workload import build_web_stack
+
+        stack = build_web_stack(
+            world,
+            seed=11,
+            visitor_obfuscator=hashed_visitor_obfuscator(b"prod-secret"),
+        )
+        database, _, _ = crawl_full_site(
+            stack.transport, [stack.network.create_egress()]
+        )
+        assert len(database.recent_checkins()) == 0
+        mega = world.roster.mega_cheater.user_id
+        report = analyze_pattern(database, mega)
+        assert report.verdict is PatternVerdict.INSUFFICIENT_DATA
+        # Profile-level stats still work: usability/cheap analyses remain.
+        assert database.user(mega).total_checkins > 0

@@ -1,0 +1,110 @@
+"""Tests for inline defense deployment (DefendedLbsnService)."""
+
+import pytest
+
+from repro.attack.spoofing import build_emulator_attacker
+from repro.defense.distance_bounding import DistanceBoundingVerifier
+from repro.defense.integration import (
+    RULE_LOCATION_VERIFIER,
+    DefendedLbsnService,
+    DeviceRegistry,
+    registry_locator,
+)
+from repro.defense.wifi_verification import deploy_routers
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+ABQ = GeoPoint(35.0844, -106.6504)
+SF = GeoPoint(37.8080, -122.4177)
+
+
+@pytest.fixture
+def defended():
+    service = LbsnService()
+    wharf = service.create_venue("Wharf", SF, city="San Francisco, CA")
+    cafe = service.create_venue("Cafe", ABQ, city="Albuquerque, NM")
+    registry = DeviceRegistry()
+    defended = DefendedLbsnService(
+        service,
+        DistanceBoundingVerifier(seed=1),
+        registry_locator(registry),
+    )
+    return service, defended, registry, wharf, cafe
+
+
+class TestDefendedCheckins:
+    def test_honest_checkin_passes(self, defended):
+        service, wrapped, registry, wharf, cafe = defended
+        user = service.register_user("Honest")
+        registry.place(user.user_id, ABQ)  # physically at the cafe
+        result = wrapped.check_in(user.user_id, cafe.venue_id, ABQ)
+        assert result.checkin.status is CheckInStatus.VALID
+        assert wrapped.stats.verified == 1
+
+    def test_spoofed_checkin_refused(self, defended):
+        service, wrapped, registry, wharf, cafe = defended
+        user = service.register_user("Cheater")
+        registry.place(user.user_id, ABQ)  # physically in Albuquerque
+        result = wrapped.check_in(user.user_id, wharf.venue_id, SF)
+        assert result.checkin.status is CheckInStatus.REJECTED
+        assert result.checkin.flagged_rule == RULE_LOCATION_VERIFIER
+        assert wrapped.stats.refused == 1
+        # Refused claims leave no trace in the service.
+        assert service.store.checkin_count() == 0
+        assert user.total_checkins == 0
+
+    def test_unlocatable_device_default_allows(self, defended):
+        service, wrapped, registry, wharf, cafe = defended
+        user = service.register_user("Ghost")
+        result = wrapped.check_in(user.user_id, wharf.venue_id, SF)
+        assert result.checkin.status is CheckInStatus.VALID
+        assert wrapped.stats.unlocatable == 1
+
+    def test_unlocatable_device_strict_refuses(self, defended):
+        service, wrapped, registry, wharf, cafe = defended
+        wrapped.refuse_inconclusive = True
+        user = service.register_user("Ghost")
+        result = wrapped.check_in(user.user_id, wharf.venue_id, SF)
+        assert result.checkin.status is CheckInStatus.REJECTED
+
+    def test_passthrough_attributes(self, defended):
+        service, wrapped, registry, wharf, cafe = defended
+        # Attack channels call service helpers through the wrapper.
+        assert wrapped.nearby_venues(SF)[0].venue_id == wharf.venue_id
+        assert wrapped.clock is service.clock
+
+
+class TestDefenseVsAttackCampaign:
+    def test_wifi_defense_zeroes_the_spoofing_attack(self):
+        """The E1 attack against a Wi-Fi-verified deployment dies."""
+        service = LbsnService()
+        wharf = service.create_venue("Wharf", SF)
+        wifi = deploy_routers(service, fraction=1.0, fallback_accept=False)
+        registry = DeviceRegistry()
+        wrapped = DefendedLbsnService(
+            service, wifi, registry_locator(registry)
+        )
+        user, emulator, channel = build_emulator_attacker(service)
+        registry.place(user.user_id, ABQ)  # where the attacker really is
+        channel.set_location(SF)
+        # The channel talks to the raw service; re-point it at the
+        # defended wrapper like a deployed server would be.
+        channel.app.service = wrapped
+        outcome = channel.check_in(wharf.venue_id)
+        assert outcome.status is CheckInStatus.REJECTED
+        assert wrapped.stats.refused == 1
+
+    def test_honest_user_unharmed_by_deployment(self):
+        service = LbsnService()
+        cafe = service.create_venue("Cafe", ABQ)
+        wifi = deploy_routers(service, fraction=1.0)
+        registry = DeviceRegistry()
+        wrapped = DefendedLbsnService(
+            service, wifi, registry_locator(registry)
+        )
+        user = service.register_user("Regular")
+        registry.place(user.user_id, ABQ)
+        result = wrapped.check_in(user.user_id, cafe.venue_id, ABQ)
+        assert result.checkin.status is CheckInStatus.VALID
+        assert result.became_mayor

@@ -1,0 +1,112 @@
+"""Tests for venue-side Wi-Fi verification."""
+
+import pytest
+
+from repro.defense.verifier import LocationClaim, VerificationOutcome
+from repro.defense.wifi_verification import (
+    DEFAULT_RADIO_RANGE_M,
+    VenueRouter,
+    WifiVerificationService,
+    deploy_routers,
+)
+from repro.errors import DefenseError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.service import LbsnService
+
+WENDYS = GeoPoint(40.8136, -96.7026)
+MCDONALDS = destination_point(WENDYS, 90.0, 50.0)  # 50 m next door
+ATTACKER = GeoPoint(35.0844, -106.6504)
+
+
+def claim(venue_id, physical):
+    return LocationClaim(
+        user_id=1,
+        venue_id=venue_id,
+        venue_location=WENDYS,
+        claimed_location=WENDYS,
+        physical_location=physical,
+    )
+
+
+class TestRouterRange:
+    def test_in_range(self):
+        router = VenueRouter(venue_id=1, location=WENDYS)
+        assert router.in_range(destination_point(WENDYS, 0.0, 80.0))
+        assert not router.in_range(destination_point(WENDYS, 0.0, 150.0))
+
+    def test_default_range_is_100m(self):
+        assert VenueRouter(1, WENDYS).radio_range_m == DEFAULT_RADIO_RANGE_M
+
+
+class TestVerification:
+    def test_remote_attacker_rejected(self):
+        service = WifiVerificationService()
+        service.register_router(VenueRouter(1, WENDYS))
+        result = service.verify(claim(1, ATTACKER))
+        assert result.outcome is VerificationOutcome.REJECT
+
+    def test_present_customer_accepted(self):
+        service = WifiVerificationService()
+        service.register_router(VenueRouter(1, WENDYS))
+        inside = destination_point(WENDYS, 200.0, 10.0)
+        assert service.verify(claim(1, inside)).accepted
+
+    def test_next_door_cheater_passes_default_range(self):
+        # The thesis's documented limitation: "a cheater sitting inside a
+        # McDonald's can check-in to the Wendy's next door, which is only
+        # 50 meters away."
+        service = WifiVerificationService()
+        service.register_router(VenueRouter(1, WENDYS))
+        assert service.verify(claim(1, MCDONALDS)).accepted
+
+    def test_firmware_tuned_range_stops_next_door(self):
+        # "the Wendy's owner can configure the Wi-Fi router to limit the
+        # communication within the restaurant" (DD-WRT).
+        service = WifiVerificationService()
+        service.register_router(
+            VenueRouter(1, WENDYS, radio_range_m=30.0)
+        )
+        assert service.verify(claim(1, MCDONALDS)).rejected
+
+    def test_unregistered_venue_fallback_accept(self):
+        service = WifiVerificationService(fallback_accept=True)
+        result = service.verify(claim(42, ATTACKER))
+        assert result.outcome is VerificationOutcome.ACCEPT
+
+    def test_unregistered_venue_strict_mode(self):
+        service = WifiVerificationService(fallback_accept=False)
+        result = service.verify(claim(42, ATTACKER))
+        assert result.outcome is VerificationOutcome.INCONCLUSIVE
+
+    def test_deregistered_router_not_trusted(self):
+        service = WifiVerificationService(fallback_accept=False)
+        service.register_router(VenueRouter(1, WENDYS, registered=False))
+        result = service.verify(claim(1, ATTACKER))
+        assert result.outcome is VerificationOutcome.INCONCLUSIVE
+
+    def test_invalid_range_rejected(self):
+        service = WifiVerificationService()
+        with pytest.raises(DefenseError):
+            service.register_router(VenueRouter(1, WENDYS, radio_range_m=0.0))
+
+
+class TestDeployment:
+    def test_partial_coverage(self):
+        lbsn = LbsnService()
+        for index in range(10):
+            lbsn.create_venue(f"V{index}", WENDYS)
+        wifi = deploy_routers(lbsn, fraction=0.5)
+        assert wifi.coverage == 5
+        assert wifi.router_for(1) is not None
+        assert wifi.router_for(10) is None
+
+    def test_full_coverage(self):
+        lbsn = LbsnService()
+        for index in range(4):
+            lbsn.create_venue(f"V{index}", WENDYS)
+        assert deploy_routers(lbsn, fraction=1.0).coverage == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DefenseError):
+            deploy_routers(LbsnService(), fraction=1.5)

@@ -1,0 +1,93 @@
+"""Unit tests for the NMEA Bluetooth GPS receiver simulation."""
+
+import pytest
+
+from repro.device.bluetooth import (
+    BluetoothGpsModule,
+    BluetoothGpsSimulator,
+    build_gpgga,
+    nmea_checksum,
+    parse_gpgga,
+)
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+
+SF = GeoPoint(37.8080, -122.4177)
+SOUTHERN = GeoPoint(-33.8688, 151.2093)  # Sydney: S/E hemispheres
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # XOR of "A" with itself is 0; sanity-check the hex format.
+        assert nmea_checksum("A") == "41"
+        assert nmea_checksum("AA") == "00"
+
+    def test_round_trip_sentence_validates(self):
+        sentence = build_gpgga(SF, 3_600.0)
+        body = sentence[1:].split("*")[0]
+        assert sentence.endswith(nmea_checksum(body))
+
+
+class TestBuildParse:
+    def test_round_trip_location(self):
+        sentence = build_gpgga(SF, 12 * 3_600.0, satellites=7, hdop=1.2)
+        fix = parse_gpgga(sentence, timestamp=99.0)
+        assert haversine_m(fix.location, SF) < 1.0
+        assert fix.satellites == 7
+        assert fix.timestamp == 99.0
+
+    def test_southern_eastern_hemispheres(self):
+        sentence = build_gpgga(SOUTHERN, 0.0)
+        assert ",S," in sentence and ",E," in sentence
+        fix = parse_gpgga(sentence, 0.0)
+        assert haversine_m(fix.location, SOUTHERN) < 1.0
+
+    def test_checksum_mismatch_rejected(self):
+        sentence = build_gpgga(SF, 0.0)
+        corrupted = sentence[:-2] + "00"
+        if sentence.endswith("00"):  # pragma: no cover
+            corrupted = sentence[:-2] + "FF"
+        with pytest.raises(DeviceError):
+            parse_gpgga(corrupted, 0.0)
+
+    def test_not_a_sentence_rejected(self):
+        with pytest.raises(DeviceError):
+            parse_gpgga("hello world", 0.0)
+
+    def test_wrong_sentence_type_rejected(self):
+        body = "GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4"
+        with pytest.raises(DeviceError):
+            parse_gpgga(f"${body}*{nmea_checksum(body)}", 0.0)
+
+    def test_no_fix_quality_rejected(self):
+        sentence = build_gpgga(SF, 0.0)
+        body = sentence[1:].split("*")[0].split(",")
+        body[6] = "0"  # fix quality: invalid
+        rebuilt = ",".join(body)
+        with pytest.raises(DeviceError):
+            parse_gpgga(f"${rebuilt}*{nmea_checksum(rebuilt)}", 0.0)
+
+
+class TestSimulatorAndModule:
+    def test_simulator_requires_location(self):
+        with pytest.raises(DeviceError):
+            BluetoothGpsSimulator().next_sentence(0.0)
+
+    def test_module_delivers_spoofed_fix(self):
+        simulator = BluetoothGpsSimulator()
+        simulator.set_location(SF)
+        module = BluetoothGpsModule(simulator)
+        fix = module.current_fix(100.0)
+        assert haversine_m(fix.location, SF) < 1.0
+
+    def test_module_none_before_location_set(self):
+        module = BluetoothGpsModule(BluetoothGpsSimulator())
+        assert module.current_fix(0.0) is None
+
+    def test_location_change_propagates(self):
+        simulator = BluetoothGpsSimulator(SF)
+        module = BluetoothGpsModule(simulator)
+        simulator.set_location(SOUTHERN)
+        fix = module.current_fix(0.0)
+        assert haversine_m(fix.location, SOUTHERN) < 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for the LBSN client application."""
+
+import pytest
+
+from repro.device.client_app import LbsnClientApp
+from repro.device.emulator import Device, DeviceEmulator
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+ABQ = GeoPoint(35.0844, -106.6504)
+SF = GeoPoint(37.8080, -122.4177)
+
+
+@pytest.fixture
+def setup():
+    service = LbsnService()
+    user = service.register_user("Phone Owner")
+    cafe = service.create_venue("Cafe Uno", ABQ, city="Albuquerque, NM")
+    wharf = service.create_venue(
+        "Fisherman's Wharf Sign", SF, city="San Francisco, CA"
+    )
+    device = Device(service.clock, ABQ, gps_seed=1)
+    app = LbsnClientApp(service, device.location_api, user.user_id)
+    return service, user, cafe, wharf, device, app
+
+
+class TestHonestClient:
+    def test_current_location_from_api(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        location = app.current_location()
+        from repro.geo.distance import haversine_m
+
+        assert haversine_m(location, ABQ) < 100.0
+
+    def test_nearby_venues_at_physical_location(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        nearby = app.nearby_venues()
+        assert [v.venue_id for v in nearby] == [cafe.venue_id]
+
+    def test_find_nearby_venue_by_name(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        assert app.find_nearby_venue("uno").venue_id == cafe.venue_id
+        assert app.find_nearby_venue("wharf") is None
+
+    def test_honest_checkin_succeeds(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        result = app.check_in(cafe.venue_id)
+        assert result.checkin.status is CheckInStatus.VALID
+
+    def test_remote_checkin_fails_gps_verification(self, setup):
+        # The honest device cannot check into San Francisco from ABQ.
+        service, user, cafe, wharf, device, app = setup
+        result = app.check_in(wharf.venue_id)
+        assert result.checkin.status is CheckInStatus.REJECTED
+
+    def test_check_in_by_name(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        result = app.check_in_by_name("Cafe")
+        assert result.checkin.status is CheckInStatus.VALID
+
+    def test_check_in_by_name_missing_raises(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        with pytest.raises(DeviceError):
+            app.check_in_by_name("Nonexistent Palace")
+
+    def test_no_fix_raises(self, setup):
+        service, user, cafe, wharf, device, app = setup
+        device.gps.has_signal = False
+        with pytest.raises(DeviceError):
+            app.current_location()
+
+
+class TestSpoofedClient:
+    def test_emulator_checkin_to_remote_venue(self, setup):
+        # The E1 flow: emulator set to SF, client sees SF venues, check-in
+        # passes — the client app itself is honest throughout.
+        service, user, cafe, wharf, device, app = setup
+        emulator = DeviceEmulator(service.clock)
+        emulator.flash_recovery_image("recovery")
+        spoofed_app = LbsnClientApp(
+            service, emulator.location_api, user.user_id
+        )
+        emulator.console.execute(f"geo fix {SF.longitude} {SF.latitude}")
+        nearby = spoofed_app.nearby_venues()
+        assert [v.venue_id for v in nearby] == [wharf.venue_id]
+        result = spoofed_app.check_in(wharf.venue_id)
+        assert result.checkin.status is CheckInStatus.VALID
+        assert result.became_mayor

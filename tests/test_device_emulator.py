@@ -1,0 +1,96 @@
+"""Unit tests for devices and the emulator (spoofing channel 4)."""
+
+import pytest
+
+from repro.device.emulator import Device, DeviceEmulator
+from repro.device.gps import FakeGpsModule
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+from repro.simnet.clock import SimClock
+
+ABQ = GeoPoint(35.0844, -106.6504)
+GOLDEN_GATE = GeoPoint(37.8199, -122.4783)
+
+
+class TestDevice:
+    def test_gps_reports_physical_location(self):
+        device = Device(SimClock(), ABQ, gps_seed=1)
+        fix = device.location_api.best_fix()
+        assert haversine_m(fix.location, ABQ) < 50.0
+
+    def test_app_installation(self):
+        device = Device(SimClock(), ABQ)
+        device.install_app("maps", object())
+        assert device.installed_apps == ["maps"]
+        assert device.get_app("maps") is not None
+
+    def test_duplicate_app_rejected(self):
+        device = Device(SimClock(), ABQ)
+        device.install_app("maps", object())
+        with pytest.raises(DeviceError):
+            device.install_app("maps", object())
+
+    def test_missing_app_raises(self):
+        with pytest.raises(DeviceError):
+            Device(SimClock(), ABQ).get_app("nothing")
+
+    def test_replace_gps_module(self):
+        # The hardware-hack channel: swap the module, OS none the wiser.
+        device = Device(SimClock(), ABQ)
+        fake = FakeGpsModule(GOLDEN_GATE)
+        device.replace_gps_module(fake)
+        fix = device.location_api.best_fix()
+        assert fix.location == GOLDEN_GATE
+
+
+class TestEmulator:
+    def test_market_locked_by_default(self):
+        emulator = DeviceEmulator(SimClock())
+        with pytest.raises(DeviceError):
+            emulator.install_app("simsquare", object())
+
+    def test_recovery_image_unlocks_market(self):
+        # §3.1: "We bypassed this limitation by using a full system
+        # recovery image from a device manufacturer's website."
+        emulator = DeviceEmulator(SimClock())
+        emulator.flash_recovery_image("htc-2.2-recovery")
+        emulator.install_app("simsquare", object())
+        assert "simsquare" in emulator.installed_apps
+
+    def test_empty_image_name_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceEmulator(SimClock()).flash_recovery_image("")
+
+    def test_no_fix_before_geo_fix(self):
+        emulator = DeviceEmulator(SimClock())
+        assert emulator.current_gps_fix() is None
+
+    def test_set_gps_directly(self):
+        emulator = DeviceEmulator(SimClock())
+        emulator.set_gps(GOLDEN_GATE)
+        assert emulator.current_gps_fix().location == GOLDEN_GATE
+
+
+class TestEmulatorConsole:
+    def test_geo_fix_longitude_first(self):
+        # The Android console syntax is `geo fix <longitude> <latitude>`.
+        emulator = DeviceEmulator(SimClock())
+        reply = emulator.console.execute(
+            f"geo fix {GOLDEN_GATE.longitude} {GOLDEN_GATE.latitude}"
+        )
+        assert reply == "OK"
+        fix = emulator.location_api.best_fix()
+        assert fix.location == GOLDEN_GATE
+
+    def test_bad_coordinates_rejected(self):
+        emulator = DeviceEmulator(SimClock())
+        assert emulator.console.execute("geo fix x y").startswith("KO")
+
+    def test_unknown_command_rejected(self):
+        emulator = DeviceEmulator(SimClock())
+        assert emulator.console.execute("network delay 100").startswith("KO")
+
+    def test_wrong_arity_rejected(self):
+        emulator = DeviceEmulator(SimClock())
+        assert emulator.console.execute("geo fix 1").startswith("KO")

@@ -1,0 +1,84 @@
+"""Unit tests for GPS modules."""
+
+import pytest
+
+from repro.device.gps import FakeGpsModule, GpsFix, HardwareGpsModule
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+
+ABQ = GeoPoint(35.0844, -106.6504)
+SF = GeoPoint(37.8080, -122.4177)
+
+
+class TestGpsFix:
+    def test_fields(self):
+        fix = GpsFix(location=ABQ, accuracy_m=5.0, timestamp=1.0, satellites=8)
+        assert fix.location == ABQ
+        assert fix.satellites == 8
+
+    def test_negative_accuracy_rejected(self):
+        with pytest.raises(DeviceError):
+            GpsFix(location=ABQ, accuracy_m=-1.0, timestamp=0.0)
+
+    def test_negative_satellites_rejected(self):
+        with pytest.raises(DeviceError):
+            GpsFix(location=ABQ, accuracy_m=1.0, timestamp=0.0, satellites=-1)
+
+
+class TestHardwareGpsModule:
+    def test_fix_near_physical_location(self):
+        module = HardwareGpsModule(ABQ, noise_m=5.0, seed=1)
+        fix = module.current_fix(0.0)
+        assert haversine_m(fix.location, ABQ) < 50.0
+        assert fix.accuracy_m == 5.0
+
+    def test_noise_varies_between_fixes(self):
+        module = HardwareGpsModule(ABQ, noise_m=5.0, seed=1)
+        first = module.current_fix(0.0)
+        second = module.current_fix(1.0)
+        assert first.location != second.location
+
+    def test_move_to_relocates(self):
+        module = HardwareGpsModule(ABQ, seed=1)
+        module.move_to(SF)
+        fix = module.current_fix(0.0)
+        assert haversine_m(fix.location, SF) < 50.0
+
+    def test_no_signal_returns_none(self):
+        module = HardwareGpsModule(ABQ, has_signal=False)
+        assert module.current_fix(0.0) is None
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(DeviceError):
+            HardwareGpsModule(ABQ, noise_m=-1.0)
+
+    def test_zero_noise_exact(self):
+        module = HardwareGpsModule(ABQ, noise_m=0.0, seed=1)
+        fix = module.current_fix(0.0)
+        assert haversine_m(fix.location, ABQ) < 0.5
+
+
+class TestFakeGpsModule:
+    def test_no_location_no_fix(self):
+        assert FakeGpsModule().current_fix(0.0) is None
+
+    def test_reports_exactly_the_fake_location(self):
+        module = FakeGpsModule()
+        module.set_location(SF)
+        fix = module.current_fix(42.0)
+        assert fix.location == SF
+        assert fix.timestamp == 42.0
+
+    def test_indistinguishable_fix_shape(self):
+        # The hacked module must look like real hardware to the OS:
+        # plausible accuracy and satellite counts.
+        module = FakeGpsModule(SF)
+        fix = module.current_fix(0.0)
+        assert 0 < fix.accuracy_m <= 50.0
+        assert 4 <= fix.satellites <= 14
+
+    def test_location_updates(self):
+        module = FakeGpsModule(ABQ)
+        module.set_location(SF)
+        assert module.current_fix(0.0).location == SF

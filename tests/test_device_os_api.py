@@ -1,0 +1,113 @@
+"""Unit tests for the OS location API and the API-hook spoofing channel."""
+
+import pytest
+
+from repro.device.gps import FakeGpsModule, HardwareGpsModule
+from repro.device.os_api import (
+    GPS_PROVIDER,
+    NETWORK_PROVIDER,
+    LocationApi,
+    fixed_location_hook,
+    remote_feed_hook,
+)
+from repro.errors import DeviceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+from repro.simnet.clock import SimClock
+
+ABQ = GeoPoint(35.0844, -106.6504)
+SF = GeoPoint(37.8080, -122.4177)
+
+
+@pytest.fixture
+def api():
+    clock = SimClock()
+    api = LocationApi(clock)
+    api.register_provider(GPS_PROVIDER, HardwareGpsModule(ABQ, seed=1))
+    return api, clock
+
+
+class TestProviders:
+    def test_register_and_list(self, api):
+        location_api, _ = api
+        assert location_api.providers() == [GPS_PROVIDER]
+        location_api.register_provider(
+            NETWORK_PROVIDER, FakeGpsModule(ABQ, accuracy_m=500.0)
+        )
+        assert NETWORK_PROVIDER in location_api.providers()
+
+    def test_remove_provider(self, api):
+        location_api, _ = api
+        assert location_api.remove_provider(GPS_PROVIDER)
+        assert not location_api.remove_provider(GPS_PROVIDER)
+        assert location_api.get_last_known_location(GPS_PROVIDER) is None
+
+    def test_empty_name_rejected(self, api):
+        location_api, _ = api
+        with pytest.raises(DeviceError):
+            location_api.register_provider("", FakeGpsModule(ABQ))
+
+    def test_get_last_known_location(self, api):
+        location_api, _ = api
+        fix = location_api.get_last_known_location(GPS_PROVIDER)
+        assert haversine_m(fix.location, ABQ) < 50.0
+
+    def test_best_fix_prefers_accuracy(self, api):
+        location_api, _ = api
+        location_api.register_provider(
+            NETWORK_PROVIDER, FakeGpsModule(SF, accuracy_m=500.0)
+        )
+        best = location_api.best_fix()
+        # GPS (5 m accuracy) beats the coarse network provider.
+        assert haversine_m(best.location, ABQ) < 100.0
+
+    def test_fix_timestamp_follows_clock(self, api):
+        location_api, clock = api
+        clock.advance(123.0)
+        fix = location_api.get_last_known_location(GPS_PROVIDER)
+        assert fix.timestamp == 123.0
+
+
+class TestApiHook:
+    def test_fixed_hook_overrides_all_providers(self, api):
+        # §3.1 channel 1: modify the GPS-related APIs.
+        location_api, _ = api
+        location_api.install_api_hook(fixed_location_hook(SF))
+        assert location_api.hooked
+        fix = location_api.get_last_known_location(GPS_PROVIDER)
+        assert fix.location == SF
+
+    def test_hook_applies_to_best_fix(self, api):
+        location_api, _ = api
+        location_api.install_api_hook(fixed_location_hook(SF))
+        assert location_api.best_fix().location == SF
+
+    def test_clear_hook_restores_truth(self, api):
+        location_api, _ = api
+        location_api.install_api_hook(fixed_location_hook(SF))
+        location_api.clear_api_hook()
+        assert not location_api.hooked
+        fix = location_api.get_last_known_location(GPS_PROVIDER)
+        assert haversine_m(fix.location, ABQ) < 50.0
+
+    def test_remote_feed_hook_pulls_from_server(self, api):
+        # The thesis's "from a server that returns fake GPS coordinates".
+        location_api, _ = api
+        feed_positions = [SF, ABQ]
+        location_api.install_api_hook(
+            remote_feed_hook(lambda: feed_positions[0])
+        )
+        assert location_api.best_fix().location == SF
+        feed_positions[0] = ABQ
+        assert location_api.best_fix().location == ABQ
+
+    def test_hook_works_even_without_signal(self, api):
+        # The hook manufactures fixes even when the real GPS has none —
+        # e.g. indoors, where the genuine module returns None.
+        location_api, _ = api
+        location_api.remove_provider(GPS_PROVIDER)
+        location_api.register_provider(
+            GPS_PROVIDER, HardwareGpsModule(ABQ, has_signal=False)
+        )
+        location_api.install_api_hook(fixed_location_hook(SF))
+        assert location_api.get_last_known_location(GPS_PROVIDER).location == SF

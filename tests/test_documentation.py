@@ -1,0 +1,65 @@
+"""Documentation is executable: README snippets run, docs stay in sync."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_code_block_runs(self):
+        """The README's first python block must execute verbatim."""
+        readme = (REPO / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.S)
+        assert blocks, "README lost its quickstart code block"
+        namespace = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+
+    def test_cli_commands_documented_exist(self):
+        """Every `python -m repro <cmd>` the README shows is a real command."""
+        from repro.cli import _COMMANDS
+
+        readme = (REPO / "README.md").read_text()
+        documented = set(re.findall(r"python -m repro (\w+)", readme))
+        assert documented
+        assert documented <= set(_COMMANDS)
+
+
+class TestExperimentIndexIntegrity:
+    def test_every_designed_bench_file_exists(self):
+        """DESIGN.md's experiment index references real bench files."""
+        design = (REPO / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        assert len(referenced) >= 15
+        for name in referenced:
+            assert (REPO / "benchmarks" / name).exists(), name
+
+    def test_every_bench_file_is_designed(self):
+        """No orphan bench files missing from the DESIGN index."""
+        design = (REPO / "DESIGN.md").read_text()
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.name in design, path.name
+
+    def test_experiments_covers_all_experiment_ids(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in range(1, 18):
+            assert f"## E{exp_id} " in experiments, f"E{exp_id}"
+
+
+class TestExamplesExist:
+    def test_examples_listed_in_readme_exist(self):
+        readme = (REPO / "README.md").read_text()
+        referenced = set(re.findall(r"examples/(\w+\.py)", readme))
+        assert len(referenced) >= 4
+        for name in referenced:
+            assert (REPO / "examples" / name).exists(), name
+
+    def test_at_least_five_runnable_examples(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 5
+        for path in examples:
+            source = path.read_text()
+            assert '__name__ == "__main__"' in source, path.name
+            compile(source, str(path), "exec")

@@ -1,0 +1,157 @@
+"""Exception-hierarchy tests and cross-component concurrency."""
+
+import threading
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GeoError",
+            "NetworkError",
+            "HttpError",
+            "ServiceError",
+            "CheatDetectedError",
+            "DeviceError",
+            "CrawlError",
+            "DefenseError",
+        ):
+            exc_class = getattr(errors, name)
+            assert issubclass(exc_class, errors.ReproError)
+
+    def test_http_error_carries_status(self):
+        exc = errors.HttpError(429)
+        assert exc.status == 429
+        assert "429" in str(exc)
+
+    def test_cheat_detected_carries_rule(self):
+        exc = errors.CheatDetectedError("super-human-speed")
+        assert exc.rule == "super-human-speed"
+        assert "super-human-speed" in str(exc)
+
+    def test_http_error_is_network_error(self):
+        assert issubclass(errors.HttpError, errors.NetworkError)
+
+    def test_cheat_detected_is_service_error(self):
+        assert issubclass(errors.CheatDetectedError, errors.ServiceError)
+
+
+class TestCrawlerDuringLiveTraffic:
+    def test_crawl_while_attack_campaign_runs(self):
+        """The crawler hammers the site from threads while a spoofing
+        campaign mutates service state; both must complete cleanly and
+        the final crawl must be internally consistent."""
+        from repro.attack import (
+            CheatingCampaign,
+            TargetVenue,
+            build_emulator_attacker,
+        )
+        from repro.crawler import (
+            CrawlDatabase,
+            CrawlMode,
+            MultiThreadedCrawler,
+        )
+        from repro.workload import build_web_stack, build_world
+
+        world = build_world(scale=0.0003, seed=303)
+        stack = build_web_stack(world, seed=304)
+        service = world.service
+
+        crawl_errors = []
+        databases = []
+
+        def crawl_loop():
+            try:
+                for _ in range(3):
+                    database = CrawlDatabase()
+                    crawler = MultiThreadedCrawler(
+                        stack.transport,
+                        database,
+                        CrawlMode.VENUE,
+                        [stack.network.create_egress()],
+                        threads_per_machine=6,
+                    )
+                    crawler.run()
+                    databases.append(database)
+            except Exception as exc:  # pragma: no cover
+                crawl_errors.append(exc)
+
+        crawl_thread = threading.Thread(target=crawl_loop)
+        crawl_thread.start()
+
+        # Meanwhile, the attacker harvests venues.
+        _, _, channel = build_emulator_attacker(service)
+        venues = world.service.store.iter_venues()[:20]
+        targets = [
+            TargetVenue(
+                venue_id=venue.venue_id,
+                name=venue.name,
+                latitude=venue.location.latitude,
+                longitude=venue.location.longitude,
+                special=None,
+                reason="stress",
+            )
+            for venue in venues
+        ]
+        campaign = CheatingCampaign(service.clock, channel)
+        report = campaign.harvest(targets)
+        crawl_thread.join(timeout=60.0)
+        assert not crawl_thread.is_alive()
+        assert not crawl_errors
+        assert report.attempts == 20
+        # The final crawl sees a consistent venue count.
+        assert databases[-1].venue_count() == service.store.venue_count()
+
+    def test_parallel_checkins_across_users(self):
+        """Concurrent check-ins from many threads keep counters coherent."""
+        from repro.geo.coordinates import GeoPoint
+        from repro.geo.distance import destination_point
+        from repro.lbsn.service import LbsnService
+
+        service = LbsnService()
+        anchor = GeoPoint(40.0, -100.0)
+        venues = [
+            service.create_venue(
+                f"V{index}", destination_point(anchor, index * 7.0, 300.0)
+            )
+            for index in range(10)
+        ]
+        users = [service.register_user(f"U{index}") for index in range(8)]
+        failures = []
+
+        def worker(user):
+            try:
+                for round_index in range(20):
+                    venue = venues[(user.user_id + round_index) % len(venues)]
+                    service.check_in(
+                        user.user_id,
+                        venue.venue_id,
+                        venue.location,
+                        timestamp=round_index * 7_200.0 + user.user_id,
+                    )
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(user,)) for user in users
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        total_recorded = service.store.checkin_count()
+        total_counted = sum(
+            user.total_checkins for user in service.store.iter_users()
+        )
+        assert total_recorded == total_counted
+        venue_total = sum(
+            venue.checkin_count for venue in service.store.iter_venues()
+        )
+        valid_total = sum(
+            user.valid_checkins for user in service.store.iter_users()
+        )
+        assert venue_total == valid_total

@@ -1,0 +1,156 @@
+"""Unit tests for repro.geo.coordinates."""
+
+import math
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coordinates import (
+    BoundingBox,
+    GeoPoint,
+    centroid,
+    normalize_longitude,
+    validate_latitude,
+    validate_longitude,
+)
+
+
+class TestValidation:
+    def test_valid_latitude_passes_through(self):
+        assert validate_latitude(45.5) == 45.5
+
+    def test_latitude_bounds_inclusive(self):
+        assert validate_latitude(90.0) == 90.0
+        assert validate_latitude(-90.0) == -90.0
+
+    def test_latitude_out_of_range(self):
+        with pytest.raises(GeoError):
+            validate_latitude(90.1)
+        with pytest.raises(GeoError):
+            validate_latitude(-91)
+
+    def test_latitude_nan_rejected(self):
+        with pytest.raises(GeoError):
+            validate_latitude(float("nan"))
+
+    def test_latitude_bool_rejected(self):
+        with pytest.raises(GeoError):
+            validate_latitude(True)
+
+    def test_latitude_string_rejected(self):
+        with pytest.raises(GeoError):
+            validate_latitude("40")
+
+    def test_longitude_bounds_inclusive(self):
+        assert validate_longitude(180.0) == 180.0
+        assert validate_longitude(-180.0) == -180.0
+
+    def test_longitude_out_of_range(self):
+        with pytest.raises(GeoError):
+            validate_longitude(180.5)
+
+
+class TestNormalizeLongitude:
+    def test_identity_in_range(self):
+        assert normalize_longitude(-96.7) == pytest.approx(-96.7)
+
+    def test_wraps_past_180(self):
+        assert normalize_longitude(190.0) == pytest.approx(-170.0)
+
+    def test_wraps_below_minus_180(self):
+        assert normalize_longitude(-190.0) == pytest.approx(170.0)
+
+    def test_wraps_multiple_revolutions(self):
+        assert normalize_longitude(370.0) == pytest.approx(10.0)
+
+    def test_180_maps_to_minus_180(self):
+        assert normalize_longitude(180.0) == pytest.approx(-180.0)
+
+
+class TestGeoPoint:
+    def test_construction_and_accessors(self):
+        point = GeoPoint(35.0844, -106.6504)
+        assert point.latitude == 35.0844
+        assert point.longitude == -106.6504
+        assert point.as_tuple() == (35.0844, -106.6504)
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(GeoError):
+            GeoPoint(95.0, 0.0)
+
+    def test_of_wraps_longitude(self):
+        point = GeoPoint.of(10.0, 370.0)
+        assert point.longitude == pytest.approx(10.0)
+
+    def test_as_radians(self):
+        lat, lon = GeoPoint(90.0, -180.0).as_radians()
+        assert lat == pytest.approx(math.pi / 2)
+        assert lon == pytest.approx(-math.pi)
+
+    def test_iteration_unpacks(self):
+        lat, lon = GeoPoint(1.0, 2.0)
+        assert (lat, lon) == (1.0, 2.0)
+
+    def test_equality_and_hash(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert len({GeoPoint(1.0, 2.0), GeoPoint(1.0, 2.0)}) == 1
+
+    def test_str_format(self):
+        assert str(GeoPoint(1.5, -2.25)) == "(1.500000, -2.250000)"
+
+    def test_immutability(self):
+        point = GeoPoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            point.latitude = 5.0
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([GeoPoint(3.0, 4.0)]) == GeoPoint(3.0, 4.0)
+
+    def test_symmetric_pair(self):
+        center = centroid([GeoPoint(0.0, 10.0), GeoPoint(10.0, 0.0)])
+        assert center == GeoPoint(5.0, 5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeoError):
+            centroid([])
+
+
+class TestBoundingBox:
+    def test_contains_inside_point(self):
+        box = BoundingBox(south=0.0, west=0.0, north=10.0, east=10.0)
+        assert box.contains(GeoPoint(5.0, 5.0))
+
+    def test_contains_boundary(self):
+        box = BoundingBox(south=0.0, west=0.0, north=10.0, east=10.0)
+        assert box.contains(GeoPoint(0.0, 0.0))
+        assert box.contains(GeoPoint(10.0, 10.0))
+
+    def test_excludes_outside(self):
+        box = BoundingBox(south=0.0, west=0.0, north=10.0, east=10.0)
+        assert not box.contains(GeoPoint(11.0, 5.0))
+        assert not box.contains(GeoPoint(5.0, -1.0))
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(GeoError):
+            BoundingBox(south=10.0, west=0.0, north=0.0, east=10.0)
+        with pytest.raises(GeoError):
+            BoundingBox(south=0.0, west=10.0, north=10.0, east=0.0)
+
+    def test_around_points(self):
+        box = BoundingBox.around(
+            [GeoPoint(1.0, 2.0), GeoPoint(-1.0, 5.0), GeoPoint(0.5, -3.0)]
+        )
+        assert box.south == -1.0
+        assert box.north == 1.0
+        assert box.west == -3.0
+        assert box.east == 5.0
+
+    def test_around_empty_raises(self):
+        with pytest.raises(GeoError):
+            BoundingBox.around([])
+
+    def test_center(self):
+        box = BoundingBox(south=0.0, west=0.0, north=10.0, east=20.0)
+        assert box.center == GeoPoint(5.0, 10.0)

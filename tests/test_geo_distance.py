@@ -1,0 +1,161 @@
+"""Unit tests for repro.geo.distance."""
+
+import math
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import (
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+    haversine_miles,
+    initial_bearing_deg,
+    meters_per_degree_latitude,
+    meters_per_degree_longitude,
+    pairwise_max_distance_m,
+    path_length_m,
+    speed_mps,
+)
+
+ALBUQUERQUE = GeoPoint(35.0844, -106.6504)
+SAN_FRANCISCO = GeoPoint(37.7749, -122.4194)
+LINCOLN = GeoPoint(40.8136, -96.7026)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(ALBUQUERQUE, ALBUQUERQUE) == 0.0
+
+    def test_symmetry(self):
+        assert haversine_m(ALBUQUERQUE, SAN_FRANCISCO) == pytest.approx(
+            haversine_m(SAN_FRANCISCO, ALBUQUERQUE)
+        )
+
+    def test_abq_to_sf_roughly_1430km(self):
+        # Known city-pair distance, within 2%.
+        distance = haversine_m(ALBUQUERQUE, SAN_FRANCISCO)
+        assert distance == pytest.approx(1_430_000, rel=0.02)
+
+    def test_one_degree_latitude_is_111km(self):
+        distance = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0))
+        assert distance == pytest.approx(111_195, rel=0.001)
+
+    def test_antipodal_is_half_circumference(self):
+        distance = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0))
+        assert distance == pytest.approx(math.pi * 6_371_008.8, rel=0.001)
+
+    def test_miles_conversion(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)
+        assert haversine_miles(a, b) == pytest.approx(
+            haversine_m(a, b) / METERS_PER_MILE
+        )
+
+
+class TestEquirectangular:
+    def test_close_to_haversine_at_city_scale(self):
+        a = GeoPoint(35.08, -106.65)
+        b = GeoPoint(35.10, -106.60)
+        assert equirectangular_m(a, b) == pytest.approx(
+            haversine_m(a, b), rel=0.01
+        )
+
+
+class TestBearing:
+    def test_due_north(self):
+        bearing = initial_bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(10.0, 0.0))
+        assert bearing == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_east(self):
+        bearing = initial_bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(0.0, 10.0))
+        assert bearing == pytest.approx(90.0)
+
+    def test_due_south(self):
+        bearing = initial_bearing_deg(GeoPoint(10.0, 0.0), GeoPoint(0.0, 0.0))
+        assert bearing == pytest.approx(180.0)
+
+    def test_due_west(self):
+        bearing = initial_bearing_deg(GeoPoint(0.0, 10.0), GeoPoint(0.0, 0.0))
+        assert bearing == pytest.approx(270.0)
+
+
+class TestDestinationPoint:
+    def test_round_trip_with_haversine(self):
+        destination = destination_point(ALBUQUERQUE, 73.0, 12_345.0)
+        assert haversine_m(ALBUQUERQUE, destination) == pytest.approx(
+            12_345.0, rel=1e-6
+        )
+
+    def test_bearing_preserved(self):
+        destination = destination_point(ALBUQUERQUE, 45.0, 5_000.0)
+        assert initial_bearing_deg(ALBUQUERQUE, destination) == pytest.approx(
+            45.0, abs=0.1
+        )
+
+    def test_zero_distance_is_identity(self):
+        destination = destination_point(ALBUQUERQUE, 123.0, 0.0)
+        assert destination.latitude == pytest.approx(ALBUQUERQUE.latitude)
+        assert destination.longitude == pytest.approx(ALBUQUERQUE.longitude)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(GeoError):
+            destination_point(ALBUQUERQUE, 0.0, -1.0)
+
+    def test_crosses_antimeridian(self):
+        near_dateline = GeoPoint(0.0, 179.9)
+        destination = destination_point(near_dateline, 90.0, 50_000.0)
+        assert -180.0 <= destination.longitude <= 180.0
+        assert destination.longitude < 0  # wrapped to the western side
+
+
+class TestSpeed:
+    def test_normal_speed(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)
+        speed = speed_mps(a, b, 3_600.0)
+        assert speed == pytest.approx(111_195 / 3_600.0, rel=0.001)
+
+    def test_zero_elapsed_with_distance_is_infinite(self):
+        assert speed_mps(ALBUQUERQUE, SAN_FRANCISCO, 0.0) == math.inf
+
+    def test_zero_elapsed_no_distance_is_zero(self):
+        assert speed_mps(ALBUQUERQUE, ALBUQUERQUE, 0.0) == 0.0
+
+    def test_negative_elapsed_is_infinite(self):
+        assert speed_mps(ALBUQUERQUE, LINCOLN, -5.0) == math.inf
+
+
+class TestPathsAndAggregates:
+    def test_path_length_empty_and_single(self):
+        assert path_length_m([]) == 0.0
+        assert path_length_m([ALBUQUERQUE]) == 0.0
+
+    def test_path_length_additive(self):
+        total = path_length_m([ALBUQUERQUE, SAN_FRANCISCO, LINCOLN])
+        expected = haversine_m(ALBUQUERQUE, SAN_FRANCISCO) + haversine_m(
+            SAN_FRANCISCO, LINCOLN
+        )
+        assert total == pytest.approx(expected)
+
+    def test_pairwise_max_distance(self):
+        points = [ALBUQUERQUE, SAN_FRANCISCO, LINCOLN]
+        assert pairwise_max_distance_m(points) == pytest.approx(
+            haversine_m(SAN_FRANCISCO, LINCOLN)
+        )
+
+    def test_pairwise_max_of_single_point_is_zero(self):
+        assert pairwise_max_distance_m([ALBUQUERQUE]) == 0.0
+
+
+class TestDegreeScales:
+    def test_latitude_degree_constant(self):
+        assert meters_per_degree_latitude() == pytest.approx(111_195, rel=0.001)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = meters_per_degree_longitude(0.0)
+        at_abq = meters_per_degree_longitude(35.0844)
+        assert at_abq < at_equator
+        # The thesis's §3.3 numbers: 0.005 deg ~ 550 m lat, ~450 m lon
+        # around Albuquerque.
+        assert 0.005 * meters_per_degree_latitude() == pytest.approx(556, abs=5)
+        assert 0.005 * at_abq == pytest.approx(455, abs=10)

@@ -1,0 +1,182 @@
+"""Unit tests for the spatial grid index."""
+
+import threading
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point, haversine_m
+from repro.geo.grid import SpatialGrid
+
+CENTER = GeoPoint(35.0844, -106.6504)
+
+
+def make_ring(grid, count, radius_m):
+    """Insert `count` items evenly on a circle of `radius_m`."""
+    for index in range(count):
+        bearing = 360.0 * index / count
+        grid.insert(index, destination_point(CENTER, bearing, radius_m))
+
+
+class TestInsertRemove:
+    def test_len_and_contains(self):
+        grid = SpatialGrid()
+        grid.insert("a", CENTER)
+        assert len(grid) == 1
+        assert "a" in grid
+        assert "b" not in grid
+
+    def test_reinsert_moves_item(self):
+        grid = SpatialGrid()
+        grid.insert("a", CENTER)
+        elsewhere = destination_point(CENTER, 90.0, 10_000.0)
+        grid.insert("a", elsewhere)
+        assert len(grid) == 1
+        assert grid.location_of("a") == elsewhere
+
+    def test_remove(self):
+        grid = SpatialGrid()
+        grid.insert("a", CENTER)
+        assert grid.remove("a") is True
+        assert grid.remove("a") is False
+        assert len(grid) == 0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(GeoError):
+            SpatialGrid(cell_size_deg=0.0)
+
+
+class TestQueryRadius:
+    def test_finds_items_within_radius(self):
+        grid = SpatialGrid()
+        make_ring(grid, 8, 500.0)
+        make_ring_ids = {i for i in range(8)}
+        hits = grid.query_radius(CENTER, 600.0)
+        assert {item for item, _, _ in hits} == make_ring_ids
+
+    def test_excludes_items_beyond_radius(self):
+        grid = SpatialGrid()
+        grid.insert("near", destination_point(CENTER, 0.0, 100.0))
+        grid.insert("far", destination_point(CENTER, 0.0, 5_000.0))
+        hits = grid.query_radius(CENTER, 1_000.0)
+        assert [item for item, _, _ in hits] == ["near"]
+
+    def test_results_sorted_by_distance(self):
+        grid = SpatialGrid()
+        for index, radius in enumerate([900.0, 100.0, 500.0]):
+            grid.insert(index, destination_point(CENTER, 45.0, radius))
+        hits = grid.query_radius(CENTER, 1_000.0)
+        distances = [distance for _, _, distance in hits]
+        assert distances == sorted(distances)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeoError):
+            SpatialGrid().query_radius(CENTER, -1.0)
+
+    def test_radius_accuracy_against_brute_force(self):
+        grid = SpatialGrid()
+        points = {}
+        for index in range(200):
+            point = destination_point(
+                CENTER, (index * 37) % 360, (index * 53) % 3_000
+            )
+            grid.insert(index, point)
+            points[index] = point
+        radius = 1_500.0
+        expected = {
+            index
+            for index, point in points.items()
+            if haversine_m(CENTER, point) <= radius
+        }
+        actual = {item for item, _, _ in grid.query_radius(CENTER, radius)}
+        assert actual == expected
+
+
+class TestNearest:
+    def test_nearest_picks_closest(self):
+        grid = SpatialGrid()
+        grid.insert("close", destination_point(CENTER, 10.0, 200.0))
+        grid.insert("far", destination_point(CENTER, 10.0, 2_000.0))
+        item, _, distance = grid.nearest(CENTER)
+        assert item == "close"
+        assert distance == pytest.approx(200.0, rel=1e-6)
+
+    def test_nearest_respects_exclusions(self):
+        grid = SpatialGrid()
+        grid.insert("close", destination_point(CENTER, 10.0, 200.0))
+        grid.insert("far", destination_point(CENTER, 10.0, 2_000.0))
+        item, _, _ = grid.nearest(CENTER, exclude={"close"})
+        assert item == "far"
+
+    def test_nearest_none_when_out_of_range(self):
+        grid = SpatialGrid()
+        grid.insert("far", destination_point(CENTER, 10.0, 40_000.0))
+        assert grid.nearest(CENTER, max_radius_m=10_000.0) is None
+
+    def test_nearest_on_empty_grid(self):
+        assert SpatialGrid().nearest(CENTER) is None
+
+    def test_nearest_beyond_first_ring(self):
+        # Forces the expanding-ring search past its initial 500 m radius.
+        grid = SpatialGrid()
+        grid.insert("only", destination_point(CENTER, 200.0, 9_000.0))
+        item, _, _ = grid.nearest(CENTER)
+        assert item == "only"
+
+
+class TestKNearest:
+    def test_k_nearest_ordering_and_count(self):
+        grid = SpatialGrid()
+        make_ring(grid, 10, 800.0)
+        grid.insert("bull", CENTER)
+        hits = grid.k_nearest(CENTER, 3)
+        assert len(hits) == 3
+        assert hits[0][0] == "bull"
+
+    def test_k_zero_returns_empty(self):
+        grid = SpatialGrid()
+        grid.insert("a", CENTER)
+        assert grid.k_nearest(CENTER, 0) == []
+
+    def test_k_larger_than_population(self):
+        grid = SpatialGrid()
+        make_ring(grid, 4, 300.0)
+        assert len(grid.k_nearest(CENTER, 10)) == 4
+
+
+class TestThreadSafety:
+    def test_concurrent_inserts_and_queries(self):
+        grid = SpatialGrid()
+        errors = []
+
+        def writer(base):
+            try:
+                for index in range(200):
+                    grid.insert(
+                        base + index,
+                        destination_point(
+                            CENTER, (base + index) % 360, index % 2_000
+                        ),
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(100):
+                    grid.query_radius(CENTER, 1_000.0)
+                    grid.nearest(CENTER)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(base,))
+            for base in (0, 1_000, 2_000)
+        ] + [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(grid) == 600

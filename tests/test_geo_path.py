@@ -1,0 +1,171 @@
+"""Unit tests for virtual paths and the Fig 3.5 spiral."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coordinates import METERS_PER_YARD, GeoPoint
+from repro.geo.distance import (
+    haversine_m,
+    initial_bearing_deg,
+    meters_per_degree_latitude,
+)
+from repro.geo.path import (
+    MoveCommand,
+    VirtualPath,
+    bearing_for_direction,
+    drift_m,
+    spiral_path,
+)
+
+START = GeoPoint(35.06, -106.62)
+
+
+class TestBearingForDirection:
+    @pytest.mark.parametrize(
+        "direction,expected",
+        [
+            ("north", 0.0),
+            ("NE", 45.0),
+            ("East", 90.0),
+            ("southeast", 135.0),
+            ("s", 180.0),
+            ("SW", 225.0),
+            ("west", 270.0),
+            ("nw", 315.0),
+        ],
+    )
+    def test_compass_words(self, direction, expected):
+        assert bearing_for_direction(direction) == expected
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(GeoError):
+            bearing_for_direction("up")
+
+
+class TestMoveCommand:
+    def test_apply_moves_right_distance_and_direction(self):
+        command = MoveCommand(direction="west", distance_m=457.2)
+        destination = command.apply(START)
+        assert haversine_m(START, destination) == pytest.approx(457.2, rel=1e-6)
+        assert initial_bearing_deg(START, destination) == pytest.approx(
+            270.0, abs=0.1
+        )
+
+    def test_yards_constructor(self):
+        # The thesis's example: "move 500 yards to the west".
+        command = MoveCommand.yards("west", 500)
+        assert command.distance_m == pytest.approx(500 * METERS_PER_YARD)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(GeoError):
+            MoveCommand(direction="north", distance_m=0.0)
+
+    def test_bad_direction_rejected_at_construction(self):
+        with pytest.raises(GeoError):
+            MoveCommand(direction="sideways", distance_m=10.0)
+
+
+class TestVirtualPath:
+    def test_waypoints_start_with_origin(self):
+        path = VirtualPath(start=START)
+        assert path.waypoints() == [START]
+
+    def test_add_move_extends_waypoints(self):
+        path = VirtualPath(start=START)
+        end = path.add_move(MoveCommand("north", 500.0))
+        assert len(path.waypoints()) == 2
+        assert path.waypoints()[-1] == end
+
+    def test_length_accumulates(self):
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 500.0))
+        path.add_move(MoveCommand("east", 300.0))
+        assert path.length_m() == pytest.approx(800.0, rel=1e-4)
+
+    def test_len_counts_moves(self):
+        path = VirtualPath(start=START)
+        path.add_move(MoveCommand("north", 500.0))
+        assert len(path) == 1
+
+
+class TestSpiralPath:
+    def test_step_count(self):
+        path = spiral_path(START, steps=25)
+        assert len(path) == 25
+        assert len(path.waypoints()) == 26
+
+    def test_first_move_is_north(self):
+        path = spiral_path(START, steps=3)
+        first, second = path.waypoints()[0], path.waypoints()[1]
+        assert initial_bearing_deg(first, second) == pytest.approx(0.0, abs=0.5)
+
+    def test_right_turning_sequence(self):
+        # Square spiral leg pattern: N, E, S, S, W, W, N, N, N ...
+        path = spiral_path(START, steps=4)
+        points = path.waypoints()
+        bearings = [
+            initial_bearing_deg(points[i], points[i + 1]) for i in range(4)
+        ]
+        assert bearings[0] == pytest.approx(0.0, abs=0.5)  # north
+        assert bearings[1] == pytest.approx(90.0, abs=0.5)  # right turn: east
+        assert bearings[2] == pytest.approx(180.0, abs=0.5)  # south
+        assert bearings[3] == pytest.approx(180.0, abs=0.5)  # south again
+
+    def test_left_turning_variant(self):
+        path = spiral_path(START, steps=2, turn="left")
+        points = path.waypoints()
+        assert initial_bearing_deg(points[1], points[2]) == pytest.approx(
+            270.0, abs=0.5
+        )
+
+    def test_step_size_in_degrees(self):
+        # The north step covers 0.005 degrees of latitude ~ 556 m.
+        path = spiral_path(START, steps=1, step_deg=0.005)
+        step_m = haversine_m(*path.waypoints()[:2])
+        assert step_m == pytest.approx(
+            0.005 * meters_per_degree_latitude(), rel=0.01
+        )
+
+    def test_lat_lon_step_asymmetry(self):
+        # §3.3: equal degree steps give ~550 m north/south, ~450 m
+        # east/west at Albuquerque's latitude.
+        path = spiral_path(START, steps=2, step_deg=0.005)
+        points = path.waypoints()
+        north_step = haversine_m(points[0], points[1])
+        east_step = haversine_m(points[1], points[2])
+        assert north_step > east_step
+        assert east_step == pytest.approx(455, abs=15)
+
+    def test_spiral_expands_outward(self):
+        path = spiral_path(START, steps=30)
+        final = path.waypoints()[-1]
+        assert haversine_m(START, final) > 500.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeoError):
+            spiral_path(START, steps=-1)
+        with pytest.raises(GeoError):
+            spiral_path(START, steps=5, step_deg=0.0)
+        with pytest.raises(GeoError):
+            spiral_path(START, steps=5, turn="around")
+        with pytest.raises(GeoError):
+            spiral_path(START, steps=5, initial_direction="up")
+
+
+class TestDrift:
+    def test_zero_for_identical_paths(self):
+        points = [START, GeoPoint(35.07, -106.62)]
+        assert drift_m(points, points) == 0.0
+
+    def test_mean_of_offsets(self):
+        intended = [GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)]
+        actual = [GeoPoint(0.0, 0.0), GeoPoint(1.001, 0.0)]
+        expected = haversine_m(intended[1], actual[1]) / 2.0
+        assert drift_m(intended, actual) == pytest.approx(expected)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(GeoError):
+            drift_m([START], [])
+
+    def test_empty_paths(self):
+        assert drift_m([], []) == 0.0

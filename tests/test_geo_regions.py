@@ -1,0 +1,94 @@
+"""Unit tests for the US region model used by Fig 3.4."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import (
+    CONTIGUOUS_US_OUTLINE,
+    EUROPEAN_CITIES,
+    US_CITIES,
+    all_cities,
+    city_by_name,
+    contiguous_us_bbox,
+    in_contiguous_us,
+    point_in_polygon,
+)
+
+
+class TestPointInPolygon:
+    def test_unit_square(self):
+        square = [(0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)]
+        assert point_in_polygon(GeoPoint(5.0, 5.0), square)
+        assert not point_in_polygon(GeoPoint(15.0, 5.0), square)
+        assert not point_in_polygon(GeoPoint(5.0, -1.0), square)
+
+    def test_degenerate_polygon_raises(self):
+        with pytest.raises(GeoError):
+            point_in_polygon(GeoPoint(0.0, 0.0), [(0.0, 0.0), (1.0, 1.0)])
+
+
+class TestContiguousUs:
+    @pytest.mark.parametrize(
+        "name,lat,lon",
+        [
+            ("Albuquerque", 35.0844, -106.6504),
+            ("Lincoln", 40.8136, -96.7026),
+            ("Kansas City", 39.0997, -94.5786),
+            ("Denver", 39.7392, -104.9903),
+            ("Atlanta", 33.7490, -84.3880),
+        ],
+    )
+    def test_interior_cities_inside(self, name, lat, lon):
+        assert in_contiguous_us(GeoPoint(lat, lon)), name
+
+    @pytest.mark.parametrize(
+        "name,lat,lon",
+        [
+            ("London", 51.5074, -0.1278),
+            ("Honolulu", 21.3069, -157.8583),
+            ("Anchorage", 61.2181, -149.9003),
+            ("Mexico City", 19.4326, -99.1332),
+            ("Atlantic Ocean", 35.0, -60.0),
+        ],
+    )
+    def test_outside_points_excluded(self, name, lat, lon):
+        assert not in_contiguous_us(GeoPoint(lat, lon)), name
+
+    def test_bbox_contains_outline(self):
+        box = contiguous_us_bbox()
+        for lat, lon in CONTIGUOUS_US_OUTLINE:
+            assert box.contains(GeoPoint(lat, lon))
+
+
+class TestCities:
+    def test_city_by_name_found(self):
+        city = city_by_name("Albuquerque, NM")
+        assert city.center.latitude == pytest.approx(35.0844)
+
+    def test_city_by_name_unknown(self):
+        with pytest.raises(GeoError):
+            city_by_name("Gotham City")
+
+    def test_experiment_cities_present(self):
+        # The thesis ran experiments from Albuquerque and Lincoln, and
+        # checked into San Francisco; Fig 4.3 reaches Alaska and Europe.
+        names = {city.name for city in all_cities()}
+        for required in (
+            "Albuquerque, NM",
+            "Lincoln, NE",
+            "San Francisco, CA",
+            "Anchorage, AK",
+            "London, UK",
+        ):
+            assert required in names
+
+    def test_weights_positive(self):
+        for city in all_cities():
+            assert city.weight > 0
+            assert city.radius_m > 0
+
+    def test_us_and_europe_disjoint(self):
+        us = {city.name for city in US_CITIES}
+        europe = {city.name for city in EUROPEAN_CITIES}
+        assert not us & europe

@@ -1,0 +1,95 @@
+"""The thesis's full narrative, end to end against one world.
+
+Crawl the site -> build the attack catalog -> run the spiral tour (E4)
+undetected -> harvest easy mayorships (E9) -> re-crawl and confirm the
+attacker now shows up in the crawled data -> run the Chapter-4 analyses and
+find the planted cheaters.
+"""
+
+import pytest
+
+from repro.analysis.activity import recent_vs_total_curve
+from repro.analysis.patterns import PatternVerdict, analyze_pattern
+from repro.analysis.stats import compute_population_stats
+from repro.attack.campaign import CheatingCampaign
+from repro.attack.scheduler import CheckInScheduler
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.targeting import VenueProfileAnalyzer
+from repro.attack.tour import TourPlanner, VenueCatalog
+from repro.crawler.crawler import crawl_full_site
+from repro.geo.regions import city_by_name
+from repro.workload import build_web_stack, build_world
+
+
+@pytest.fixture(scope="module")
+def story_world():
+    world = build_world(scale=0.0005, seed=77)
+    stack = build_web_stack(world, seed=8)
+    machines = [stack.network.create_egress() for _ in range(3)]
+    database, user_stats, venue_stats = crawl_full_site(
+        stack.transport, machines
+    )
+    return world, stack, database
+
+
+class TestFullStory:
+    def test_act1_crawl_covers_the_site(self, story_world):
+        world, stack, database = story_world
+        assert database.user_count() == world.service.store.user_count()
+        assert database.venue_count() == world.service.store.venue_count()
+
+    def test_act2_tour_and_harvest_undetected(self, story_world):
+        world, stack, database = story_world
+        service = world.service
+        user, emulator, channel = build_emulator_attacker(service)
+        catalog = VenueCatalog.from_crawl_database(database)
+        planner = TourPlanner(catalog)
+        scheduler = CheckInScheduler(service.clock)
+
+        # The Fig 3.5 spiral through the densest crawled city.
+        start = city_by_name("New York, NY").center
+        tour = planner.plan_city_spiral(start, steps=60)
+        assert len(tour.stops) >= 20
+        report = scheduler.execute(scheduler.build(tour), channel)
+        assert report.undetected
+        assert report.points > 0
+
+        # §3.4: harvest venues with unclaimed mayor specials.
+        analyzer = VenueProfileAnalyzer(database)
+        targets = analyzer.easy_mayor_specials()
+        assert targets  # the world plants these
+        campaign = CheatingCampaign(
+            service.clock, channel, scheduler=scheduler
+        )
+        harvest = campaign.harvest(targets[:12])
+        assert harvest.detected == 0
+        assert harvest.mayorships_won >= len(targets[:12]) - 2
+        assert harvest.specials
+
+    def test_act3_recrawl_sees_the_attacker(self, story_world):
+        world, stack, database = story_world
+        machines = [stack.network.create_egress() for _ in range(2)]
+        recrawl, _, _ = crawl_full_site(stack.transport, machines)
+        attacker_rows = [
+            row
+            for row in recrawl.users()
+            if row.display_name == "Attacker"
+        ]
+        assert attacker_rows
+        attacker = attacker_rows[0]
+        assert attacker.total_checkins >= 30
+        assert attacker.total_mayors >= 8
+
+    def test_act4_analyses_recover_the_planted_structure(self, story_world):
+        world, stack, database = story_world
+        stats = compute_population_stats(database)
+        assert stats.zero_checkin_fraction == pytest.approx(0.363, abs=0.05)
+        curve = recent_vs_total_curve(database, bucket_width=50)
+        assert curve
+
+        mega = analyze_pattern(database, world.roster.mega_cheater.user_id)
+        assert mega.verdict is PatternVerdict.SUSPICIOUS
+        power = analyze_pattern(
+            database, world.roster.power_users[0].user_id
+        )
+        assert power.verdict is PatternVerdict.NORMAL

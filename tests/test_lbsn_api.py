@@ -1,0 +1,152 @@
+"""Unit tests for the developer API (spoofing channel 3's surface)."""
+
+import pytest
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.api import LbsnApiServer, TokenRegistry, parse_kv
+from repro.lbsn.service import LbsnService
+from repro.simnet.http import HTTP_UNAUTHORIZED, HttpTransport, Router
+from repro.simnet.network import Network
+
+ABQ = GeoPoint(35.0844, -106.6504)
+SF = GeoPoint(37.8080, -122.4177)
+
+
+@pytest.fixture
+def api():
+    service = LbsnService()
+    user = service.register_user("Dev User")
+    venue = service.create_venue("Wharf Sign", SF, city="San Francisco, CA")
+    server = LbsnApiServer(service)
+    router = Router()
+    server.install_routes(router)
+    network = Network(seed=0)
+    transport = HttpTransport(router, network)
+    egress = network.create_egress()
+    token = server.tokens.issue(user.user_id)
+    return service, user, venue, server, transport, egress, token
+
+
+class TestTokens:
+    def test_issue_and_resolve(self):
+        registry = TokenRegistry()
+        token = registry.issue(7)
+        assert registry.resolve(token) == 7
+
+    def test_revoke(self):
+        registry = TokenRegistry()
+        token = registry.issue(7)
+        assert registry.revoke(token)
+        assert registry.resolve(token) is None
+        assert not registry.revoke(token)
+
+    def test_tokens_unique(self):
+        registry = TokenRegistry()
+        assert registry.issue(1) != registry.issue(1)
+
+
+class TestParseKv:
+    def test_round_trip(self):
+        parsed = parse_kv("a=1\nb=two\nignored line\nc=")
+        assert parsed == {"a": "1", "b": "two", "c": ""}
+
+
+class TestCheckinEndpoint:
+    def test_spoofed_coordinates_accepted(self, api):
+        # The whole point of channel 3: the API trusts request params.
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            headers={"Authorization": f"Bearer {token}"},
+            params={
+                "venue_id": str(venue.venue_id),
+                "ll_lat": f"{SF.latitude}",
+                "ll_lng": f"{SF.longitude}",
+            },
+        )
+        payload = parse_kv(response.body)
+        assert payload["status"] == "valid"
+        assert int(payload["points"]) > 0
+        assert payload["mayor"] == "1"
+
+    def test_unauthorized_without_token(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            params={"venue_id": "1", "ll_lat": "0", "ll_lng": "0"},
+        )
+        assert response.status == HTTP_UNAUTHORIZED
+
+    def test_oauth_token_param_accepted(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            params={
+                "oauth_token": token,
+                "venue_id": str(venue.venue_id),
+                "ll_lat": f"{SF.latitude}",
+                "ll_lng": f"{SF.longitude}",
+            },
+        )
+        assert parse_kv(response.body)["status"] == "valid"
+
+    def test_bad_params_rejected(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            headers={"Authorization": f"Bearer {token}"},
+            params={"venue_id": "not-a-number"},
+        )
+        assert parse_kv(response.body)["status"] == "bad_request"
+
+    def test_unknown_venue_error(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            headers={"Authorization": f"Bearer {token}"},
+            params={"venue_id": "9999", "ll_lat": "0", "ll_lng": "0"},
+        )
+        assert parse_kv(response.body)["status"] == "error"
+
+    def test_gps_mismatch_reported(self, api):
+        # Claiming the SF venue with ABQ coordinates fails verification.
+        service, user, venue, server, transport, egress, token = api
+        response = transport.post(
+            "/api/checkin",
+            egress,
+            headers={"Authorization": f"Bearer {token}"},
+            params={
+                "venue_id": str(venue.venue_id),
+                "ll_lat": f"{ABQ.latitude}",
+                "ll_lng": f"{ABQ.longitude}",
+            },
+        )
+        payload = parse_kv(response.body)
+        assert payload["status"] == "rejected"
+        assert "km from" in payload["warnings"]
+
+
+class TestVenuesNearEndpoint:
+    def test_lists_nearby(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.get(
+            "/api/venues/near",
+            egress,
+            params={"ll_lat": f"{SF.latitude}", "ll_lng": f"{SF.longitude}"},
+        )
+        assert response.body.startswith("count=1")
+        assert f"venue={venue.venue_id}|Wharf Sign|" in response.body
+
+    def test_empty_when_remote(self, api):
+        service, user, venue, server, transport, egress, token = api
+        response = transport.get(
+            "/api/venues/near",
+            egress,
+            params={"ll_lat": "0", "ll_lng": "0"},
+        )
+        assert response.body.startswith("count=0")

@@ -1,0 +1,329 @@
+"""Unit tests for the cheater code — the §2.3 rules verbatim."""
+
+import pytest
+
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.cheater_code import (
+    RULE_FREQUENT,
+    RULE_RAPID_FIRE,
+    RULE_SHADOW_BAN,
+    RULE_SUPERHUMAN,
+    CheaterCode,
+    CheaterCodeConfig,
+    RuleAction,
+)
+from repro.lbsn.models import CheckIn, CheckInStatus
+
+ORIGIN = GeoPoint(35.0844, -106.6504)
+FAR_AWAY = GeoPoint(37.7749, -122.4194)  # ~1430 km
+
+
+def checkin(
+    venue_id, timestamp, location=ORIGIN, status=CheckInStatus.VALID, cid=None
+):
+    return CheckIn(
+        checkin_id=cid or venue_id * 1000 + int(timestamp),
+        user_id=1,
+        venue_id=venue_id,
+        timestamp=timestamp,
+        reported_location=location,
+        status=status,
+    )
+
+
+def locations(mapping):
+    return lambda venue_id: mapping.get(venue_id)
+
+
+class TestFrequentCheckins:
+    def test_same_venue_within_hour_rejected(self):
+        code = CheaterCode()
+        history = [checkin(7, 1_000.0)]
+        verdict = code.evaluate(
+            venue_id=7,
+            venue_location=ORIGIN,
+            timestamp=1_000.0 + 1_800.0,
+            history=history,
+            location_of_venue=locations({7: ORIGIN}),
+        )
+        assert verdict.action is RuleAction.REJECT
+        assert verdict.rule == RULE_FREQUENT
+
+    def test_same_venue_after_hour_allowed(self):
+        code = CheaterCode()
+        history = [checkin(7, 1_000.0)]
+        verdict = code.evaluate(
+            venue_id=7,
+            venue_location=ORIGIN,
+            timestamp=1_000.0 + 3_700.0,
+            history=history,
+            location_of_venue=locations({7: ORIGIN}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_different_venue_within_hour_allowed(self):
+        code = CheaterCode()
+        near = destination_point(ORIGIN, 90.0, 400.0)
+        history = [checkin(7, 1_000.0)]
+        verdict = code.evaluate(
+            venue_id=8,
+            venue_location=near,
+            timestamp=1_000.0 + 600.0,
+            history=history,
+            location_of_venue=locations({7: ORIGIN, 8: near}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_rule_can_be_disabled(self):
+        code = CheaterCode(CheaterCodeConfig(enable_frequent=False))
+        history = [checkin(7, 1_000.0)]
+        verdict = code.evaluate(
+            venue_id=7,
+            venue_location=ORIGIN,
+            timestamp=1_000.0 + 60.0,
+            history=history,
+            location_of_venue=locations({7: ORIGIN}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+
+class TestSuperHumanSpeed:
+    def test_cross_country_in_minutes_flagged(self):
+        code = CheaterCode()
+        history = [checkin(1, 0.0, location=ORIGIN)]
+        verdict = code.evaluate(
+            venue_id=2,
+            venue_location=FAR_AWAY,
+            timestamp=600.0,  # 1430 km in 10 minutes
+            history=history,
+            location_of_venue=locations({1: ORIGIN, 2: FAR_AWAY}),
+        )
+        assert verdict.action is RuleAction.FLAG
+        assert verdict.rule == RULE_SUPERHUMAN
+
+    def test_thesis_safe_envelope_passes(self):
+        # "venues less than 1 mile apart with a 5-minute interval"
+        code = CheaterCode()
+        near = destination_point(ORIGIN, 0.0, 0.9 * METERS_PER_MILE)
+        history = [checkin(1, 0.0, location=ORIGIN)]
+        verdict = code.evaluate(
+            venue_id=2,
+            venue_location=near,
+            timestamp=300.0,
+            history=history,
+            location_of_venue=locations({1: ORIGIN, 2: near}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_long_elapsed_time_makes_distance_plausible(self):
+        code = CheaterCode()
+        history = [checkin(1, 0.0, location=ORIGIN)]
+        verdict = code.evaluate(
+            venue_id=2,
+            venue_location=FAR_AWAY,
+            timestamp=8.0 * 3_600.0,  # 1430 km in 8 hours ~ 50 m/s
+            history=history,
+            location_of_venue=locations({1: ORIGIN, 2: FAR_AWAY}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_small_displacement_never_triggers(self):
+        # GPS jitter across the street in seconds is not "travel".
+        code = CheaterCode()
+        near = destination_point(ORIGIN, 90.0, 500.0)
+        history = [checkin(1, 0.0, location=ORIGIN)]
+        verdict = code.evaluate(
+            venue_id=2,
+            venue_location=near,
+            timestamp=1.0,
+            history=history,
+            location_of_venue=locations({1: ORIGIN, 2: near}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_anchors_on_last_valid_not_flagged(self):
+        # A flagged check-in must not reset the attacker's position.
+        code = CheaterCode()
+        history = [
+            checkin(1, 0.0, location=ORIGIN),
+            checkin(
+                2, 300.0, location=FAR_AWAY, status=CheckInStatus.FLAGGED
+            ),
+        ]
+        verdict = code.evaluate(
+            venue_id=3,
+            venue_location=FAR_AWAY,
+            timestamp=600.0,
+            history=history,
+            location_of_venue=locations(
+                {1: ORIGIN, 2: FAR_AWAY, 3: FAR_AWAY}
+            ),
+        )
+        assert verdict.action is RuleAction.FLAG
+
+    def test_no_history_allows_anything(self):
+        code = CheaterCode()
+        verdict = code.evaluate(
+            venue_id=1,
+            venue_location=FAR_AWAY,
+            timestamp=0.0,
+            history=[],
+            location_of_venue=locations({1: FAR_AWAY}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_rule_can_be_disabled(self):
+        code = CheaterCode(CheaterCodeConfig(enable_superhuman=False))
+        history = [checkin(1, 0.0, location=ORIGIN)]
+        verdict = code.evaluate(
+            venue_id=2,
+            venue_location=FAR_AWAY,
+            timestamp=60.0,
+            history=history,
+            location_of_venue=locations({1: ORIGIN, 2: FAR_AWAY}),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+
+class TestRapidFire:
+    def _square_venues(self, edge_m=150.0):
+        # Four venues inside a 150 m square (well under the 180 m limit).
+        a = ORIGIN
+        b = destination_point(ORIGIN, 90.0, edge_m / 2)
+        c = destination_point(ORIGIN, 0.0, edge_m / 2)
+        d = destination_point(c, 90.0, edge_m / 2)
+        return {1: a, 2: b, 3: c, 4: d}
+
+    def test_fourth_rapid_checkin_flagged(self):
+        code = CheaterCode()
+        venues = self._square_venues()
+        history = [
+            checkin(1, 0.0, location=venues[1]),
+            checkin(2, 55.0, location=venues[2]),
+            checkin(3, 110.0, location=venues[3]),
+        ]
+        verdict = code.evaluate(
+            venue_id=4,
+            venue_location=venues[4],
+            timestamp=165.0,
+            history=history,
+            location_of_venue=locations(venues),
+        )
+        assert verdict.action is RuleAction.FLAG
+        assert verdict.rule == RULE_RAPID_FIRE
+        assert "rapid-fire" in verdict.warnings[0]
+
+    def test_third_checkin_not_flagged(self):
+        code = CheaterCode()
+        venues = self._square_venues()
+        history = [
+            checkin(1, 0.0, location=venues[1]),
+            checkin(2, 55.0, location=venues[2]),
+        ]
+        verdict = code.evaluate(
+            venue_id=3,
+            venue_location=venues[3],
+            timestamp=110.0,
+            history=history,
+            location_of_venue=locations(venues),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_slow_spacing_not_flagged(self):
+        # Same square, but 5-minute intervals (the thesis's safe spacing).
+        code = CheaterCode()
+        venues = self._square_venues()
+        history = [
+            checkin(1, 0.0, location=venues[1]),
+            checkin(2, 300.0, location=venues[2]),
+            checkin(3, 600.0, location=venues[3]),
+        ]
+        verdict = code.evaluate(
+            venue_id=4,
+            venue_location=venues[4],
+            timestamp=900.0,
+            history=history,
+            location_of_venue=locations(venues),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_wide_area_not_flagged(self):
+        # Rapid but spread over ~2 km: not a "180 m square" pattern.
+        code = CheaterCode()
+        venues = {
+            index: destination_point(ORIGIN, 90.0, index * 700.0)
+            for index in range(1, 5)
+        }
+        history = [
+            checkin(1, 0.0, location=venues[1]),
+            checkin(2, 55.0, location=venues[2]),
+            checkin(3, 110.0, location=venues[3]),
+        ]
+        verdict = code.evaluate(
+            venue_id=4,
+            venue_location=venues[4],
+            timestamp=165.0,
+            history=history,
+            location_of_venue=locations(venues),
+        )
+        # May trip the speed rule at these gaps?  700 m hops in 55 s is
+        # ~13 m/s — under the threshold and under the distance floor, so
+        # the verdict must be ALLOW.
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_rule_can_be_disabled(self):
+        code = CheaterCode(CheaterCodeConfig(enable_rapid_fire=False))
+        venues = self._square_venues()
+        history = [
+            checkin(1, 0.0, location=venues[1]),
+            checkin(2, 55.0, location=venues[2]),
+            checkin(3, 110.0, location=venues[3]),
+        ]
+        verdict = code.evaluate(
+            venue_id=4,
+            venue_location=venues[4],
+            timestamp=165.0,
+            history=history,
+            location_of_venue=locations(venues),
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+
+class TestShadowBan:
+    def test_banned_user_always_flagged(self):
+        code = CheaterCode(CheaterCodeConfig(shadow_ban_threshold=50))
+        verdict = code.evaluate(
+            venue_id=1,
+            venue_location=ORIGIN,
+            timestamp=0.0,
+            history=[],
+            location_of_venue=locations({1: ORIGIN}),
+            prior_flagged_count=50,
+        )
+        assert verdict.action is RuleAction.FLAG
+        assert verdict.rule == RULE_SHADOW_BAN
+
+    def test_below_threshold_not_banned(self):
+        code = CheaterCode(CheaterCodeConfig(shadow_ban_threshold=50))
+        verdict = code.evaluate(
+            venue_id=1,
+            venue_location=ORIGIN,
+            timestamp=0.0,
+            history=[],
+            location_of_venue=locations({1: ORIGIN}),
+            prior_flagged_count=49,
+        )
+        assert verdict.action is RuleAction.ALLOW
+
+    def test_zero_threshold_disables_ban(self):
+        code = CheaterCode(CheaterCodeConfig(shadow_ban_threshold=0))
+        verdict = code.evaluate(
+            venue_id=1,
+            venue_location=ORIGIN,
+            timestamp=0.0,
+            history=[],
+            location_of_venue=locations({1: ORIGIN}),
+            prior_flagged_count=10_000,
+        )
+        assert verdict.action is RuleAction.ALLOW

@@ -1,0 +1,148 @@
+"""Tests for the Gowalla-style item economy and the transfer of the attack."""
+
+import pytest
+
+from repro.attack.scheduler import CheckInScheduler
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.tour import TourPlanner, VenueCatalog
+from repro.errors import ServiceError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.items import ItemRarity, ItemSystem, farm_items
+from repro.lbsn.models import CheckInStatus
+from repro.lbsn.service import LbsnService
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+@pytest.fixture
+def item_world():
+    service = LbsnService()
+    venues = [
+        service.create_venue(
+            f"Trail Stop {index}",
+            destination_point(ABQ, index * 24.0, 900.0 + 350.0 * index),
+        )
+        for index in range(15)
+    ]
+    system = ItemSystem(service, seed=5, seeded_fraction=1.0, items_per_venue=2)
+    return service, venues, system
+
+
+class TestSeeding:
+    def test_every_venue_seeded_at_full_fraction(self, item_world):
+        service, venues, system = item_world
+        for venue in venues:
+            assert len(system.items_at(venue.venue_id)) == 2
+
+    def test_rarity_distribution_skews_common(self):
+        service = LbsnService()
+        for index in range(300):
+            service.create_venue(f"V{index}", ABQ)
+        system = ItemSystem(service, seed=1, seeded_fraction=1.0)
+        rarities = [
+            item.rarity
+            for venue in service.store.iter_venues()
+            for item in system.items_at(venue.venue_id)
+        ]
+        commons = sum(1 for r in rarities if r is ItemRarity.COMMON)
+        epics = sum(1 for r in rarities if r is ItemRarity.EPIC)
+        assert commons > 5 * max(1, epics)
+
+    def test_invalid_config(self):
+        service = LbsnService()
+        with pytest.raises(ServiceError):
+            ItemSystem(service, seeded_fraction=1.5)
+        with pytest.raises(ServiceError):
+            ItemSystem(service, items_per_venue=0)
+
+
+class TestLootMechanics:
+    def test_valid_checkin_picks_up_rarest(self, item_world):
+        service, venues, system = item_world
+        user = service.register_user("Collector")
+        venue = venues[0]
+        before = system.items_at(venue.venue_id)
+        rarest = max(before, key=lambda item: item.rarity.value)
+        result = service.check_in(user.user_id, venue.venue_id, venue.location)
+        event = system.on_checkin(
+            user.user_id, venue.venue_id, result.checkin.status
+        )
+        assert event.picked_up == rarest
+        assert len(system.items_at(venue.venue_id)) == 1
+        assert system.satchel_of(user.user_id) == [rarest]
+
+    def test_flagged_checkin_gets_nothing(self, item_world):
+        service, venues, system = item_world
+        user = service.register_user("Cheater")
+        event = system.on_checkin(
+            user.user_id, venues[0].venue_id, CheckInStatus.FLAGGED
+        )
+        assert event.picked_up is None
+        assert system.satchel_of(user.user_id) == []
+
+    def test_drop_leaves_most_common_item(self, item_world):
+        service, venues, system = item_world
+        user = service.register_user("Swapper")
+        # Collect two items first.
+        for venue in venues[:2]:
+            service.clock.advance(1_800.0)
+            result = service.check_in(
+                user.user_id, venue.venue_id, venue.location
+            )
+            system.on_checkin(
+                user.user_id, venue.venue_id, result.checkin.status
+            )
+        satchel_before = system.satchel_of(user.user_id)
+        assert len(satchel_before) == 2
+        service.clock.advance(1_800.0)
+        result = service.check_in(
+            user.user_id, venues[2].venue_id, venues[2].location
+        )
+        event = system.on_checkin(
+            user.user_id, venues[2].venue_id, result.checkin.status, drop=True
+        )
+        assert event.dropped is not None
+        assert event.dropped.rarity.value == min(
+            item.rarity.value for item in satchel_before + [event.picked_up]
+            if item is not None
+        )
+        assert event.dropped in system.items_at(venues[2].venue_id)
+
+    def test_collection_score_weights_rarity(self, item_world):
+        service, venues, system = item_world
+        user = service.register_user("Scorer")
+        assert system.collection_score(user.user_id) == 0
+        result = service.check_in(
+            user.user_id, venues[0].venue_id, venues[0].location
+        )
+        system.on_checkin(user.user_id, venues[0].venue_id, result.checkin.status)
+        (item,) = system.satchel_of(user.user_id)
+        assert system.collection_score(user.user_id) == item.rarity.score
+
+
+class TestAttackTransfer:
+    def test_same_attack_stack_farms_items_undetected(self, item_world):
+        """The §1.1 generality claim: the unchanged spoofing + scheduler
+        stack strips a Gowalla-style service of its loot."""
+        service, venues, system = item_world
+        _, _, channel = build_emulator_attacker(service)
+        scheduler = CheckInScheduler(service.clock)
+        planner = TourPlanner(VenueCatalog.from_service(service))
+        summary = farm_items(
+            system, channel, scheduler, planner, max_targets=12
+        )
+        assert summary["attempts"] == 12
+        assert summary["detected"] == 0
+        assert len(summary["items"]) == 12
+        assert summary["score"] > 0
+
+    def test_farm_requires_seeded_venues(self):
+        service = LbsnService()
+        service.create_venue("Empty", ABQ)
+        system = ItemSystem(service, seeded_fraction=0.0)
+        _, _, channel = build_emulator_attacker(service)
+        scheduler = CheckInScheduler(service.clock)
+        planner = TourPlanner(VenueCatalog.from_service(service))
+        with pytest.raises(ServiceError):
+            farm_items(system, channel, scheduler, planner)

@@ -1,0 +1,122 @@
+"""Unit tests for the 60-day mayorship rule."""
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.mayorship import (
+    MAYORSHIP_WINDOW_DAYS,
+    checkin_days_by_user,
+    decide_mayor,
+)
+from repro.lbsn.models import CheckIn, CheckInStatus
+from repro.simnet.clock import SECONDS_PER_DAY
+
+LOCATION = GeoPoint(40.0, -100.0)
+_counter = [0]
+
+
+def checkin(user_id, day, status=CheckInStatus.VALID, hour=12.0):
+    _counter[0] += 1
+    return CheckIn(
+        checkin_id=_counter[0],
+        user_id=user_id,
+        venue_id=1,
+        timestamp=day * SECONDS_PER_DAY + hour * 3_600.0,
+        reported_location=LOCATION,
+        status=status,
+    )
+
+
+class TestDayCounting:
+    def test_multiple_checkins_one_day_count_once(self):
+        # §2.1: "Only the number of days with check-ins ... are counted,
+        # without consideration of how many check-ins occurred per day."
+        history = [
+            checkin(1, 5, hour=9.0),
+            checkin(1, 5, hour=12.0),
+            checkin(1, 5, hour=18.0),
+        ]
+        now = 10 * SECONDS_PER_DAY
+        assert checkin_days_by_user(history, now) == {1: 1}
+
+    def test_distinct_days_counted(self):
+        history = [checkin(1, d) for d in (3, 4, 5)]
+        now = 10 * SECONDS_PER_DAY
+        assert checkin_days_by_user(history, now) == {1: 3}
+
+    def test_flagged_checkins_do_not_count(self):
+        history = [
+            checkin(1, 5),
+            checkin(1, 6, status=CheckInStatus.FLAGGED),
+        ]
+        now = 10 * SECONDS_PER_DAY
+        assert checkin_days_by_user(history, now) == {1: 1}
+
+    def test_window_excludes_old_checkins(self):
+        history = [checkin(1, 0), checkin(1, 100)]
+        now = (100 + MAYORSHIP_WINDOW_DAYS + 5) * SECONDS_PER_DAY
+        assert checkin_days_by_user(history, now) == {}
+
+    def test_window_boundary_inclusive_inside(self):
+        history = [checkin(1, 50)]
+        now = (50 + MAYORSHIP_WINDOW_DAYS) * SECONDS_PER_DAY - 3_600.0
+        assert checkin_days_by_user(history, now) == {1: 1}
+
+
+class TestDecideMayor:
+    def test_single_checkin_wins_empty_venue(self):
+        # §3.4: "only one check-in is enough to get the mayorship" at a
+        # venue with no other visitors.
+        history = [checkin(1, 5)]
+        decision = decide_mayor(history, 6 * SECONDS_PER_DAY, None)
+        assert decision.mayor_id == 1
+        assert decision.changed
+
+    def test_most_days_wins(self):
+        history = [checkin(1, d) for d in (1, 2, 3)] + [
+            checkin(2, d) for d in (4, 5)
+        ]
+        decision = decide_mayor(history, 10 * SECONDS_PER_DAY, None)
+        assert decision.mayor_id == 1
+
+    def test_incumbent_retains_on_tie(self):
+        # §2.1's vulnerability: a daily-check-in incumbent is unbeatable.
+        history = [checkin(1, d) for d in (1, 2)] + [
+            checkin(2, d) for d in (3, 4)
+        ]
+        decision = decide_mayor(history, 10 * SECONDS_PER_DAY, incumbent_id=1)
+        assert decision.mayor_id == 1
+        assert not decision.changed
+
+    def test_challenger_with_strictly_more_days_takes_over(self):
+        history = [checkin(1, 1)] + [checkin(2, d) for d in (2, 3, 4)]
+        decision = decide_mayor(history, 10 * SECONDS_PER_DAY, incumbent_id=1)
+        assert decision.mayor_id == 2
+        assert decision.changed
+        assert decision.previous_mayor_id == 1
+
+    def test_no_valid_checkins_no_mayor(self):
+        history = [checkin(1, 5, status=CheckInStatus.FLAGGED)]
+        decision = decide_mayor(history, 10 * SECONDS_PER_DAY, incumbent_id=None)
+        assert decision.mayor_id is None
+
+    def test_mayor_ages_out_of_window(self):
+        history = [checkin(1, 0)]
+        now = (MAYORSHIP_WINDOW_DAYS + 10) * SECONDS_PER_DAY
+        decision = decide_mayor(history, now, incumbent_id=1)
+        assert decision.mayor_id is None
+        assert decision.changed
+
+    def test_inactive_incumbent_loses_to_active_challenger(self):
+        history = [checkin(1, 0)] + [checkin(2, 70)]
+        now = 75 * SECONDS_PER_DAY
+        decision = decide_mayor(history, now, incumbent_id=1)
+        assert decision.mayor_id == 2
+
+    def test_tie_between_new_users_goes_to_lower_id(self):
+        history = [checkin(5, 1), checkin(3, 2)]
+        decision = decide_mayor(history, 10 * SECONDS_PER_DAY, incumbent_id=None)
+        assert decision.mayor_id == 3
+
+    def test_empty_history(self):
+        decision = decide_mayor([], 10 * SECONDS_PER_DAY, incumbent_id=None)
+        assert decision.mayor_id is None
+        assert not decision.changed

@@ -1,0 +1,97 @@
+"""Unit tests for specials helpers and models."""
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import Special, User, Venue
+from repro.lbsn.specials import (
+    mayor_only_fraction,
+    no_mayorship_specials,
+    special_unlocked_by,
+    undefended_special_venues,
+    venues_with_specials,
+)
+
+ABQ = GeoPoint(35.0844, -106.6504)
+
+
+def venue(venue_id, special=None, mayor_id=None):
+    return Venue(
+        venue_id=venue_id,
+        name=f"V{venue_id}",
+        location=ABQ,
+        special=special,
+        mayor_id=mayor_id,
+    )
+
+
+def user():
+    return User(user_id=1, display_name="U")
+
+
+class TestSpecialUnlock:
+    def test_none_when_no_special(self):
+        assert special_unlocked_by(venue(1), user(), 1, True) is None
+
+    def test_mayor_only_requires_crown(self):
+        special = Special("Mayor coffee")
+        v = venue(1, special=special)
+        assert special_unlocked_by(v, user(), 5, False) is None
+        assert special_unlocked_by(v, user(), 5, True) is special
+
+    def test_count_special_threshold(self):
+        special = Special("3rd visit", mayor_only=False, unlock_checkins=3)
+        v = venue(1, special=special)
+        assert special_unlocked_by(v, user(), 2, False) is None
+        assert special_unlocked_by(v, user(), 3, False) is special
+
+
+class TestCatalogQueries:
+    def _venues(self):
+        mayor_special = Special("mayor-only", mayor_only=True)
+        open_special = Special("open", mayor_only=False, unlock_checkins=2)
+        return [
+            venue(1),
+            venue(2, special=mayor_special),
+            venue(3, special=mayor_special, mayor_id=9),
+            venue(4, special=open_special),
+        ]
+
+    def test_venues_with_specials(self):
+        assert {v.venue_id for v in venues_with_specials(self._venues())} == {
+            2,
+            3,
+            4,
+        }
+
+    def test_mayor_only_fraction(self):
+        assert mayor_only_fraction(self._venues()) == 2 / 3
+
+    def test_mayor_only_fraction_empty(self):
+        assert mayor_only_fraction([venue(1)]) == 0.0
+
+    def test_undefended_special_venues(self):
+        # Venue 2 has a mayor-only special and no mayor: prime target.
+        targets = undefended_special_venues(self._venues())
+        assert [v.venue_id for v in targets] == [2]
+
+    def test_no_mayorship_specials(self):
+        assert [v.venue_id for v in no_mayorship_specials(self._venues())] == [4]
+
+
+class TestVenueModel:
+    def test_recent_visitor_rotation(self):
+        v = venue(1)
+        for uid in range(1, 15):
+            v.record_recent_visitor(uid)
+        assert len(v.recent_visitors) == Venue.RECENT_VISITOR_LIMIT
+        assert v.recent_visitors[0] == 14
+
+    def test_recent_visitor_dedup_moves_to_front(self):
+        v = venue(1)
+        v.record_recent_visitor(1)
+        v.record_recent_visitor(2)
+        v.record_recent_visitor(1)
+        assert v.recent_visitors == [1, 2]
+
+    def test_profile_urls(self):
+        assert venue(7).profile_url() == "/venue/7"
+        assert user().profile_url() == "/user/1"

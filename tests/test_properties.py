@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.database import like_to_regex
+from repro.device.bluetooth import build_gpgga, parse_gpgga
+from repro.geo.coordinates import GeoPoint, normalize_longitude
+from repro.geo.distance import (
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+from repro.geo.grid import SpatialGrid
+from repro.lbsn.mayorship import checkin_days_by_user
+from repro.lbsn.models import CheckIn, CheckInStatus
+from repro.simnet.clock import SECONDS_PER_DAY
+
+latitudes = st.floats(min_value=-85.0, max_value=85.0)
+longitudes = st.floats(min_value=-180.0, max_value=179.999999)
+points = st.builds(GeoPoint, latitudes, longitudes)
+bearings = st.floats(min_value=0.0, max_value=360.0)
+distances = st.floats(min_value=0.0, max_value=2_000_000.0)
+
+
+class TestGeodesy:
+    @given(points, points)
+    def test_haversine_symmetric_and_nonnegative(self, a, b):
+        forward = haversine_m(a, b)
+        assert forward >= 0.0
+        assert forward == haversine_m(b, a)
+
+    @given(points)
+    def test_haversine_identity(self, point):
+        assert haversine_m(point, point) == 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        # Near-antipodal pairs sit where asin'(x) blows up, so a 1e-16
+        # error in the haversine term can inflate the distance by ~0.1 m;
+        # allow 0.5 m of floating-point slack on a 20,000 km scale.
+        assert haversine_m(a, c) <= haversine_m(a, b) + haversine_m(b, c) + 0.5
+
+    @given(points, bearings, distances)
+    def test_destination_point_distance_consistent(
+        self, origin, bearing, distance
+    ):
+        destination = destination_point(origin, bearing, distance)
+        assert haversine_m(origin, destination) <= distance + 1.0
+        # Distances are preserved exactly away from the poles.
+        if abs(origin.latitude) < 80.0 and distance < 1_000_000.0:
+            assert math.isclose(
+                haversine_m(origin, destination), distance, rel_tol=1e-6,
+                abs_tol=0.5,
+            )
+
+    @given(st.floats(min_value=-10_000.0, max_value=10_000.0))
+    def test_normalize_longitude_in_range(self, longitude):
+        wrapped = normalize_longitude(longitude)
+        assert -180.0 <= wrapped < 180.0
+
+    @given(points, points)
+    def test_bearing_in_range(self, a, b):
+        bearing = initial_bearing_deg(a, b)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestSpatialGridProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.floats(min_value=30.0, max_value=45.0),
+                st.floats(min_value=-120.0, max_value=-70.0),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=100.0, max_value=300_000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_radius_matches_brute_force(self, items, radius):
+        grid = SpatialGrid(cell_size_deg=0.05)
+        locations = {}
+        for item_id, lat, lon in items:
+            point = GeoPoint(lat, lon)
+            grid.insert(item_id, point)
+            locations[item_id] = point  # later duplicates overwrite
+        center = GeoPoint(37.5, -95.0)
+        hits = {item for item, _, _ in grid.query_radius(center, radius)}
+        expected = {
+            item
+            for item, point in locations.items()
+            if haversine_m(center, point) <= radius
+        }
+        assert hits == expected
+
+
+class TestNmeaRoundTrip:
+    @given(points, st.floats(min_value=0.0, max_value=86_399.0))
+    @settings(max_examples=80)
+    def test_gpgga_round_trip(self, point, seconds):
+        sentence = build_gpgga(point, seconds)
+        fix = parse_gpgga(sentence, timestamp=0.0)
+        # NMEA's ddmm.mmmm resolution is ~0.2 m; allow 2 m.
+        assert haversine_m(fix.location, point) < 2.0
+
+
+class TestLikePatterns:
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20))
+    def test_exact_pattern_matches_itself(self, text):
+        regex = like_to_regex(text.replace("%", "").replace("_", ""))
+        assert regex.match(text.replace("%", "").replace("_", ""))
+
+    @given(st.text(alphabet="abcXYZ 123", max_size=15))
+    def test_contains_pattern(self, needle):
+        regex = like_to_regex(f"%{needle}%")
+        assert regex.match(f"prefix {needle} suffix")
+
+
+class TestMayorshipProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),  # user
+                st.integers(min_value=0, max_value=120),  # day
+                st.booleans(),  # valid?
+            ),
+            max_size=50,
+        ),
+        st.integers(min_value=60, max_value=130),
+    )
+    @settings(max_examples=60)
+    def test_day_counts_bounded_by_window(self, entries, now_day):
+        checkins = [
+            CheckIn(
+                checkin_id=index + 1,
+                user_id=user,
+                venue_id=1,
+                timestamp=day * SECONDS_PER_DAY + 60.0,
+                reported_location=GeoPoint(40.0, -100.0),
+                status=CheckInStatus.VALID if valid else CheckInStatus.FLAGGED,
+            )
+            for index, (user, day, valid) in enumerate(
+                sorted(entries, key=lambda e: e[1])
+            )
+        ]
+        now = now_day * SECONDS_PER_DAY
+        counts = checkin_days_by_user(checkins, now)
+        for user_id, days in counts.items():
+            assert 1 <= days <= 61
+            valid_days = {
+                int(c.timestamp // SECONDS_PER_DAY)
+                for c in checkins
+                if c.user_id == user_id
+                and c.status is CheckInStatus.VALID
+                and now - 60 * SECONDS_PER_DAY <= c.timestamp <= now
+            }
+            assert days == len(valid_days)

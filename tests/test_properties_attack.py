@@ -1,0 +1,115 @@
+"""Property-based tests for the attack/cheater-code interplay.
+
+The central invariant of §3.3: a schedule built by
+:class:`CheckInScheduler` from ANY venue set never triggers the cheater
+code.  Hypothesis searches venue geometries (dense clusters, cross-country
+scatters, duplicates) for a counterexample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.campaign import greedy_route, tour_from_targets
+from repro.attack.scheduler import CheckInScheduler, interval_for_distance
+from repro.attack.spoofing import build_emulator_attacker
+from repro.attack.targeting import TargetVenue
+from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
+from repro.geo.distance import haversine_m
+from repro.lbsn.service import LbsnService
+
+# Venue coordinates spanning dense-city and cross-country scales.
+coordinate = st.tuples(
+    st.floats(min_value=30.0, max_value=48.0),
+    st.floats(min_value=-122.0, max_value=-72.0),
+)
+venue_sets = st.lists(coordinate, min_size=2, max_size=10)
+
+
+def run_schedule(points):
+    service = LbsnService()
+    targets = []
+    for index, (lat, lon) in enumerate(points):
+        venue = service.create_venue(f"V{index}", GeoPoint(lat, lon))
+        targets.append(
+            TargetVenue(
+                venue_id=venue.venue_id,
+                name=venue.name,
+                latitude=lat,
+                longitude=lon,
+                special=None,
+                reason="prop",
+            )
+        )
+    _, _, channel = build_emulator_attacker(service)
+    scheduler = CheckInScheduler(service.clock)
+    tour = tour_from_targets(greedy_route(targets))
+    schedule = scheduler.build(tour)
+    return scheduler.execute(schedule, channel), schedule
+
+
+class TestSchedulerInvariant:
+    @given(venue_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_scheduled_attacks_are_never_detected(self, points):
+        report, _ = run_schedule(points)
+        assert report.attempts == len(points)
+        assert report.detected == 0
+        assert report.rewarded == report.attempts
+
+    @given(venue_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_respects_the_interval_rule(self, points):
+        _, schedule = run_schedule(points)
+        entries = schedule.entries
+        for previous, current in zip(entries, entries[1:]):
+            distance = haversine_m(previous.location, current.location)
+            minimum = interval_for_distance(distance)
+            gap = current.fire_at - previous.fire_at
+            assert gap >= minimum - 1e-6
+
+    @given(
+        st.lists(coordinate, min_size=1, max_size=4),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_revisits_respect_the_hour_holddown(self, points, repeats):
+        # The same targets repeated several times: every same-venue pair
+        # of fire times must be > 1 hour apart.
+        service = LbsnService()
+        targets = []
+        for index, (lat, lon) in enumerate(points):
+            venue = service.create_venue(f"V{index}", GeoPoint(lat, lon))
+            targets.append(
+                TargetVenue(
+                    venue_id=venue.venue_id,
+                    name=venue.name,
+                    latitude=lat,
+                    longitude=lon,
+                    special=None,
+                    reason="prop",
+                )
+            )
+        scheduler = CheckInScheduler(service.clock)
+        tour = tour_from_targets(list(targets) * repeats)
+        schedule = scheduler.build(tour)
+        by_venue = {}
+        for entry in schedule:
+            by_venue.setdefault(entry.venue_id, []).append(entry.fire_at)
+        for fire_times in by_venue.values():
+            fire_times.sort()
+            for earlier, later in zip(fire_times, fire_times[1:]):
+                assert later - earlier > 3_600.0
+
+
+class TestIntervalRuleProperties:
+    @given(st.floats(min_value=0.0, max_value=5_000_000.0))
+    def test_interval_monotone_in_distance(self, distance):
+        assert interval_for_distance(distance) <= interval_for_distance(
+            distance + 1_000.0
+        )
+
+    @given(st.floats(min_value=0.0, max_value=5_000_000.0))
+    def test_implied_speed_is_at_most_12mph(self, distance):
+        interval = interval_for_distance(distance)
+        speed_mph = (distance / METERS_PER_MILE) / (interval / 3_600.0)
+        assert speed_mph <= 12.0 + 1e-9

@@ -1,0 +1,139 @@
+"""Unit tests for the simulation clock."""
+
+import threading
+
+import pytest
+
+from repro.simnet.clock import (
+    SECONDS_PER_DAY,
+    ClockError,
+    SimClock,
+    day_index,
+)
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.now() == 10.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(50.0)
+        assert clock.now() == 50.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=100.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(50.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(start=100.0)
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+
+
+class TestConversions:
+    def test_minutes_hours_days(self):
+        assert SimClock.minutes(2) == 120.0
+        assert SimClock.hours(1.5) == 5_400.0
+        assert SimClock.days(2) == 172_800.0
+
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(SECONDS_PER_DAY - 1) == 0
+        assert day_index(SECONDS_PER_DAY) == 1
+        assert day_index(10.5 * SECONDS_PER_DAY) == 10
+
+    def test_day_index_rejects_negative(self):
+        with pytest.raises(ClockError):
+            day_index(-1.0)
+
+
+class TestScheduledEvents:
+    def test_event_fires_on_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append(clock.now()))
+        clock.advance_to(10.0)
+        assert fired == [5.0]
+        assert clock.now() == 10.0
+
+    def test_events_fire_in_timestamp_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(7.0, lambda: fired.append("b"))
+        clock.schedule(3.0, lambda: fired.append("a"))
+        clock.advance_to(10.0)
+        assert fired == ["a", "b"]
+
+    def test_event_not_fired_before_time(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append(1))
+        clock.advance_to(4.9)
+        assert fired == []
+        assert clock.pending_events() == 1
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.schedule(5.0, lambda: None)
+
+    def test_callback_may_schedule_more(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(8.0, lambda: fired.append("second"))
+
+        clock.schedule(4.0, first)
+        clock.advance_to(10.0)
+        assert fired == ["first", "second"]
+
+    def test_ties_fire_in_schedule_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append("a"))
+        clock.schedule(5.0, lambda: fired.append("b"))
+        clock.advance_to(5.0)
+        assert fired == ["a", "b"]
+
+
+class TestThreadSafety:
+    def test_concurrent_reads_during_advance(self):
+        clock = SimClock()
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(1_000):
+                    assert clock.now() >= 0.0
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for _ in range(100):
+            clock.advance(1.0)
+        for thread in readers:
+            thread.join()
+        assert not errors
+        assert clock.now() == 100.0

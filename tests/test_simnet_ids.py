@@ -1,0 +1,71 @@
+"""Unit tests for sequential ID allocation."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.simnet.ids import IdExhaustedError, SequentialIdAllocator
+
+
+class TestAllocation:
+    def test_starts_at_one(self):
+        allocator = SequentialIdAllocator()
+        assert allocator.allocate() == 1
+        assert allocator.allocate() == 2
+
+    def test_custom_start(self):
+        allocator = SequentialIdAllocator(start=100)
+        assert allocator.allocate() == 100
+
+    def test_peek_does_not_consume(self):
+        allocator = SequentialIdAllocator()
+        assert allocator.peek() == 1
+        assert allocator.peek() == 1
+        assert allocator.allocate() == 1
+
+    def test_allocated_count(self):
+        allocator = SequentialIdAllocator()
+        for _ in range(5):
+            allocator.allocate()
+        assert allocator.allocated_count() == 5
+
+    def test_iter_allocated(self):
+        allocator = SequentialIdAllocator()
+        for _ in range(3):
+            allocator.allocate()
+        assert list(allocator.iter_allocated()) == [1, 2, 3]
+
+    def test_ceiling_enforced(self):
+        allocator = SequentialIdAllocator(start=1, ceiling=2)
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(IdExhaustedError):
+            allocator.allocate()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ReproError):
+            SequentialIdAllocator(start=0)
+        with pytest.raises(ReproError):
+            SequentialIdAllocator(start=10, ceiling=5)
+
+
+class TestConcurrency:
+    def test_no_duplicate_ids_under_contention(self):
+        allocator = SequentialIdAllocator()
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [allocator.allocate() for _ in range(500)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 4_000
+        assert len(set(results)) == 4_000
+        assert sorted(results) == list(range(1, 4_001))

@@ -1,0 +1,101 @@
+"""Unit tests for the simulated IP network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.geo.coordinates import GeoPoint
+from repro.simnet.network import (
+    Egress,
+    EgressKind,
+    GeoIpRegistry,
+    IpAddress,
+    IpAllocator,
+    LatencyModel,
+    Network,
+)
+
+LINCOLN = GeoPoint(40.8136, -96.7026)
+
+
+class TestIpAddress:
+    def test_valid(self):
+        assert str(IpAddress("192.168.1.1")) == "192.168.1.1"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-1", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(NetworkError):
+            IpAddress(bad)
+
+
+class TestIpAllocator:
+    def test_uniqueness(self):
+        allocator = IpAllocator(seed=1)
+        addresses = {allocator.allocate().value for _ in range(500)}
+        assert len(addresses) == 500
+
+    def test_deterministic_given_seed(self):
+        a = IpAllocator(seed=5).allocate()
+        b = IpAllocator(seed=5).allocate()
+        assert a == b
+
+
+class TestGeoIpRegistry:
+    def test_register_and_locate(self):
+        registry = GeoIpRegistry()
+        ip = IpAddress("10.0.0.1")
+        registry.register(ip, LINCOLN)
+        assert registry.locate(ip) == LINCOLN
+        assert len(registry) == 1
+
+    def test_unknown_ip_is_none(self):
+        assert GeoIpRegistry().locate(IpAddress("10.0.0.2")) is None
+
+
+class TestLatencyModel:
+    def test_positive_samples(self):
+        model = LatencyModel(seed=0)
+        egress = Egress(ip=IpAddress("1.1.1.1"), kind=EgressKind.DIRECT)
+        for _ in range(100):
+            assert model.sample_rtt_s(egress) > 0.0
+
+    def test_tor_much_slower_than_direct(self):
+        model = LatencyModel(seed=0, jitter_fraction=0.0)
+        direct = Egress(ip=IpAddress("1.1.1.1"), kind=EgressKind.DIRECT)
+        tor = Egress(ip=IpAddress("2.2.2.2"), kind=EgressKind.TOR)
+        assert model.sample_rtt_s(tor) > 10 * model.sample_rtt_s(direct)
+
+    def test_proxy_slower_than_nat(self):
+        model = LatencyModel(seed=0, jitter_fraction=0.0)
+        nat = Egress(ip=IpAddress("1.1.1.1"), kind=EgressKind.NAT)
+        proxy = Egress(ip=IpAddress("2.2.2.2"), kind=EgressKind.PROXY)
+        assert model.sample_rtt_s(proxy) > model.sample_rtt_s(nat)
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(NetworkError):
+            LatencyModel(jitter_fraction=1.5)
+
+
+class TestNetwork:
+    def test_create_egress_registers_geoip(self):
+        network = Network(seed=0)
+        egress = network.create_egress(location=LINCOLN)
+        assert network.geoip.locate(egress.ip) == LINCOLN
+
+    def test_create_egress_without_geoip(self):
+        network = Network(seed=0)
+        egress = network.create_egress(location=LINCOLN, register_geoip=False)
+        assert network.geoip.locate(egress.ip) is None
+
+    def test_egress_reverse_lookup(self):
+        network = Network(seed=0)
+        egress = network.create_egress()
+        assert network.egress_for_ip(egress.ip) is egress
+
+    def test_egress_client_tracking(self):
+        egress = Egress(ip=IpAddress("1.1.1.1"), kind=EgressKind.NAT)
+        egress.add_client("alice")
+        egress.add_client("bob")
+        egress.add_client("alice")
+        assert egress.clients == ["alice", "bob"]

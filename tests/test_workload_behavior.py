@@ -1,0 +1,145 @@
+"""Tests for normal-user behaviour synthesis and replay."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geo.regions import city_by_name
+from repro.lbsn.service import LbsnService
+from repro.workload.behavior import (
+    MIN_EVENT_GAP_S,
+    BehaviorGenerator,
+    CheckInEvent,
+    EventReplayer,
+)
+from repro.workload.population import Persona, UserSpec
+from repro.workload.venues import VenueGenerator
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    service = LbsnService()
+    venues = VenueGenerator(service, seed=5).generate(800)
+    generator = BehaviorGenerator(venues, horizon_days=200.0, seed=5)
+    return service, venues, generator
+
+
+def spec_for(service, generator_city, target, travel=None, user_id=None):
+    return UserSpec(
+        user_id=user_id or 1,
+        persona=Persona.ACTIVE,
+        home_city=generator_city,
+        target_checkins=target,
+        travel_city=travel,
+    )
+
+
+class TestEventSynthesis:
+    def test_zero_target_no_events(self, small_setup):
+        service, venues, generator = small_setup
+        spec = spec_for(service, city_by_name("Lincoln, NE"), 0)
+        assert generator.events_for(spec) == []
+
+    def test_event_count_close_to_target(self, small_setup):
+        service, venues, generator = small_setup
+        spec = spec_for(service, city_by_name("New York, NY"), 50)
+        events = generator.events_for(spec)
+        assert 25 <= len(events) <= 50
+
+    def test_minimum_gap_enforced(self, small_setup):
+        service, venues, generator = small_setup
+        spec = spec_for(service, city_by_name("New York, NY"), 80)
+        events = generator.events_for(spec)
+        for previous, current in zip(events, events[1:]):
+            assert current.timestamp - previous.timestamp >= MIN_EVENT_GAP_S
+
+    def test_no_consecutive_same_venue(self, small_setup):
+        # Protects against the frequent-check-in rejection.
+        service, venues, generator = small_setup
+        spec = spec_for(service, city_by_name("New York, NY"), 100)
+        events = generator.events_for(spec)
+        repeats = sum(
+            1
+            for previous, current in zip(events, events[1:])
+            if previous.venue_id == current.venue_id
+        )
+        assert repeats <= len(events) // 10
+
+    def test_registration_weighted_late(self, small_setup):
+        service, venues, generator = small_setup
+        times = [generator.registration_time() for _ in range(2_000)]
+        late = sum(1 for t in times if t > generator.horizon_s / 2.0)
+        # cumulative ∝ t² means 75% register in the second half.
+        assert late / len(times) == pytest.approx(0.75, abs=0.05)
+
+    def test_invalid_horizon(self, small_setup):
+        _, venues, _ = small_setup
+        with pytest.raises(ReproError):
+            BehaviorGenerator(venues, horizon_days=0.0)
+
+
+class TestReplay:
+    def test_normal_users_replay_clean(self, small_setup):
+        """Organic behaviour must virtually never trip the cheater code."""
+        service = LbsnService()
+        venues = VenueGenerator(service, seed=5).generate(800)
+        generator = BehaviorGenerator(venues, horizon_days=200.0, seed=5)
+        events = []
+        for index in range(30):
+            user = service.register_user(f"U{index}")
+            spec = spec_for(
+                service,
+                city_by_name("New York, NY"),
+                40,
+                user_id=user.user_id,
+            )
+            events.extend(generator.events_for(spec))
+        report = EventReplayer(service).replay(events)
+        assert report.attempted == len(events)
+        assert report.flagged / report.attempted < 0.02
+        assert report.rejected / report.attempted < 0.02
+
+    def test_replay_sorts_events(self):
+        service = LbsnService()
+        from repro.geo.coordinates import GeoPoint
+
+        venue = service.create_venue("V", GeoPoint(40.0, -100.0))
+        user = service.register_user("U")
+        events = [
+            CheckInEvent(7_200.0, user.user_id, venue.venue_id),
+            CheckInEvent(0.0, user.user_id, venue.venue_id),
+        ]
+        report = EventReplayer(service).replay(events)
+        assert report.valid == 2
+        assert service.clock.now() == 7_200.0
+
+    def test_unknown_venue_raises(self):
+        service = LbsnService()
+        user = service.register_user("U")
+        with pytest.raises(ReproError):
+            EventReplayer(service).replay(
+                [CheckInEvent(0.0, user.user_id, 999)]
+            )
+
+    def test_travel_user_not_flagged(self, small_setup):
+        """Trips must include plausible travel gaps."""
+        service = LbsnService()
+        venues = VenueGenerator(service, seed=9).generate(1_000)
+        generator = BehaviorGenerator(venues, horizon_days=200.0, seed=9)
+        flagged = 0
+        attempted = 0
+        for index in range(20):
+            user = service.register_user(f"T{index}")
+            spec = spec_for(
+                service,
+                city_by_name("New York, NY"),
+                60,
+                travel=city_by_name("Los Angeles, CA"),
+                user_id=user.user_id,
+            )
+            report = EventReplayer(service).replay(
+                generator.events_for(spec)
+            )
+            flagged += report.flagged
+            attempted += report.attempted
+        assert attempted > 0
+        assert flagged / attempted < 0.03

@@ -1,0 +1,117 @@
+"""Tests for the injected cheater/power-user personas."""
+
+import pytest
+
+from repro.workload.cheaters import (
+    CAUGHT_CHEATER_COUNT,
+    POWER_USER_COUNT,
+)
+from repro.workload.population import Persona
+
+
+class TestRosterShape:
+    def test_counts_fixed(self, world):
+        roster = world.roster
+        assert len(roster.power_users) == POWER_USER_COUNT
+        assert len(roster.caught_cheaters) == CAUGHT_CHEATER_COUNT
+        assert roster.mega_cheater is not None
+        assert roster.mayor_farmer is not None
+        assert len(roster.all_specs()) == POWER_USER_COUNT + CAUGHT_CHEATER_COUNT + 2
+
+    def test_personas_tagged(self, world):
+        for spec in world.roster.power_users:
+            assert spec.persona is Persona.POWER_USER
+        for spec in world.roster.caught_cheaters:
+            assert spec.persona is Persona.CAUGHT_CHEATER
+        assert world.roster.mega_cheater.persona is Persona.MEGA_CHEATER
+        assert world.roster.mayor_farmer.persona is Persona.MAYOR_FARMER
+
+
+class TestPowerUsers:
+    def test_all_valid_and_heavily_mayored(self, world):
+        service = world.service
+        for spec in world.roster.power_users:
+            user = service.store.get_user(spec.user_id)
+            assert user.valid_checkins == user.total_checkins
+            assert service.mayorship_count(spec.user_id) >= 10
+
+    def test_concentrated_in_one_city(self, world):
+        from repro.geo.distance import haversine_m
+
+        service = world.service
+        spec = world.roster.power_users[0]
+        checkins = service.store.checkins_of_user(spec.user_id)
+        for checkin in checkins[:200]:
+            assert (
+                haversine_m(checkin.reported_location, spec.home_city.center)
+                < 80_000.0
+            )
+
+
+class TestCaughtCheaters:
+    def test_mostly_flagged(self, world):
+        service = world.service
+        for spec in world.roster.caught_cheaters:
+            user = service.store.get_user(spec.user_id)
+            assert user.total_checkins > 0
+            assert user.valid_checkins / user.total_checkins < 0.1
+
+    def test_few_badges(self, world):
+        service = world.service
+        for spec in world.roster.caught_cheaters:
+            user = service.store.get_user(spec.user_id)
+            assert user.badge_count < 20
+
+    def test_shadow_banned(self, world):
+        from repro.lbsn.cheater_code import RULE_SHADOW_BAN
+
+        service = world.service
+        spec = world.roster.caught_cheaters[0]
+        rules = {
+            c.flagged_rule
+            for c in service.store.checkins_of_user(spec.user_id)
+            if c.flagged_rule
+        }
+        assert RULE_SHADOW_BAN in rules
+
+
+class TestMegaCheater:
+    def test_wide_city_coverage(self, world):
+        from repro.analysis.patterns import cluster_cities
+
+        service = world.service
+        spec = world.roster.mega_cheater
+        points = [
+            c.reported_location
+            for c in service.store.checkins_of_user(spec.user_id)
+            if c.is_valid
+        ]
+        assert len(cluster_cities(points)) >= 15
+
+    def test_mostly_undetected(self, world):
+        # The mega cheater works the rules correctly: high valid rate.
+        service = world.service
+        user = service.store.get_user(world.roster.mega_cheater.user_id)
+        assert user.valid_checkins / user.total_checkins > 0.8
+
+
+class TestMayorFarmer:
+    def test_many_mayorships_few_checkins(self, world):
+        service = world.service
+        spec = world.roster.mayor_farmer
+        user = service.store.get_user(spec.user_id)
+        mayorships = service.mayorship_count(spec.user_id)
+        # §3.4 ratio: 865 mayorships from 1265 check-ins (~0.68).
+        assert mayorships / max(1, user.total_checkins) > 0.5
+        assert mayorships >= 20
+
+    def test_farms_deserted_venues(self, world):
+        service = world.service
+        spec = world.roster.mayor_farmer
+        solo = 0
+        venues = service.mayorships_of(spec.user_id)
+        for venue in venues:
+            if venue.unique_visitor_count == 1:
+                solo += 1
+        # "most of the 865 venues have no other visitors"
+        assert solo / max(1, len(venues)) > 0.7

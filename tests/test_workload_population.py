@@ -1,0 +1,102 @@
+"""Tests for the user population generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lbsn.service import LbsnService
+from repro.workload.population import (
+    Persona,
+    PopulationConfig,
+    PopulationGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    service = LbsnService()
+    generator = PopulationGenerator(service, seed=7)
+    population = generator.generate(4_000)
+    return service, population
+
+
+class TestDistribution:
+    def test_count(self, generated):
+        service, population = generated
+        assert population.count == 4_000
+        assert service.store.user_count() == 4_000
+
+    def test_zero_checkin_fraction(self, generated):
+        _, population = generated
+        inactive = population.by_persona(Persona.INACTIVE)
+        assert len(inactive) / population.count == pytest.approx(
+            0.363, abs=0.03
+        )
+        assert all(spec.target_checkins == 0 for spec in inactive)
+
+    def test_light_fraction_and_range(self, generated):
+        _, population = generated
+        casual = population.by_persona(Persona.CASUAL)
+        assert len(casual) / population.count == pytest.approx(0.204, abs=0.03)
+        assert all(1 <= spec.target_checkins <= 5 for spec in casual)
+
+    def test_active_tail(self, generated):
+        _, population = generated
+        active = population.by_persona(Persona.ACTIVE)
+        assert all(spec.target_checkins >= 6 for spec in active)
+        heavy = [s for s in active if s.target_checkins >= 1_000]
+        # ~0.2% of all users (paper); allow sampling noise at n=4000.
+        assert 0 <= len(heavy) <= 0.01 * population.count
+
+    def test_cap_enforced(self, generated):
+        _, population = generated
+        assert max(s.target_checkins for s in population.specs) < 2_500
+
+    def test_username_fraction(self, generated):
+        service, population = generated
+        with_username = sum(
+            1 for u in service.store.iter_users() if u.username
+        )
+        assert with_username / population.count == pytest.approx(
+            0.261, abs=0.03
+        )
+
+    def test_travel_cities_differ_from_home(self, generated):
+        _, population = generated
+        for spec in population.specs:
+            if spec.travel_city is not None:
+                assert spec.travel_city.name != spec.home_city.name
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        def build(seed):
+            service = LbsnService()
+            generator = PopulationGenerator(service, seed=seed)
+            return [
+                (s.persona, s.target_checkins, s.home_city.name)
+                for s in generator.generate(200).specs
+            ]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+
+class TestPersonaRegistration:
+    def test_register_persona(self):
+        service = LbsnService()
+        generator = PopulationGenerator(service, seed=1)
+        from repro.geo.regions import city_by_name
+
+        spec = generator.register_persona(
+            Persona.MAYOR_FARMER,
+            city_by_name("Lincoln, NE"),
+            1_265,
+            display_name="Farmer",
+        )
+        assert spec.persona is Persona.MAYOR_FARMER
+        assert service.store.get_user(spec.user_id).display_name == "Farmer"
+
+    def test_negative_count_rejected(self):
+        generator = PopulationGenerator(LbsnService())
+        with pytest.raises(ReproError):
+            generator.generate(-1)

@@ -1,0 +1,69 @@
+"""Tests for the world builder and web stack wiring."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workload.scenario import build_web_stack, build_world
+
+
+class TestBuildWorld:
+    def test_world_shape(self, world):
+        assert world.service.store.user_count() > 500
+        assert world.service.store.venue_count() > 1_500
+        assert world.service.store.checkin_count() > 5_000
+        assert world.replay.attempted >= world.service.store.checkin_count()
+
+    def test_clock_at_horizon(self, world):
+        assert world.service.clock.now() >= world.horizon_s
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            build_world(scale=0.0)
+
+    def test_personas_optional(self):
+        tiny = build_world(scale=0.0001, seed=5, include_personas=False)
+        assert tiny.roster.mega_cheater is None
+        assert tiny.roster.power_users == []
+
+    def test_determinism(self):
+        a = build_world(scale=0.0001, seed=9)
+        b = build_world(scale=0.0001, seed=9)
+        assert a.replay.attempted == b.replay.attempted
+        assert a.replay.valid == b.replay.valid
+        assert a.service.store.checkin_count() == b.service.store.checkin_count()
+
+    def test_mayorships_settled(self, world):
+        # refresh_all_mayorships ran: no stale crowns outside the window.
+        assert world.service.refresh_all_mayorships() == 0
+
+
+class TestWebStack:
+    def test_pages_served(self, world, web_stack):
+        egress = web_stack.network.create_egress()
+        response = web_stack.transport.get("/user/1", egress)
+        assert response.ok
+        response = web_stack.transport.get("/venue/1", egress)
+        assert response.ok
+
+    def test_api_served(self, world, web_stack):
+        egress = web_stack.network.create_egress()
+        response = web_stack.transport.get(
+            "/api/venues/near",
+            egress,
+            params={"ll_lat": "40.7", "ll_lng": "-74.0"},
+        )
+        assert response.ok
+        assert response.body.startswith("count=")
+
+
+class TestSocialIntegration:
+    def test_world_has_friend_graph(self, world):
+        assert world.social is not None
+        assert world.social.edge_count > 100
+        # Graph edges materialize on the user records the site renders.
+        sampled = 0
+        for user_a, user_b in list(world.social.edges)[:20]:
+            user = world.service.store.get_user(user_a)
+            assert user_b in user.friends
+            sampled += 1
+        assert sampled == 20

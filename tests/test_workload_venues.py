@@ -1,0 +1,119 @@
+"""Tests for the venue generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import contiguous_us_bbox, in_contiguous_us
+from repro.lbsn.service import LbsnService
+from repro.lbsn.specials import mayor_only_fraction, venues_with_specials
+from repro.workload.venues import VenueGenerator, VenueGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def generated():
+    service = LbsnService()
+    generator = VenueGenerator(service, seed=11)
+    venues = generator.generate(3_000)
+    return service, venues
+
+
+class TestGeneration:
+    def test_count_and_grouping(self, generated):
+        service, venues = generated
+        assert venues.count == 3_000
+        assert service.store.venue_count() == 3_000
+        grouped = sum(len(v) for v in venues.venue_ids_by_city.values())
+        assert grouped + len(venues.small_town_venue_ids) == 3_000
+
+    def test_small_towns_inside_us(self, generated):
+        service, venues = generated
+        for venue_id in venues.small_town_venue_ids[:200]:
+            venue = service.store.get_venue(venue_id)
+            assert in_contiguous_us(venue.location)
+
+    def test_chains_present_with_starbucks_most_numerous(self, generated):
+        service, _ = generated
+        names = [venue.name for venue in service.store.iter_venues()]
+        starbucks = [n for n in names if "Starbucks" in n]
+        mcdonalds = [n for n in names if "McDonald's" in n]
+        assert len(starbucks) > len(mcdonalds) > 0
+
+    def test_starbucks_spread_over_many_cities(self, generated):
+        # The Fig 3.4 prerequisite: the chain covers the country.
+        service, _ = generated
+        cities = {
+            venue.city
+            for venue in service.store.iter_venues()
+            if "Starbucks" in venue.name
+        }
+        assert len(cities) >= 10
+
+    def test_special_fractions(self, generated):
+        service, _ = generated
+        venues = service.store.iter_venues()
+        offering = venues_with_specials(venues)
+        assert len(offering) / len(venues) == pytest.approx(0.03, abs=0.015)
+        assert mayor_only_fraction(venues) > 0.85
+
+    def test_branch_numbers_unique_per_chain(self, generated):
+        service, _ = generated
+        starbucks_names = [
+            venue.name
+            for venue in service.store.iter_venues()
+            if venue.name.startswith("Starbucks #")
+        ]
+        assert len(starbucks_names) == len(set(starbucks_names))
+
+    def test_city_venues_near_their_center(self, generated):
+        service, venues = generated
+        from repro.geo.distance import haversine_m
+        from repro.geo.regions import city_by_name
+
+        for city_name, ids in venues.venue_ids_by_city.items():
+            if city_name in ("Alaska", "Hawaii", "small town"):
+                continue
+            try:
+                city = city_by_name(city_name)
+            except Exception:
+                from repro.geo.regions import EUROPEAN_CITIES
+
+                city = next(
+                    c for c in EUROPEAN_CITIES if c.name == city_name
+                )
+            for venue_id in ids[:5]:
+                venue = service.store.get_venue(venue_id)
+                assert haversine_m(venue.location, city.center) < 60_000.0
+
+
+class TestConfigAndDeterminism:
+    def test_negative_count_rejected(self):
+        generator = VenueGenerator(LbsnService())
+        with pytest.raises(ReproError):
+            generator.generate(-5)
+
+    def test_zero_count(self):
+        generator = VenueGenerator(LbsnService())
+        assert generator.generate(0).count == 0
+
+    def test_deterministic_given_seed(self):
+        def build(seed):
+            service = LbsnService()
+            VenueGenerator(service, seed=seed).generate(100)
+            return [
+                (v.name, round(v.location.latitude, 6))
+                for v in service.store.iter_venues()
+            ]
+
+        assert build(3) == build(3)
+
+    def test_all_city_fraction(self):
+        service = LbsnService()
+        config = VenueGeneratorConfig(
+            city_fraction=1.0,
+            europe_fraction=0.0,
+            alaska_fraction=0.0,
+            hawaii_fraction=0.0,
+        )
+        venues = VenueGenerator(service, config=config, seed=1).generate(200)
+        assert venues.small_town_venue_ids == []

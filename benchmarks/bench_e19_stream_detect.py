@@ -1,0 +1,206 @@
+"""E19 (extension) — §4.3 + Ch. 5: the streaming detection pipeline.
+
+Three measurements on the ``repro.stream`` subsystem:
+
+1. **Bus fan-out throughput** — synchronous publish to 4 subscribers must
+   sustain >= 50,000 events/s with zero drops (the acceptance bar for
+   running the ledger inline with the check-in pipeline).
+2. **Backpressure accounting** — a background subscriber under ``BLOCK``
+   loses nothing; under ``DROP_OLDEST`` every event is accounted for
+   (``delivered + dropped == published``) and the drop counter is exact.
+3. **Online/offline parity** — a full seeded world streamed through the
+   live :class:`SuspicionLedger` flags >= 90% of the users the offline
+   :class:`CheaterDetector` flags on a crawl of the *same* world with the
+   *same* :class:`DetectorConfig`.
+"""
+
+import time
+
+from repro.analysis.detection import CheaterDetector, DetectorConfig
+from repro.crawler import crawl_full_site
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.stream import (
+    BackpressurePolicy,
+    CheckInAccepted,
+    EventBus,
+    SuspicionLedger,
+)
+from repro.workload import build_web_stack, build_world
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+SOMEWHERE = GeoPoint(40.8136, -96.7026)  # Lincoln, NE
+
+FANOUT_EVENTS = 100_000
+FANOUT_SUBSCRIBERS = 4
+THROUGHPUT_FLOOR = 50_000  # events/s, the acceptance bar
+
+
+def _event(i: int) -> CheckInAccepted:
+    return CheckInAccepted(
+        seq=-1,
+        timestamp=float(i),
+        user_id=i % 997,
+        venue_id=i % 4999,
+        venue_location=SOMEWHERE,
+        reported_location=SOMEWHERE,
+    )
+
+
+def test_e19_bus_fanout_throughput(report_out, benchmark):
+    """Sync fan-out to 4 subscribers: >= 50k events/s, zero drops."""
+    events = [_event(i) for i in range(FANOUT_EVENTS)]
+
+    def sink(event):
+        pass
+
+    def fan_out():
+        bus = EventBus()
+        for k in range(FANOUT_SUBSCRIBERS):
+            bus.subscribe(f"sink-{k}", sink)
+        start = time.perf_counter()
+        for event in events:
+            event.seq = -1  # re-arm for repeated benchmark rounds
+            bus.publish(event)
+        elapsed = time.perf_counter() - start
+        stats = [bus.stats_of(f"sink-{k}") for k in range(FANOUT_SUBSCRIBERS)]
+        bus.close()
+        return elapsed, stats
+
+    elapsed, stats = benchmark.pedantic(fan_out, rounds=3, iterations=1)
+    rate = FANOUT_EVENTS / elapsed
+    rows = [
+        f"published {FANOUT_EVENTS} events to {FANOUT_SUBSCRIBERS} "
+        f"synchronous subscribers in {elapsed:.3f} s",
+        f"fan-out throughput: {rate:,.0f} events/s "
+        f"({rate * FANOUT_SUBSCRIBERS:,.0f} deliveries/s)",
+        "per-subscriber: "
+        + ", ".join(
+            f"delivered={s.delivered} dropped={s.dropped}" for s in stats
+        ),
+    ]
+    report_out("E19_bus_throughput", rows)
+    for s in stats:
+        assert s.delivered == FANOUT_EVENTS
+        assert s.dropped == 0
+        assert s.errors == 0
+    assert rate >= THROUGHPUT_FLOOR, f"{rate:,.0f} events/s < 50k floor"
+
+
+def test_e19_backpressure_accounting(report_out, benchmark):
+    """BLOCK loses nothing; DROP_OLDEST accounts for every event."""
+    total = 5_000
+    rows = []
+
+    # BLOCK: a slow consumer behind a tiny queue — the producer waits,
+    # nothing is lost.
+    def block_run():
+        seen = []
+        bus = EventBus()
+        bus.subscribe(
+            "slow-block",
+            lambda e: seen.append(e.seq),
+            background=True,
+            queue_size=64,
+            policy=BackpressurePolicy.BLOCK,
+        )
+        for i in range(total):
+            bus.publish(_event(i))
+        drained = bus.drain(timeout=30.0)
+        stats = bus.stats_of("slow-block")
+        bus.close()
+        return seen, stats, drained
+
+    seen_block, block_stats, drained = benchmark.pedantic(
+        block_run, rounds=1, iterations=1
+    )
+    assert drained
+    rows.append(
+        f"BLOCK      queue=64: published={total} "
+        f"delivered={block_stats.delivered} dropped={block_stats.dropped}"
+    )
+    assert block_stats.delivered == total
+    assert block_stats.dropped == 0
+    assert seen_block == sorted(seen_block)  # order preserved
+
+    # DROP_OLDEST: a stalled consumer behind a tiny queue — old events are
+    # evicted, and the counters account for every single publish.
+    import threading
+
+    gate = threading.Event()
+    bus = EventBus()
+    bus.subscribe(
+        "stalled-drop",
+        lambda e: gate.wait(0.001),
+        background=True,
+        queue_size=32,
+        policy=BackpressurePolicy.DROP_OLDEST,
+    )
+    for i in range(total):
+        bus.publish(_event(i))
+    gate.set()
+    assert bus.drain(timeout=30.0)
+    drop_stats = bus.stats_of("stalled-drop")
+    bus.close()
+    rows.append(
+        f"DROP_OLDEST queue=32: published={total} "
+        f"delivered={drop_stats.delivered} dropped={drop_stats.dropped} "
+        f"(accounted: {drop_stats.delivered + drop_stats.dropped})"
+    )
+    assert drop_stats.dropped > 0
+    assert drop_stats.delivered + drop_stats.dropped == total
+    report_out("E19_backpressure", rows)
+
+
+def test_e19_online_offline_parity(report_out, benchmark):
+    """The live ledger flags >= 90% of the offline detector's suspects."""
+    config = DetectorConfig(min_total_checkins=150)
+
+    def stream_world():
+        bus = EventBus()
+        ledger = SuspicionLedger(config=config).attach(bus)
+        service = LbsnService(event_bus=bus)
+        start = time.perf_counter()
+        world = build_world(
+            scale=BENCH_SCALE, seed=BENCH_SEED, service=service
+        )
+        elapsed = time.perf_counter() - start
+        return world, bus, ledger, elapsed
+
+    world, bus, ledger, elapsed = benchmark.pedantic(
+        stream_world, rounds=1, iterations=1
+    )
+    live_rate = ledger.events_processed / elapsed
+
+    stack = build_web_stack(world, seed=7)
+    database, _, _ = crawl_full_site(
+        stack.transport, [stack.network.create_egress()]
+    )
+    offline = CheaterDetector(database, config).find_suspects()
+    offline_ids = {r.user_id for r in offline}
+    online_ids = set(ledger.suspect_ids())
+    overlap = offline_ids & online_ids
+    parity = len(overlap) / len(offline_ids) if offline_ids else 1.0
+
+    planted = {world.roster.mega_cheater.user_id} | {
+        c.user_id for c in world.roster.caught_cheaters
+    }
+    rows = [
+        f"world scale={BENCH_SCALE} seed={BENCH_SEED}: "
+        f"{ledger.events_processed} check-in events through the bus "
+        f"({live_rate:,.0f} events/s incl. full service pipeline)",
+        f"offline suspects (crawl + CheaterDetector): {len(offline_ids)}",
+        f"online suspects (live SuspicionLedger):     {len(online_ids)}",
+        f"overlap: {len(overlap)}/{len(offline_ids)} "
+        f"-> parity {parity:.0%} (bar: 90%)",
+        f"planted cheaters flagged online: "
+        f"{len(planted & online_ids)}/{len(planted)}",
+        "(same DetectorConfig on both sides: the ledger is the offline "
+        "Chapter-4 detector recomputed incrementally at check-in time)",
+    ]
+    report_out("E19_stream_detect", rows)
+    assert bus.published > 0
+    assert offline_ids, "bench world must contain offline suspects"
+    assert parity >= 0.9
+    assert world.roster.mega_cheater.user_id in online_ids

@@ -9,15 +9,14 @@ sketches at the end of §4.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.analysis.patterns import (
     PatternVerdict,
     analyze_pattern,
 )
 from repro.crawler.database import CrawlDatabase, UserInfoRow
-from repro.errors import ReproError
 
 
 @dataclass

@@ -9,11 +9,10 @@ threshold, and the full tradeoff curve as the threshold sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Set
 
 from repro.analysis.detection import CheaterDetector, SuspicionReport
-from repro.crawler.database import CrawlDatabase
 from repro.errors import ReproError
 
 

@@ -10,7 +10,7 @@ programmatic surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.activity import recent_vs_total_curve
 from repro.analysis.patterns import checkin_map

@@ -12,7 +12,7 @@ year*").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.crawler.database import CrawlDatabase
 from repro.errors import ReproError

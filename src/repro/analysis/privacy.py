@@ -11,7 +11,7 @@ anyone.  The point is not the attack itself but the demonstration that the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.patterns import cluster_cities
 from repro.crawler.database import CrawlDatabase

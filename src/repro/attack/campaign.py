@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.attack.scheduler import CheckInScheduler, ExecutionReport, Schedule
+from repro.attack.scheduler import CheckInScheduler, ExecutionReport
 from repro.attack.spoofing import SpoofingChannel
 from repro.attack.targeting import TargetVenue
 from repro.attack.tour import PlannedTour, TourStop

@@ -11,14 +11,13 @@ geographically and runs one cheater-code-safe campaign per account.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.attack.campaign import greedy_route, tour_from_targets
 from repro.attack.scheduler import CheckInScheduler, ExecutionReport
 from repro.attack.spoofing import SpoofingChannel, build_emulator_attacker
 from repro.attack.targeting import TargetVenue
 from repro.errors import ReproError
-from repro.geo.coordinates import GeoPoint
 from repro.lbsn.service import LbsnService
 
 ChannelFactory = Callable[[LbsnService, str], SpoofingChannel]

@@ -14,8 +14,8 @@ E12 bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.attack.scheduler import ExecutionReport, ScheduledCheckIn
 from repro.attack.spoofing import SpoofingChannel

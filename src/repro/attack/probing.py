@@ -19,7 +19,6 @@ other similar LBSs").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ReproError
 from repro.geo.coordinates import GeoPoint

@@ -18,11 +18,10 @@ through any spoofing channel, advancing the simulated clock between stops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.attack.spoofing import SpoofingChannel, SpoofOutcome
-from repro.attack.tour import PlannedTour, TourStop, VenueCatalog
-from repro.errors import ReproError
+from repro.attack.tour import PlannedTour, TourStop
 from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
 from repro.geo.distance import haversine_m
 from repro.lbsn.models import CheckInStatus

@@ -9,7 +9,7 @@ about limiting profile crawling (§5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.crawler.database import CrawlDatabase, VenueInfoRow

@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands walk the paper's arc end to end on freshly built worlds:
+The subcommands walk the paper's arc end to end on freshly built worlds:
 
-* ``demo``    — the E1 spoofed check-in (quickstart).
-* ``crawl``   — run the §3.2 crawler and print corpus statistics.
-* ``attack``  — spiral tour + mayor-special harvest (§3.3-§3.4).
-* ``detect``  — the Chapter-4 three-factor cheater scan.
-* ``defend``  — the Chapter-5 verifier comparison table.
+* ``demo``          — the E1 spoofed check-in (quickstart).
+* ``crawl``         — run the §3.2 crawler and print corpus statistics.
+* ``attack``        — spiral tour + mayor-special harvest (§3.3-§3.4).
+* ``detect``        — the Chapter-4 three-factor cheater scan (offline).
+* ``stream-detect`` — the same three factors, online over the event bus.
+* ``defend``        — the Chapter-5 verifier comparison table.
 
 All commands accept ``--scale`` (fraction of the 2010 corpus) and
 ``--seed``; they build their own world, so runs are independent and
@@ -73,6 +74,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=150,
         help="minimum total check-ins to score a user",
+    )
+
+    stream = sub.add_parser(
+        "stream-detect",
+        help="online streaming cheater detection over the live event bus",
+    )
+    _add_common(stream)
+    stream.add_argument(
+        "--min-checkins",
+        type=int,
+        default=150,
+        help="minimum total check-ins to score a user",
+    )
+    stream.add_argument(
+        "--top", type=int, default=15, help="suspects to print (default 15)"
+    )
+    stream.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the offline crawl+detect parity comparison",
     )
 
     defend = sub.add_parser("defend", help="verifier comparison (E11)")
@@ -209,6 +230,65 @@ def cmd_detect(args) -> int:
     return 0
 
 
+def cmd_stream_detect(args) -> int:
+    """Online cheater detection: suspects straight off the event bus."""
+    import time
+
+    from repro.analysis.detection import CheaterDetector, DetectorConfig
+    from repro.lbsn.service import LbsnService
+    from repro.stream import EventBus, SuspicionLedger
+    from repro.workload import build_web_stack, build_world
+
+    config = DetectorConfig(min_total_checkins=args.min_checkins)
+    bus = EventBus()
+    ledger = SuspicionLedger(config=config).attach(bus)
+    service = LbsnService(event_bus=bus)
+
+    started = time.perf_counter()
+    world = build_world(scale=args.scale, seed=args.seed, service=service)
+    elapsed = time.perf_counter() - started
+    rate = bus.published / elapsed if elapsed > 0 else 0.0
+    print(
+        f"streamed {bus.published} events "
+        f"({ledger.events_processed} check-ins) in {elapsed:.1f}s "
+        f"— {rate:,.0f} events/s through the live pipeline"
+    )
+
+    planted = {
+        spec.user_id: spec.persona.value for spec in world.roster.all_specs()
+    }
+    suspects = ledger.suspects()
+    print(f"{len(suspects)} online suspects (no crawl, no re-scan):")
+    for report in suspects[: args.top]:
+        tag = planted.get(report.user_id, "organic")
+        print(
+            f"  user {report.user_id:>6} score={report.combined_score:.2f} "
+            f"cities={report.city_count:>3} [{tag}]"
+        )
+
+    if args.no_parity:
+        return 0
+
+    from repro.crawler import crawl_full_site
+
+    stack = build_web_stack(world, seed=args.seed + 1)
+    database, _, _ = crawl_full_site(
+        stack.transport, [stack.network.create_egress()]
+    )
+    offline_ids = {
+        r.user_id for r in CheaterDetector(database, config).find_suspects()
+    }
+    online_ids = set(ledger.suspect_ids())
+    overlap = offline_ids & online_ids
+    parity = len(overlap) / len(offline_ids) if offline_ids else 1.0
+    print(
+        f"offline parity: {len(overlap)}/{len(offline_ids)} offline suspects "
+        f"also flagged online ({parity:.0%}); "
+        f"{len(online_ids - offline_ids)} online-only"
+    )
+    return 0 if parity >= 0.9 else 1
+
+
 def cmd_defend(args) -> int:
     """Print the location-verifier comparison table."""
     from repro.defense import (
@@ -284,6 +364,7 @@ _COMMANDS = {
     "crawl": cmd_crawl,
     "attack": cmd_attack,
     "detect": cmd_detect,
+    "stream-detect": cmd_stream_detect,
     "defend": cmd_defend,
     "figures": cmd_figures,
 }

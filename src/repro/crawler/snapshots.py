@@ -12,7 +12,7 @@ observations* — the raw material of the §6.2.1 privacy-leakage analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.crawler.crawler import crawl_full_site
 from repro.crawler.database import CrawlDatabase

@@ -74,6 +74,7 @@ __all__ = [
 
 from repro.defense.integration import (
     RULE_LOCATION_VERIFIER,
+    RULE_STREAM_SUSPECT,
     DefendedLbsnService,
     DefenseStats,
     DeviceRegistry,
@@ -82,6 +83,7 @@ from repro.defense.integration import (
 
 __all__ += [
     "RULE_LOCATION_VERIFIER",
+    "RULE_STREAM_SUSPECT",
     "DefendedLbsnService",
     "DefenseStats",
     "DeviceRegistry",

@@ -10,7 +10,7 @@ notes from the thesis's own comparison paragraph.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.defense.verifier import (

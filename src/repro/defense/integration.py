@@ -17,21 +17,23 @@ this; in the simulation we look it up from the device registry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.defense.verifier import (
     LocationClaim,
     LocationVerifier,
     VerificationOutcome,
 )
-from repro.errors import DefenseError
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.models import CheckInResult, CheckInStatus
 from repro.lbsn.service import LbsnService
 
 #: Reason string recorded when an inline verifier refuses a check-in.
 RULE_LOCATION_VERIFIER = "location-verifier"
+
+#: Reason string recorded when the live suspicion ledger refuses a user.
+RULE_STREAM_SUSPECT = "stream-suspicion-ledger"
 
 PhysicalLocator = Callable[[int], Optional[GeoPoint]]
 
@@ -44,11 +46,19 @@ class DefenseStats:
     refused: int = 0
     inconclusive: int = 0
     unlocatable: int = 0
+    #: Check-ins refused because the online ledger already flags the user.
+    ledger_refused: int = 0
 
     @property
     def total(self) -> int:
         """All claims the defense saw."""
-        return self.verified + self.refused + self.inconclusive + self.unlocatable
+        return (
+            self.verified
+            + self.refused
+            + self.inconclusive
+            + self.unlocatable
+            + self.ledger_refused
+        )
 
 
 class DeviceRegistry:
@@ -78,6 +88,12 @@ class DefendedLbsnService:
     Check-ins flow through ``check_in`` exactly like the raw service, but
     a claim the verifier REJECTS is refused outright (no record, no
     rewards).  INCONCLUSIVE outcomes follow ``refuse_inconclusive``.
+
+    When a live :class:`~repro.stream.ledger.SuspicionLedger` is attached
+    (``suspicion_ledger=``), its online verdicts feed the defense too: a
+    user the ledger currently reports is refused before the verifier even
+    runs — the Chapter-4 detector promoted from forensic tool to inline
+    gate, with no offline re-crawl.
     """
 
     def __init__(
@@ -87,12 +103,14 @@ class DefendedLbsnService:
         physical_locator: PhysicalLocator,
         refuse_inconclusive: bool = False,
         client_ip_of: Optional[Callable[[int], Optional[str]]] = None,
+        suspicion_ledger=None,
     ) -> None:
         self.service = service
         self.verifier = verifier
         self.physical_locator = physical_locator
         self.refuse_inconclusive = refuse_inconclusive
         self.client_ip_of = client_ip_of
+        self.suspicion_ledger = suspicion_ledger
         self.stats = DefenseStats()
 
     def check_in(
@@ -103,6 +121,14 @@ class DefendedLbsnService:
         timestamp: Optional[float] = None,
     ) -> CheckInResult:
         """Verify the claim, then delegate to the underlying service."""
+        if (
+            self.suspicion_ledger is not None
+            and self.suspicion_ledger.is_suspect(user_id)
+        ):
+            self.stats.ledger_refused += 1
+            return self._refusal(
+                user_id, venue_id, reported_location, rule=RULE_STREAM_SUSPECT
+            )
         venue = self.service.store.require_venue(venue_id)
         physical = self.physical_locator(user_id)
         if physical is None:
@@ -136,7 +162,11 @@ class DefendedLbsnService:
         )
 
     def _refusal(
-        self, user_id: int, venue_id: int, reported_location: GeoPoint
+        self,
+        user_id: int,
+        venue_id: int,
+        reported_location: GeoPoint,
+        rule: str = RULE_LOCATION_VERIFIER,
     ) -> CheckInResult:
         from repro.lbsn.models import CheckIn
 
@@ -147,7 +177,7 @@ class DefendedLbsnService:
             timestamp=self.service.clock.now(),
             reported_location=reported_location,
             status=CheckInStatus.REJECTED,
-            flagged_rule=RULE_LOCATION_VERIFIER,
+            flagged_rule=rule,
         )
         return CheckInResult(
             checkin=checkin,

@@ -10,7 +10,6 @@ NMEA driver exercises a realistic protocol path.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.device.gps import GpsFix

@@ -8,9 +8,8 @@ the snapping lives in ``repro.attack.tour`` where venue data is available.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterator, List, Sequence
 
 from repro.errors import GeoError
 from repro.geo.coordinates import METERS_PER_YARD, GeoPoint

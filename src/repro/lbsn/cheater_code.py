@@ -17,7 +17,7 @@ Each rule can be disabled individually for the E10/E4 ablation benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence
 

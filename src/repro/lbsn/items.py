@@ -20,9 +20,9 @@ Mechanics (modeled on 2010 Gowalla):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.lbsn.models import CheckInStatus

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
@@ -42,8 +42,27 @@ from repro.lbsn.specials import special_unlocked_by
 from repro.lbsn.store import DataStore
 from repro.simnet.clock import SimClock, day_index
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stream ← lbsn)
+    from repro.stream.bus import EventBus
+
 #: Reason string recorded when GPS verification rejects an attempt.
 RULE_GPS_VERIFICATION = "gps-verification"
+
+_STREAM_EVENTS = None
+
+
+def _stream_events():
+    """Lazy import of :mod:`repro.stream.events` (layer above ``lbsn``).
+
+    Publishing is optional; services without a bus never import the
+    stream layer at all.
+    """
+    global _STREAM_EVENTS
+    if _STREAM_EVENTS is None:
+        from repro.stream import events
+
+        _STREAM_EVENTS = events
+    return _STREAM_EVENTS
 
 
 @dataclass
@@ -91,6 +110,7 @@ class LbsnService:
         badge_engine: Optional[BadgeEngine] = None,
         points_policy: Optional[PointsPolicy] = None,
         config: Optional[ServiceConfig] = None,
+        event_bus: Optional["EventBus"] = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.store = DataStore()
@@ -99,6 +119,10 @@ class LbsnService:
         self.points = points_policy or PointsPolicy()
         self.config = config or ServiceConfig()
         self.counters = ServiceCounters()
+        #: Optional live event stream (see :mod:`repro.stream`).  When
+        #: set, the service publishes one event per state transition at
+        #: the end of the pipeline, sequenced in commit order.
+        self.event_bus = event_bus
         #: venue-ids currently mayored, per user.
         self._mayor_venues: Dict[int, Set[int]] = {}
         self._lock = threading.RLock()
@@ -122,7 +146,17 @@ class LbsnService:
                 home_city=home_city,
                 created_at=self.clock.now(),
             )
-            return self.store.add_user(user)
+            self.store.add_user(user)
+            if self.event_bus is not None:
+                self.event_bus.publish(
+                    _stream_events().UserRegistered(
+                        seq=self.store.allocate_event_seq(),
+                        timestamp=user.created_at,
+                        user_id=user.user_id,
+                        username=user.username,
+                    )
+                )
+            return user
 
     def create_venue(
         self,
@@ -147,7 +181,17 @@ class LbsnService:
                 created_at=self.clock.now(),
                 special=special,
             )
-            return self.store.add_venue(venue)
+            self.store.add_venue(venue)
+            if self.event_bus is not None:
+                self.event_bus.publish(
+                    _stream_events().VenueCreated(
+                        seq=self.store.allocate_event_seq(),
+                        timestamp=venue.created_at,
+                        venue_id=venue.venue_id,
+                        location=venue.location,
+                    )
+                )
+            return venue
 
     # Queries --------------------------------------------------------------
 
@@ -287,9 +331,34 @@ class LbsnService:
             flagged_rule=rule,
         )
         if status is not CheckInStatus.REJECTED:
-            self.store.add_checkin(checkin)
+            if self.event_bus is not None:
+                _, seq = self.store.add_checkin_committed(checkin)
+            else:
+                self.store.add_checkin(checkin)
+                seq = -1
             user.total_checkins += 1
+        elif self.event_bus is not None:
+            seq = self.store.allocate_event_seq()
         self.counters.record(status, rule)
+        if self.event_bus is not None:
+            events = _stream_events()
+            event_type = (
+                events.CheckInFlagged
+                if status is CheckInStatus.FLAGGED
+                else events.CheckInRejected
+            )
+            self.event_bus.publish(
+                event_type(
+                    seq=seq,
+                    timestamp=now,
+                    user_id=user.user_id,
+                    venue_id=venue.venue_id,
+                    venue_location=venue.location,
+                    reported_location=reported_location,
+                    checkin_id=checkin.checkin_id,
+                    rule=rule,
+                )
+            )
         return checkin
 
     def _reward(
@@ -312,7 +381,11 @@ class LbsnService:
             reported_location=reported_location,
             status=CheckInStatus.VALID,
         )
-        self.store.add_checkin(checkin)
+        if self.event_bus is not None:
+            _, event_seq = self.store.add_checkin_committed(checkin)
+        else:
+            self.store.add_checkin(checkin)
+            event_seq = -1
 
         # User/venue counters.
         user.total_checkins += 1
@@ -353,6 +426,33 @@ class LbsnService:
         special = special_unlocked_by(venue, user, valid_here, is_mayor_after)
 
         self.counters.record(CheckInStatus.VALID, None)
+        if self.event_bus is not None:
+            events = _stream_events()
+            self.event_bus.publish(
+                events.CheckInAccepted(
+                    seq=event_seq,
+                    timestamp=now,
+                    user_id=user.user_id,
+                    venue_id=venue.venue_id,
+                    venue_location=venue.location,
+                    reported_location=reported_location,
+                    checkin_id=checkin.checkin_id,
+                    points=awarded,
+                    new_badge_count=len(new_badges),
+                    became_mayor=became_mayor,
+                    first_visit=first_visit,
+                )
+            )
+            if decision.changed:
+                self.event_bus.publish(
+                    events.MayorChanged(
+                        seq=self.store.allocate_event_seq(),
+                        timestamp=now,
+                        venue_id=venue.venue_id,
+                        new_mayor_id=venue.mayor_id,
+                        previous_mayor_id=lost_mayor,
+                    )
+                )
         return CheckInResult(
             checkin=checkin,
             points=awarded,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
@@ -34,6 +34,9 @@ class DataStore:
         self.user_ids = SequentialIdAllocator()
         self.venue_ids = SequentialIdAllocator()
         self.checkin_ids = SequentialIdAllocator()
+        #: Monotonic commit-order counter for stream events.  Allocated
+        #: under the store lock so event sequence == commit sequence.
+        self._event_seq = 0
 
     @contextmanager
     def locked(self) -> Iterator[None]:
@@ -153,6 +156,38 @@ class DataStore:
                 checkin
             )
             return checkin
+
+    def allocate_event_seq(self) -> int:
+        """Allocate one stream-event sequence number under the store lock.
+
+        Used for transitions that change no table rows (rejections, new
+        users/venues) but still need a slot in the global commit order.
+        """
+        with self._lock:
+            seq = self._event_seq
+            self._event_seq += 1
+            return seq
+
+    def add_checkin_committed(self, checkin: CheckIn) -> Tuple[CheckIn, int]:
+        """Append a check-in AND allocate its event sequence atomically.
+
+        This is the event-ordering fix: ``add_checkin`` followed by a
+        separate sequence allocation lets two racing threads commit in one
+        order and sequence in the other, producing a stream that
+        contradicts the store.  Composing both under one :meth:`locked`
+        section guarantees that for every user (and venue), event sequence
+        numbers are strictly increasing in exactly list-append order.
+        """
+        with self._lock:
+            self.add_checkin(checkin)
+            seq = self._event_seq
+            self._event_seq += 1
+            return checkin, seq
+
+    def event_seq_watermark(self) -> int:
+        """The next sequence number that will be allocated."""
+        with self._lock:
+            return self._event_seq
 
     def get_checkin(self, checkin_id: int) -> Optional[CheckIn]:
         """Look up one check-in by ID."""

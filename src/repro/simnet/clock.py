@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from repro.errors import ReproError
 

@@ -1,0 +1,295 @@
+"""A thread-safe in-process pub/sub event bus with bounded backpressure.
+
+The bus sits between the :class:`~repro.lbsn.service.LbsnService` check-in
+pipeline (the producer) and the online detectors (the consumers).  Design
+constraints, in order:
+
+1. **The producer is the hot path.**  A check-in must never slow down
+   because a detector is slow — unless the operator explicitly chose the
+   ``BLOCK`` policy, in which case backpressure is the point.
+2. **Bounded memory.**  Every background subscriber owns a bounded queue;
+   a stalled consumer costs at most ``queue_size`` events, accounted for
+   by per-subscriber drop counters rather than silent loss.
+3. **Deterministic ordering.**  Fan-out preserves publish order per
+   subscriber; the publish path stamps a bus-wide monotonic sequence on
+   events the producer did not already sequence.
+
+Two dispatch modes, selectable per subscription:
+
+* **synchronous** (default) — ``publish`` invokes the callback inline.
+  Cheapest (no queue, no thread), and what the throughput bench exercises;
+  the callback runs on the producer thread, so it must be O(1)-ish.
+* **background** — ``publish`` enqueues into the subscriber's bounded
+  queue and a dedicated daemon thread drains it.  The queue full-policy is
+  the subscriber's :class:`BackpressurePolicy`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.stream.events import StreamEvent
+
+EventCallback = Callable[[StreamEvent], None]
+
+
+class BusError(ReproError):
+    """Misuse of the event bus (duplicate names, publish after close...)."""
+
+
+class BackpressurePolicy(Enum):
+    """What a background subscription does when its queue is full."""
+
+    #: Producer waits for space — zero loss, shared fate with the consumer.
+    BLOCK = "block"
+    #: Evict the oldest queued event to admit the new one (lossy, fresh).
+    DROP_OLDEST = "drop_oldest"
+    #: Refuse the new event (lossy, stale-preserving).
+    REJECT = "reject"
+
+
+@dataclass
+class SubscriberStats:
+    """Per-subscriber delivery accounting."""
+
+    #: Events whose callback ran to completion (or raised — see errors).
+    delivered: int = 0
+    #: Events lost to DROP_OLDEST eviction or REJECT refusal.
+    dropped: int = 0
+    #: Callback invocations that raised (the bus swallows and counts).
+    errors: int = 0
+    #: High-water mark of the background queue.
+    max_queued: int = 0
+
+    @property
+    def seen(self) -> int:
+        """Everything that reached this subscription, lost or not."""
+        return self.delivered + self.dropped
+
+
+class _Subscription:
+    """One subscriber: callback + (for background mode) queue and worker."""
+
+    def __init__(
+        self,
+        name: str,
+        callback: EventCallback,
+        background: bool,
+        queue_size: int,
+        policy: BackpressurePolicy,
+    ) -> None:
+        self.name = name
+        self.callback = callback
+        self.background = background
+        self.queue_size = queue_size
+        self.policy = policy
+        self.stats = SubscriberStats()
+        self.closed = False
+        if background:
+            self._queue: deque = deque()
+            self._cond = threading.Condition()
+            self._worker = threading.Thread(
+                target=self._drain_loop,
+                name=f"bus-sub-{name}",
+                daemon=True,
+            )
+            self._worker.start()
+
+    # Producer side ----------------------------------------------------
+
+    def offer(self, event: StreamEvent) -> None:
+        """Hand one event to this subscription (any mode)."""
+        if not self.background:
+            self._invoke(event)
+            return
+        with self._cond:
+            if self.policy is BackpressurePolicy.BLOCK:
+                while len(self._queue) >= self.queue_size and not self.closed:
+                    self._cond.wait()
+                if self.closed:
+                    self.stats.dropped += 1
+                    return
+            elif len(self._queue) >= self.queue_size:
+                if self.policy is BackpressurePolicy.DROP_OLDEST:
+                    self._queue.popleft()
+                    self.stats.dropped += 1
+                else:  # REJECT
+                    self.stats.dropped += 1
+                    return
+            self._queue.append(event)
+            if len(self._queue) > self.stats.max_queued:
+                self.stats.max_queued = len(self._queue)
+            self._cond.notify_all()
+
+    # Consumer side ----------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self.closed:
+                    self._cond.wait()
+                if not self._queue and self.closed:
+                    self._cond.notify_all()
+                    return
+                event = self._queue.popleft()
+                self._cond.notify_all()
+            self._invoke(event)
+
+    def _invoke(self, event: StreamEvent) -> None:
+        try:
+            self.callback(event)
+        except Exception:  # noqa: BLE001 - subscriber faults must not
+            self.stats.errors += 1  # poison the check-in pipeline.
+        self.stats.delivered += 1
+
+    # Lifecycle --------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until the background queue is empty.  True on success."""
+        if not self.background:
+            return True
+        with self._cond:
+            return self._cond.wait_for(lambda: not self._queue, timeout)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker, optionally delivering everything queued first."""
+        if not self.background:
+            self.closed = True
+            return
+        if drain:
+            self.drain()
+        with self._cond:
+            self.closed = True
+            if not drain:
+                self.stats.dropped += len(self._queue)
+                self._queue.clear()
+            self._cond.notify_all()
+        self._worker.join(timeout=5.0)
+
+
+class EventBus:
+    """Fan-out pub/sub hub for :class:`StreamEvent` records.
+
+    ``publish`` is wait-free with respect to subscription management: the
+    subscriber list is an immutable tuple swapped under a lock, so the hot
+    path reads one attribute and loops — no lock acquisition per event
+    beyond the (cheap) sequence stamp.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Tuple[_Subscription, ...] = ()
+        self._by_name: Dict[str, _Subscription] = {}
+        self._admin = threading.Lock()
+        self._seq_lock = threading.Lock()
+        self._next_seq = 0
+        self._published = 0
+        self._closed = False
+
+    # Subscription management -------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        callback: EventCallback,
+        *,
+        background: bool = False,
+        queue_size: int = 1024,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+    ) -> SubscriberStats:
+        """Register a named subscriber; returns its live stats object."""
+        if queue_size < 1:
+            raise BusError(f"queue_size must be >= 1: {queue_size}")
+        with self._admin:
+            if self._closed:
+                raise BusError("bus is closed")
+            if name in self._by_name:
+                raise BusError(f"duplicate subscriber name: {name!r}")
+            sub = _Subscription(name, callback, background, queue_size, policy)
+            self._by_name[name] = sub
+            self._subs = self._subs + (sub,)
+            return sub.stats
+
+    def unsubscribe(self, name: str, drain: bool = True) -> None:
+        """Remove a subscriber, draining its queue by default."""
+        with self._admin:
+            sub = self._by_name.pop(name, None)
+            if sub is None:
+                raise BusError(f"no such subscriber: {name!r}")
+            self._subs = tuple(s for s in self._subs if s is not sub)
+        sub.close(drain=drain)
+
+    def subscriber_names(self) -> List[str]:
+        """Names of the current subscribers, in subscription order."""
+        return [sub.name for sub in self._subs]
+
+    def stats_of(self, name: str) -> SubscriberStats:
+        """Live stats for one subscriber."""
+        with self._admin:
+            sub = self._by_name.get(name)
+        if sub is None:
+            raise BusError(f"no such subscriber: {name!r}")
+        return sub.stats
+
+    # Publishing ---------------------------------------------------------
+
+    def publish(self, event: StreamEvent) -> StreamEvent:
+        """Fan one event out to every subscriber, stamping ``seq`` if unset.
+
+        Returns the (possibly stamped) event for producer convenience.
+        """
+        if self._closed:
+            raise BusError("publish on a closed bus")
+        with self._seq_lock:
+            if event.seq < 0:
+                event.seq = self._next_seq
+                self._next_seq += 1
+            elif event.seq >= self._next_seq:
+                self._next_seq = event.seq + 1
+            self._published += 1
+        for sub in self._subs:
+            sub.offer(event)
+        return event
+
+    def publish_many(self, events) -> int:
+        """Publish an iterable of events; returns how many were published."""
+        count = 0
+        for event in events:
+            self.publish(event)
+            count += 1
+        return count
+
+    @property
+    def published(self) -> int:
+        """Total events published since construction."""
+        return self._published
+
+    # Lifecycle ----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every background queue is empty."""
+        ok = True
+        for sub in self._subs:
+            ok = sub.drain(timeout) and ok
+        return ok
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the bus down; further publishes raise :class:`BusError`."""
+        with self._admin:
+            if self._closed:
+                return
+            self._closed = True
+            subs, self._subs = self._subs, ()
+            self._by_name.clear()
+        for sub in subs:
+            sub.close(drain=drain)
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

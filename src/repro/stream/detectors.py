@@ -1,0 +1,404 @@
+"""Online, O(1)-per-event versions of the Chapter-4 identifying factors.
+
+The offline :class:`~repro.analysis.detection.CheaterDetector` scores users
+from a *crawl snapshot*: (1) above-normal activity as the recent/total
+check-in ratio, (2) below-normal rewards as badge shortfall, (3) suspicious
+geographic pattern as the city count of the check-in map.  The detectors in
+this module maintain the same three signals *incrementally* from the live
+event stream, so a verdict is available the moment a check-in commits —
+no re-crawl, no history rescan.
+
+Memory is bounded under millions of users: every per-user table is an
+:class:`LruStateMap` capped at ``max_users`` entries with least-recently
+-updated eviction (an evicted cheater that keeps cheating re-enters the
+table and re-accumulates quickly; an evicted dormant user costs nothing).
+
+Factor parity with the offline detector:
+
+* **activity** — exact.  The detector replays the venue recent-visitor
+  list discipline (:data:`repro.lbsn.models.Venue.RECENT_VISITOR_LIMIT`
+  distinct users, newest first) per venue and counts, per user, how many
+  lists they currently appear on — precisely the crawler's
+  ``RecentCheckins`` derived column — plus the same valid+flagged total.
+* **reward** — exact.  Badges arrive on the event (``new_badge_count``).
+* **pattern** — superset.  The stream clusters *every* valid check-in
+  location (greedy leader clustering, same 60 km radius), while the crawl
+  only sees venues where the user still sits in the recent list; streaming
+  city counts are therefore ≥ the offline counts and flag at least the
+  same users.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+from repro.analysis.patterns import CITY_CLUSTER_RADIUS_M
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import haversine_m
+from repro.stream.events import (
+    CheckInAccepted,
+    CheckInFlagged,
+    StreamEvent,
+)
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruStateMap(Generic[K, V]):
+    """A bounded mapping with least-recently-*touched* eviction.
+
+    Detector state for millions of users cannot all stay resident; this
+    map keeps the ``max_entries`` hottest keys and reports how many cold
+    ones it evicted (so benches can verify the bound actually engaged).
+    Eviction hands the evicted pair to an optional callback so owners can
+    decrement cross-table counters.
+    """
+
+    def __init__(self, max_entries: int, on_evict=None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._on_evict = on_evict
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def touch(self, key: K, factory) -> V:
+        """Get-or-create ``key``, marking it most recently used."""
+        data = self._data
+        value = data.get(key)
+        if value is None and key not in data:
+            value = factory()
+            data[key] = value
+            if len(data) > self.max_entries:
+                old_key, old_value = data.popitem(last=False)
+                self.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(old_key, old_value)
+        else:
+            data.move_to_end(key)
+        return value
+
+    def get(self, key: K) -> Optional[V]:
+        """Peek without changing recency."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def keys(self) -> List[K]:
+        """Snapshot of resident keys, coldest first."""
+        return list(self._data.keys())
+
+
+@dataclass
+class StreamDetectorConfig:
+    """Tunables shared by the online detectors."""
+
+    #: LRU bound on per-user state entries (per detector).
+    max_users: int = 100_000
+    #: LRU bound on per-venue recent-visitor replicas.
+    max_venues: int = 200_000
+    #: Sliding window for the instantaneous activity rate.
+    activity_window_s: float = 7 * 86_400.0
+    #: Cap on buffered timestamps per user inside the window.
+    max_window_events: int = 512
+    #: "Who's been here" replica length (mirrors the venue page).
+    recent_visitor_limit: int = 10
+    #: Two points within this distance share a "city" (offline constant).
+    city_radius_m: float = CITY_CLUSTER_RADIUS_M
+    #: Points required before the pattern factor scores at all.
+    min_pattern_points: int = 5
+    #: Cap on tracked city leaders per user (memory bound; far above the
+    #: offline saturating count of 20, so saturation is unaffected).
+    max_city_leaders: int = 64
+
+
+# ---------------------------------------------------------------------------
+# Factor 1 — above-normal activity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ActivityState:
+    """Per-user activity accumulators."""
+
+    total_checkins: int = 0
+    valid_checkins: int = 0
+    #: Venue recent-visitor lists this user currently appears on — the
+    #: streaming mirror of the crawler's ``RecentCheckins`` column.
+    recent_memberships: int = 0
+    #: Valid check-in timestamps inside the sliding window.
+    window: Deque[float] = field(default_factory=deque)
+
+
+class ActivityRateDetector:
+    """Sliding-window activity rate + exact recent/total ratio.
+
+    Maintains (a) a bounded deque of in-window timestamps per user — the
+    "how fast right now" signal the offline pipeline cannot see at all —
+    and (b) a replica of every venue's distinct recent-visitor list, from
+    which the Fig 4.1 recent/total ratio falls out incrementally.
+    """
+
+    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+        self.config = config or StreamDetectorConfig()
+        self.users: LruStateMap[int, _ActivityState] = LruStateMap(
+            self.config.max_users
+        )
+        # Venue replica eviction must release its members' counters.
+        self.venues: LruStateMap[int, List[int]] = LruStateMap(
+            self.config.max_venues, on_evict=self._venue_evicted
+        )
+        self.events_seen = 0
+
+    def _venue_evicted(self, venue_id: int, visitors: List[int]) -> None:
+        for user_id in visitors:
+            state = self.users.get(user_id)
+            if state is not None and state.recent_memberships > 0:
+                state.recent_memberships -= 1
+
+    def on_event(self, event: StreamEvent) -> None:
+        """Consume one bus event (non-check-in events are ignored)."""
+        if isinstance(event, CheckInAccepted):
+            self.events_seen += 1
+            state = self.users.touch(event.user_id, _ActivityState)
+            state.total_checkins += 1
+            state.valid_checkins += 1
+            self._push_window(state, event.timestamp)
+            self._update_recent(event.venue_id, event.user_id)
+        elif isinstance(event, CheckInFlagged):
+            self.events_seen += 1
+            state = self.users.touch(event.user_id, _ActivityState)
+            state.total_checkins += 1
+
+    def _push_window(self, state: _ActivityState, now: float) -> None:
+        window = state.window
+        window.append(now)
+        horizon = now - self.config.activity_window_s
+        while window and window[0] < horizon:
+            window.popleft()
+        while len(window) > self.config.max_window_events:
+            window.popleft()
+
+    def _update_recent(self, venue_id: int, user_id: int) -> None:
+        visitors = self.venues.touch(venue_id, list)
+        if user_id in visitors:
+            visitors.remove(user_id)
+        else:
+            state = self.users.get(user_id)
+            if state is not None:
+                state.recent_memberships += 1
+        visitors.insert(0, user_id)
+        if len(visitors) > self.config.recent_visitor_limit:
+            evicted = visitors.pop()
+            evicted_state = self.users.get(evicted)
+            if evicted_state is not None and evicted_state.recent_memberships > 0:
+                evicted_state.recent_memberships -= 1
+
+    # Read side ---------------------------------------------------------
+
+    def totals(self, user_id: int) -> Tuple[int, int]:
+        """(recent_memberships, total_checkins) — Fig 4.1's two axes."""
+        state = self.users.get(user_id)
+        if state is None:
+            return (0, 0)
+        return (state.recent_memberships, state.total_checkins)
+
+    def rate_per_hour(self, user_id: int, now: float) -> float:
+        """Valid check-ins per hour inside the sliding window."""
+        state = self.users.get(user_id)
+        if state is None or not state.window:
+            return 0.0
+        horizon = now - self.config.activity_window_s
+        count = sum(1 for ts in state.window if ts >= horizon)
+        return count / (self.config.activity_window_s / 3_600.0)
+
+    def activity_score(self, user_id: int, saturating_ratio: float) -> float:
+        """The offline activity factor, from streaming state."""
+        recent, total = self.totals(user_id)
+        if total <= 0:
+            return 0.0
+        return min(1.0, (recent / total) / saturating_ratio)
+
+
+# ---------------------------------------------------------------------------
+# Factor 2 — below-normal rewards
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RewardState:
+    """Per-user reward accumulators."""
+
+    total_checkins: int = 0
+    badge_count: int = 0
+    points: int = 0
+
+
+class RewardRateDetector:
+    """Streaming badge-shortfall: rewards earned vs. activity claimed.
+
+    A cheater piles up check-ins faster than the badge catalogue pays out
+    (Fig 4.2's plateau), so badges-per-check-in collapses.  The event
+    stream carries each check-in's newly earned badge count, making the
+    offline factor exactly reproducible online.
+    """
+
+    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+        self.config = config or StreamDetectorConfig()
+        self.users: LruStateMap[int, _RewardState] = LruStateMap(
+            self.config.max_users
+        )
+        self.events_seen = 0
+
+    def on_event(self, event: StreamEvent) -> None:
+        """Consume one bus event (non-check-in events are ignored)."""
+        if isinstance(event, CheckInAccepted):
+            self.events_seen += 1
+            state = self.users.touch(event.user_id, _RewardState)
+            state.total_checkins += 1
+            state.badge_count += event.new_badge_count
+            state.points += event.points
+        elif isinstance(event, CheckInFlagged):
+            self.events_seen += 1
+            state = self.users.touch(event.user_id, _RewardState)
+            state.total_checkins += 1
+
+    def totals(self, user_id: int) -> Tuple[int, int]:
+        """(badge_count, total_checkins) for one user."""
+        state = self.users.get(user_id)
+        if state is None:
+            return (0, 0)
+        return (state.badge_count, state.total_checkins)
+
+    def reward_score(
+        self,
+        user_id: int,
+        expected_badges_per_100: float,
+        badge_ceiling: float,
+    ) -> float:
+        """The offline reward factor, from streaming state."""
+        badges, total = self.totals(user_id)
+        if total <= 0:
+            return 0.0
+        expected = max(
+            1.0,
+            min(badge_ceiling, total * expected_badges_per_100 / 100.0),
+        )
+        return max(0.0, 1.0 - badges / expected)
+
+
+# ---------------------------------------------------------------------------
+# Factor 3 — suspicious geographic pattern
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _GeoState:
+    """Per-user running geography."""
+
+    point_count: int = 0
+    #: Greedy city-cluster leaders (same discipline as
+    #: :func:`repro.analysis.patterns.cluster_cities`, applied online).
+    leaders: List[GeoPoint] = field(default_factory=list)
+    #: Running bounding box (south, west, north, east).
+    south: float = 90.0
+    west: float = 180.0
+    north: float = -90.0
+    east: float = -180.0
+    last_position: Optional[GeoPoint] = None
+    last_timestamp: float = 0.0
+    #: Fastest implied hop ever observed (m/s); super-human values are the
+    #: §2.3 speed rule reappearing as an analysis signal.
+    max_speed_mps: float = 0.0
+
+
+class GeoDispersionDetector:
+    """Streaming geographic dispersion: city count, bbox, hop speed.
+
+    Each valid check-in either joins an existing city cluster (one
+    haversine per resident leader, ≤ ``max_city_leaders``) or founds a new
+    one — the same greedy-leader rule the offline Fig 4.3/4.4 analysis
+    applies to the crawled check-in map, evaluated point-by-point.
+    """
+
+    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+        self.config = config or StreamDetectorConfig()
+        self.users: LruStateMap[int, _GeoState] = LruStateMap(
+            self.config.max_users
+        )
+        self.events_seen = 0
+
+    def on_event(self, event: StreamEvent) -> None:
+        """Consume one bus event (only accepted check-ins map a point)."""
+        if not isinstance(event, CheckInAccepted):
+            return
+        self.events_seen += 1
+        state = self.users.touch(event.user_id, _GeoState)
+        point = event.venue_location
+        state.point_count += 1
+
+        # Running bounding box.
+        if point.latitude < state.south:
+            state.south = point.latitude
+        if point.latitude > state.north:
+            state.north = point.latitude
+        if point.longitude < state.west:
+            state.west = point.longitude
+        if point.longitude > state.east:
+            state.east = point.longitude
+
+        # Last-position hop speed.
+        if state.last_position is not None:
+            elapsed = event.timestamp - state.last_timestamp
+            distance = haversine_m(state.last_position, point)
+            if elapsed > 0.0:
+                speed = distance / elapsed
+            else:
+                speed = math.inf if distance > 0.0 else 0.0
+            if speed > state.max_speed_mps:
+                state.max_speed_mps = speed
+        state.last_position = point
+        state.last_timestamp = event.timestamp
+
+        # Greedy leader clustering, online.
+        radius = self.config.city_radius_m
+        for leader in state.leaders:
+            if haversine_m(leader, point) <= radius:
+                break
+        else:
+            if len(state.leaders) < self.config.max_city_leaders:
+                state.leaders.append(point)
+
+    # Read side ---------------------------------------------------------
+
+    def city_count(self, user_id: int) -> int:
+        """Distinct city clusters seen for this user."""
+        state = self.users.get(user_id)
+        return 0 if state is None else len(state.leaders)
+
+    def bbox(self, user_id: int) -> Optional[Tuple[float, float, float, float]]:
+        """(south, west, north, east) of everywhere the user checked in."""
+        state = self.users.get(user_id)
+        if state is None or state.point_count == 0:
+            return None
+        return (state.south, state.west, state.north, state.east)
+
+    def max_speed(self, user_id: int) -> float:
+        """Fastest implied inter-check-in speed (m/s) ever observed."""
+        state = self.users.get(user_id)
+        return 0.0 if state is None else state.max_speed_mps
+
+    def pattern_score(self, user_id: int, saturating_city_count: int) -> float:
+        """The offline pattern factor, from streaming state."""
+        state = self.users.get(user_id)
+        if state is None or state.point_count < self.config.min_pattern_points:
+            return 0.0
+        return min(1.0, len(state.leaders) / saturating_city_count)

@@ -1,0 +1,119 @@
+"""Typed event records for the live check-in firehose.
+
+The offline pipeline observes the service from the *outside* (crawl →
+:class:`~repro.crawler.database.CrawlDatabase` → Chapter-4 analyses).  The
+stream layer observes it from the *inside*: the service publishes one event
+per state transition, in commit order, and online consumers (detectors,
+ledgers, defenses) react at check-in time instead of at re-crawl time.
+
+Every event carries:
+
+* ``seq`` — a monotonic sequence number allocated by the
+  :class:`~repro.lbsn.store.DataStore` *while the commit lock is held*, so
+  event order is exactly check-in commit order even when eight service
+  threads race (see :meth:`DataStore.add_checkin_committed`).  Producers
+  that do not care (tests, synthetic feeds) may leave it at ``UNSEQUENCED``
+  and let the :class:`~repro.stream.bus.EventBus` stamp publish order
+  instead.
+* ``timestamp`` — the simulated clock time of the transition.
+
+Events are plain mutable dataclasses with ``slots`` — the bus stamps
+``seq`` in place on unsequenced events, and slots keep per-event overhead
+small at firehose rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geo.coordinates import GeoPoint
+
+#: Sentinel ``seq`` for events not yet assigned a sequence number.
+UNSEQUENCED = -1
+
+
+@dataclass(slots=True)
+class StreamEvent:
+    """Base record: every bus event has a sequence number and a time."""
+
+    seq: int
+    timestamp: float
+
+    @property
+    def sequenced(self) -> bool:
+        """Has a commit-order (or publish-order) sequence been assigned?"""
+        return self.seq >= 0
+
+
+@dataclass(slots=True)
+class UserRegistered(StreamEvent):
+    """A new account was created."""
+
+    user_id: int
+    username: Optional[str] = None
+
+
+@dataclass(slots=True)
+class VenueCreated(StreamEvent):
+    """A new venue was registered."""
+
+    venue_id: int
+    location: Optional[GeoPoint] = None
+
+
+@dataclass(slots=True)
+class CheckInEvent(StreamEvent):
+    """Common shape of the three check-in outcomes.
+
+    ``venue_location`` is denormalised onto the event so online detectors
+    never have to call back into the store (which would re-take the service
+    lock from a subscriber thread).
+    """
+
+    user_id: int
+    venue_id: int
+    venue_location: GeoPoint
+    reported_location: GeoPoint
+    checkin_id: int = 0
+
+
+@dataclass(slots=True)
+class CheckInAccepted(CheckInEvent):
+    """A valid check-in: recorded, rewarded, recent-visitor list updated."""
+
+    points: int = 0
+    new_badge_count: int = 0
+    became_mayor: bool = False
+    first_visit: bool = False
+
+
+@dataclass(slots=True)
+class CheckInFlagged(CheckInEvent):
+    """Recorded but stripped of rewards by the cheater code (§4.3)."""
+
+    rule: Optional[str] = None
+
+
+@dataclass(slots=True)
+class CheckInRejected(CheckInEvent):
+    """Refused outright — never recorded as activity."""
+
+    rule: Optional[str] = None
+
+
+@dataclass(slots=True)
+class MayorChanged(StreamEvent):
+    """A venue's mayorship moved (or was vacated)."""
+
+    venue_id: int
+    new_mayor_id: Optional[int] = None
+    previous_mayor_id: Optional[int] = None
+
+
+#: The event types a check-in pipeline can emit, for isinstance fan-out.
+CHECKIN_EVENT_TYPES: Tuple[type, ...] = (
+    CheckInAccepted,
+    CheckInFlagged,
+    CheckInRejected,
+)

@@ -1,0 +1,171 @@
+"""The live :class:`SuspicionLedger`: Chapter-4 verdicts at check-in time.
+
+Subscribes the three online detectors to the event stream and keeps a
+rolling set of suspects with the *same* scoring semantics, thresholds, and
+:class:`~repro.analysis.detection.SuspicionReport` records as the offline
+:class:`~repro.analysis.detection.CheaterDetector` — the ledger is the
+"find cheaters Foursquare hasn't found" tool of §4.3 run against the
+firehose instead of a crawl snapshot.
+
+A user's report is recomputed in O(1) whenever one of their check-ins
+commits; users crossing the reporting bar enter the ledger, users falling
+back below it leave.  ``top(k)`` answers "who are the worst offenders
+right now" without scanning the population, which is what makes the ledger
+usable as an *inline* defense: :class:`repro.defense.integration.
+DefendedLbsnService` can consult it on every check-in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.analysis.detection import DetectorConfig, SuspicionReport
+from repro.stream.bus import BackpressurePolicy, EventBus
+from repro.stream.detectors import (
+    ActivityRateDetector,
+    GeoDispersionDetector,
+    RewardRateDetector,
+    StreamDetectorConfig,
+)
+from repro.stream.events import CheckInAccepted, CheckInFlagged, StreamEvent
+
+
+class SuspicionLedger:
+    """Top-K live suspect tracking over the event stream.
+
+    Parameters
+    ----------
+    config:
+        The *offline* detector thresholds — passing the same instance to
+        both this ledger and a :class:`CheaterDetector` guarantees the
+        online/offline parity the E19 bench measures.
+    stream_config:
+        Memory bounds and window sizes for the incremental detectors.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        stream_config: Optional[StreamDetectorConfig] = None,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        self.stream_config = stream_config or StreamDetectorConfig()
+        self.activity = ActivityRateDetector(self.stream_config)
+        self.rewards = RewardRateDetector(self.stream_config)
+        self.geography = GeoDispersionDetector(self.stream_config)
+        self._suspects: Dict[int, SuspicionReport] = {}
+        self._lock = threading.Lock()
+        self.events_processed = 0
+        self.last_seq = -1
+
+    # Event intake -------------------------------------------------------
+
+    def on_event(self, event: StreamEvent) -> None:
+        """Feed one bus event through all detectors, then rescore."""
+        self.activity.on_event(event)
+        self.rewards.on_event(event)
+        self.geography.on_event(event)
+        if isinstance(event, (CheckInAccepted, CheckInFlagged)):
+            with self._lock:
+                self.events_processed += 1
+                if event.seq > self.last_seq:
+                    self.last_seq = event.seq
+                self._rescore(event.user_id)
+
+    def attach(
+        self,
+        bus: EventBus,
+        name: str = "suspicion-ledger",
+        *,
+        background: bool = False,
+        queue_size: int = 4096,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+    ) -> "SuspicionLedger":
+        """Subscribe this ledger to a bus; returns self for chaining."""
+        bus.subscribe(
+            name,
+            self.on_event,
+            background=background,
+            queue_size=queue_size,
+            policy=policy,
+        )
+        return self
+
+    # Scoring ------------------------------------------------------------
+
+    def score_user(self, user_id: int) -> SuspicionReport:
+        """Build the current three-factor report for one user.
+
+        Mirrors :meth:`CheaterDetector.score_user` formula-for-formula,
+        reading streaming state instead of crawl rows.
+        """
+        config = self.config
+        recent, total = self.activity.totals(user_id)
+        report = SuspicionReport(user_id=user_id, total_checkins=total)
+        if total <= 0:
+            return report
+        report.activity_score = self.activity.activity_score(
+            user_id, config.saturating_ratio
+        )
+        report.reward_score = self.rewards.reward_score(
+            user_id, config.expected_badges_per_100, config.badge_ceiling
+        )
+        report.city_count = self.geography.city_count(user_id)
+        report.pattern_score = self.geography.pattern_score(
+            user_id, config.saturating_city_count
+        )
+        return report
+
+    def _reportable(self, report: SuspicionReport) -> bool:
+        if report.total_checkins < self.config.min_total_checkins:
+            return False
+        if report.combined_score >= self.config.report_threshold:
+            return True
+        return report.strongest_factor >= self.config.strong_factor_threshold
+
+    def _rescore(self, user_id: int) -> None:
+        report = self.score_user(user_id)
+        if self._reportable(report):
+            self._suspects[user_id] = report
+        else:
+            self._suspects.pop(user_id, None)
+
+    # Read side ----------------------------------------------------------
+    #
+    # A user's factors can move without any event of *their own* — other
+    # users displace them from recent-visitor lists, lowering the activity
+    # ratio — so ledger *membership* is refreshed on read: entry is
+    # event-driven, exit is checked lazily.  Rescoring is O(1), and the
+    # suspect set is tiny relative to the population, so reads stay cheap.
+
+    def is_suspect(self, user_id: int) -> bool:
+        """Is this user currently over the reporting bar?"""
+        with self._lock:
+            if user_id not in self._suspects:
+                return False
+            self._rescore(user_id)
+            return user_id in self._suspects
+
+    def suspect_ids(self) -> List[int]:
+        """All current suspect user-ids (unordered snapshot)."""
+        with self._lock:
+            for user_id in list(self._suspects):
+                self._rescore(user_id)
+            return list(self._suspects)
+
+    def suspects(self) -> List[SuspicionReport]:
+        """All current suspects, strongest combined score first."""
+        with self._lock:
+            for user_id in list(self._suspects):
+                self._rescore(user_id)
+            reports = list(self._suspects.values())
+        reports.sort(key=lambda r: r.combined_score, reverse=True)
+        return reports
+
+    def top(self, k: int) -> List[SuspicionReport]:
+        """The ``k`` worst offenders right now."""
+        return self.suspects()[:k]
+
+    def __len__(self) -> int:
+        return len(self._suspects)

@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.lbsn.models import CheckInStatus
 from repro.lbsn.service import LbsnService
 from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
-from repro.workload.population import Persona, UserSpec
+from repro.workload.population import UserSpec
 from repro.workload.venues import GeneratedVenues
 
 #: Simulated service lifetime before the crawl: March 2009 launch to the

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.geo.regions import US_CITIES, City

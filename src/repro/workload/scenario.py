@@ -12,7 +12,7 @@ transport — the crawler's target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.errors import ReproError
 from repro.lbsn.api import LbsnApiServer
@@ -24,7 +24,6 @@ from repro.simnet.network import Network
 from repro.workload.behavior import (
     DEFAULT_HORIZON_DAYS,
     BehaviorGenerator,
-    CheckInEvent,
     EventReplayer,
     ReplayReport,
 )

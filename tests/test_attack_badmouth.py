@@ -9,7 +9,6 @@ from repro.crawler.parser import parse_venue_page
 from repro.errors import ReproError, ServiceError
 from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import destination_point
-from repro.lbsn.service import LbsnService
 from repro.lbsn.webserver import LbsnWebServer
 
 ABQ = GeoPoint(35.0844, -106.6504)

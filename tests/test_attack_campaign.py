@@ -3,7 +3,6 @@
 import pytest
 
 from repro.attack.campaign import CheatingCampaign, greedy_route, tour_from_targets
-from repro.attack.scheduler import CheckInScheduler
 from repro.attack.spoofing import build_emulator_attacker
 from repro.attack.targeting import TargetVenue
 from repro.errors import ReproError
@@ -11,7 +10,7 @@ from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import destination_point
 from repro.lbsn.models import Special
 from repro.lbsn.service import LbsnService
-from repro.simnet.clock import SECONDS_PER_DAY, SimClock
+from repro.simnet.clock import SECONDS_PER_DAY
 
 ABQ = GeoPoint(35.0844, -106.6504)
 

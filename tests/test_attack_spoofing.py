@@ -11,14 +11,13 @@ import pytest
 from repro.attack.spoofing import (
     ApiHookSpoofer,
     BluetoothSpoofer,
-    EmulatorSpoofer,
     GpsModuleSpoofer,
     ServerApiSpoofer,
     SpoofOutcome,
     build_emulator_attacker,
 )
 from repro.device.client_app import LbsnClientApp
-from repro.device.emulator import Device, DeviceEmulator
+from repro.device.emulator import Device
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.api import LbsnApiServer
 from repro.lbsn.models import CheckInStatus

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attack.tour import PlannedTour, TourPlanner, TourStop, VenueCatalog
+from repro.attack.tour import PlannedTour, TourPlanner, VenueCatalog
 from repro.crawler.database import CrawlDatabase
 from repro.crawler.parser import ParsedVenue
 from repro.errors import ReproError

@@ -21,6 +21,24 @@ class TestParser:
         assert args.scale == 0.0005
         assert args.seed == 42
 
+    def test_every_subcommand_has_help(self, capsys):
+        """``--help`` must work (and exit 0) for every registered command."""
+        from repro.cli import _COMMANDS
+
+        for command in _COMMANDS:
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args([command, "--help"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert "--scale" in out
+            assert "--seed" in out
+
+    def test_stream_detect_defaults(self):
+        args = build_parser().parse_args(["stream-detect"])
+        assert args.min_checkins == 150
+        assert args.top == 15
+        assert args.no_parity is False
+
 
 class TestCommands:
     def test_demo_succeeds(self, capsys):
@@ -45,6 +63,21 @@ class TestCommands:
         assert main(["detect"] + SMALL + ["--min-checkins", "100"]) == 0
         out = capsys.readouterr().out
         assert "suspects:" in out
+
+    def test_stream_detect_reports_parity(self, capsys):
+        assert main(["stream-detect"] + SMALL + ["--min-checkins", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "events/s through the live pipeline" in out
+        assert "online suspects" in out
+        assert "offline parity:" in out
+
+    def test_stream_detect_no_parity_skips_crawl(self, capsys):
+        assert (
+            main(["stream-detect"] + SMALL + ["--no-parity", "--top", "5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "online suspects" in out
+        assert "offline parity:" not in out
 
     def test_defend_prints_table(self, capsys):
         assert main(["defend"] + SMALL + ["--claims", "50"]) == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crawler.crawler import MultiThreadedCrawler, crawl_full_site
+from repro.crawler.crawler import MultiThreadedCrawler
 from repro.crawler.database import CrawlDatabase
 from repro.crawler.frontier import CrawlMode
 from repro.errors import CrawlError

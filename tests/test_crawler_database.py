@@ -1,6 +1,5 @@
 """Unit tests for the three-table crawl database (Fig 3.3)."""
 
-import pytest
 
 from repro.crawler.database import CrawlDatabase, like_to_regex
 from repro.crawler.parser import ParsedUser, ParsedVenue

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.crawler.snapshots import (
-    CrawlSnapshot,
-    SnapshotStore,
-    diff_snapshots,
-)
+from repro.crawler.snapshots import SnapshotStore, diff_snapshots
 from repro.errors import CrawlError
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.service import LbsnService

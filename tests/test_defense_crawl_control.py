@@ -1,6 +1,5 @@
 """Tests for crawl access control: login gating + rate limiting."""
 
-import pytest
 
 from repro.crawler.crawler import MultiThreadedCrawler
 from repro.crawler.database import CrawlDatabase

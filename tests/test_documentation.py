@@ -3,7 +3,6 @@
 import re
 from pathlib import Path
 
-import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -22,7 +21,7 @@ class TestReadmeQuickstart:
         from repro.cli import _COMMANDS
 
         readme = (REPO / "README.md").read_text()
-        documented = set(re.findall(r"python -m repro (\w+)", readme))
+        documented = set(re.findall(r"python -m repro ([\w-]+)", readme))
         assert documented
         assert documented <= set(_COMMANDS)
 

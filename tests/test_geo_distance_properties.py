@@ -1,0 +1,103 @@
+"""Property tests (hypothesis) dedicated to :mod:`repro.geo.distance`.
+
+Targets the numerical edges the unit tests cannot sweep: antipodal pairs
+(where the haversine ``asin`` argument grazes 1.0 and must be clamped),
+exact self-distance, metric symmetry, and longitude wrap-around.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coordinates import (
+    EARTH_RADIUS_M,
+    GeoPoint,
+    normalize_longitude,
+)
+from repro.geo.distance import haversine_m, haversine_miles, speed_mps
+
+#: Half the Earth's circumference — the haversine ceiling.
+MAX_GREAT_CIRCLE_M = math.pi * EARTH_RADIUS_M
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0)
+longitudes = st.floats(min_value=-180.0, max_value=180.0)
+full_points = st.builds(
+    GeoPoint,
+    latitudes,
+    st.floats(min_value=-180.0, max_value=179.999999),
+)
+any_longitudes = st.floats(
+    min_value=-1e7, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+
+
+class TestHaversineProperties:
+    @given(full_points, full_points)
+    def test_symmetry(self, a, b):
+        assert haversine_m(a, b) == haversine_m(b, a)
+
+    @given(full_points)
+    def test_zero_self_distance(self, p):
+        assert haversine_m(p, p) == 0.0
+
+    @given(full_points, full_points)
+    def test_bounded_by_half_circumference(self, a, b):
+        d = haversine_m(a, b)
+        assert 0.0 <= d <= MAX_GREAT_CIRCLE_M * (1.0 + 1e-12)
+        assert not math.isnan(d)
+
+    @given(latitudes, st.floats(min_value=-180.0, max_value=179.999999))
+    def test_antipodal_asin_clamp(self, lat, lon):
+        """The exact antipode pushes the asin argument to 1.0; the clamp
+        must keep the result finite and equal to half the circumference."""
+        p = GeoPoint(lat, lon)
+        antipode = GeoPoint(-lat, normalize_longitude(lon + 180.0))
+        d = haversine_m(p, antipode)
+        assert not math.isnan(d)
+        assert d == haversine_m(antipode, p)
+        assert d <= MAX_GREAT_CIRCLE_M * (1.0 + 1e-12)
+        # Near-antipodal haversine loses relative precision (the clamp's
+        # raison d'être); allow ~1e-6 relative slack (±20 m on 20,015 km).
+        assert d >= MAX_GREAT_CIRCLE_M * (1.0 - 1e-6)
+
+    @given(full_points, full_points)
+    def test_miles_consistent_with_meters(self, a, b):
+        assert haversine_miles(a, b) == haversine_m(a, b) / 1_609.344
+
+
+class TestSpeedProperties:
+    @given(full_points, full_points, st.floats(min_value=0.001, max_value=1e6))
+    def test_speed_is_distance_over_time(self, a, b, elapsed):
+        assert speed_mps(a, b, elapsed) == haversine_m(a, b) / elapsed
+
+    @given(full_points, full_points)
+    def test_zero_elapsed_any_displacement_is_infinite(self, a, b):
+        speed = speed_mps(a, b, 0.0)
+        if haversine_m(a, b) > 0.0:
+            assert speed == math.inf
+        else:
+            assert speed == 0.0
+
+
+class TestNormalizeLongitudeProperties:
+    @given(any_longitudes)
+    def test_result_in_range(self, lon):
+        wrapped = normalize_longitude(lon)
+        assert -180.0 <= wrapped < 180.0
+
+    @given(any_longitudes)
+    def test_idempotent_round_trip(self, lon):
+        wrapped = normalize_longitude(lon)
+        assert normalize_longitude(wrapped) == wrapped
+
+    @given(
+        st.floats(min_value=-180.0, max_value=179.999999),
+        st.integers(min_value=-20, max_value=20),
+    )
+    @settings(max_examples=200)
+    def test_full_turns_are_identity(self, lon, turns):
+        wrapped = normalize_longitude(lon + 360.0 * turns)
+        assert math.isclose(wrapped, lon, abs_tol=1e-6) or math.isclose(
+            abs(wrapped - lon), 360.0, abs_tol=1e-6
+        )

@@ -1,6 +1,5 @@
 """Unit tests for the cheater code — the §2.3 rules verbatim."""
 
-import pytest
 
 from repro.geo.coordinates import METERS_PER_MILE, GeoPoint
 from repro.geo.distance import destination_point

@@ -1,6 +1,5 @@
 """Unit tests for points and the badge engine."""
 
-import pytest
 
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.models import CheckIn, CheckInStatus, User

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import destination_point
-from repro.lbsn.models import CheckIn, CheckInStatus, User, Venue
+from repro.lbsn.models import CheckIn, User, Venue
 from repro.lbsn.store import DataStore
 
 ABQ = GeoPoint(35.0844, -106.6504)

@@ -1,0 +1,249 @@
+"""Tests for the event bus: fan-out, sequencing, backpressure, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.stream import (
+    BackpressurePolicy,
+    BusError,
+    EventBus,
+    StreamEvent,
+)
+
+
+def make_event(seq=-1, timestamp=0.0):
+    return StreamEvent(seq=seq, timestamp=timestamp)
+
+
+class TestSynchronousFanout:
+    def test_all_subscribers_see_every_event_in_order(self):
+        bus = EventBus()
+        seen = {"a": [], "b": [], "c": []}
+        for name in seen:
+            bus.subscribe(name, seen[name].append)
+        events = [bus.publish(make_event()) for _ in range(25)]
+        for log in seen.values():
+            assert log == events
+        assert bus.published == 25
+
+    def test_publish_stamps_monotonic_seq(self):
+        bus = EventBus()
+        events = [bus.publish(make_event()) for _ in range(10)]
+        assert [e.seq for e in events] == list(range(10))
+
+    def test_presequenced_events_keep_their_seq(self):
+        bus = EventBus()
+        event = bus.publish(make_event(seq=41))
+        assert event.seq == 41
+        # The bus counter advances past external sequences.
+        assert bus.publish(make_event()).seq == 42
+
+    def test_delivered_counter(self):
+        bus = EventBus()
+        stats = bus.subscribe("s", lambda e: None)
+        for _ in range(7):
+            bus.publish(make_event())
+        assert stats.delivered == 7
+        assert stats.dropped == 0
+
+    def test_subscriber_exception_counted_not_raised(self):
+        bus = EventBus()
+
+        def explode(event):
+            raise RuntimeError("detector bug")
+
+        stats = bus.subscribe("bad", explode)
+        quiet = bus.subscribe("good", lambda e: None)
+        bus.publish(make_event())
+        assert stats.errors == 1
+        assert stats.delivered == 1
+        assert quiet.delivered == 1
+
+
+class TestSubscriptionManagement:
+    def test_duplicate_name_rejected(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: None)
+        with pytest.raises(BusError):
+            bus.subscribe("x", lambda e: None)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        log = []
+        bus.subscribe("x", log.append)
+        bus.publish(make_event())
+        bus.unsubscribe("x")
+        bus.publish(make_event())
+        assert len(log) == 1
+        assert bus.subscriber_names() == []
+
+    def test_unsubscribe_unknown_raises(self):
+        with pytest.raises(BusError):
+            EventBus().unsubscribe("ghost")
+
+    def test_queue_size_must_be_positive(self):
+        with pytest.raises(BusError):
+            EventBus().subscribe("x", lambda e: None, queue_size=0)
+
+
+class TestBackgroundBlock:
+    def test_zero_loss_with_slow_consumer(self):
+        bus = EventBus()
+        log = []
+
+        def slow(event):
+            time.sleep(0.0002)
+            log.append(event)
+
+        stats = bus.subscribe(
+            "slow",
+            slow,
+            background=True,
+            queue_size=4,
+            policy=BackpressurePolicy.BLOCK,
+        )
+        events = [bus.publish(make_event()) for _ in range(64)]
+        assert bus.drain(timeout=10.0)
+        bus.close()
+        assert stats.dropped == 0
+        assert stats.delivered == 64
+        assert log == events  # order preserved
+
+    def test_max_queued_bounded_by_queue_size(self):
+        bus = EventBus()
+        gate = threading.Event()
+        stats = bus.subscribe(
+            "gated",
+            lambda e: gate.wait(5.0),
+            background=True,
+            queue_size=8,
+            policy=BackpressurePolicy.BLOCK,
+        )
+        for _ in range(8):
+            bus.publish(make_event())
+        gate.set()
+        bus.close()
+        assert stats.max_queued <= 8
+
+
+class TestBackgroundDropOldest:
+    def test_drop_counter_accounts_for_every_event(self):
+        bus = EventBus()
+        gate = threading.Event()
+        delivered_log = []
+
+        def consume(event):
+            gate.wait(5.0)
+            delivered_log.append(event.seq)
+
+        stats = bus.subscribe(
+            "lossy",
+            consume,
+            background=True,
+            queue_size=16,
+            policy=BackpressurePolicy.DROP_OLDEST,
+        )
+        total = 500
+        for _ in range(total):
+            bus.publish(make_event())
+        gate.set()
+        bus.drain(timeout=10.0)
+        bus.close()
+        assert stats.dropped > 0  # the bound engaged
+        assert stats.delivered + stats.dropped == total
+        # What survived is the *newest* tail, still in order.
+        assert delivered_log == sorted(delivered_log)
+        assert delivered_log[-1] == total - 1
+
+    def test_reject_policy_keeps_oldest(self):
+        bus = EventBus()
+        gate = threading.Event()
+        delivered_log = []
+
+        def consume(event):
+            gate.wait(5.0)
+            delivered_log.append(event.seq)
+
+        stats = bus.subscribe(
+            "reject",
+            consume,
+            background=True,
+            queue_size=4,
+            policy=BackpressurePolicy.REJECT,
+        )
+        for _ in range(100):
+            bus.publish(make_event())
+        gate.set()
+        bus.drain(timeout=10.0)
+        bus.close()
+        assert stats.delivered + stats.dropped == 100
+        # REJECT preserves the head of the stream (stale-preserving).
+        assert delivered_log[0] == 0
+
+
+class TestLifecycle:
+    def test_publish_after_close_raises(self):
+        bus = EventBus()
+        bus.close()
+        with pytest.raises(BusError):
+            bus.publish(make_event())
+
+    def test_close_drains_by_default(self):
+        bus = EventBus()
+        log = []
+        bus.subscribe("x", log.append, background=True, queue_size=256)
+        for _ in range(100):
+            bus.publish(make_event())
+        bus.close()
+        assert len(log) == 100
+
+    def test_close_without_drain_counts_drops(self):
+        bus = EventBus()
+        gate = threading.Event()
+        stats = bus.subscribe(
+            "x",
+            lambda e: gate.wait(5.0),
+            background=True,
+            queue_size=256,
+            policy=BackpressurePolicy.BLOCK,
+        )
+        for _ in range(50):
+            bus.publish(make_event())
+        bus.close(drain=False)
+        gate.set()
+        assert stats.delivered + stats.dropped == 50
+
+    def test_context_manager_closes(self):
+        with EventBus() as bus:
+            bus.subscribe("x", lambda e: None, background=True)
+            bus.publish(make_event())
+        with pytest.raises(BusError):
+            bus.publish(make_event())
+
+
+class TestConcurrentPublish:
+    def test_many_threads_unique_monotonic_seqs(self):
+        bus = EventBus()
+        seen = []
+        lock = threading.Lock()
+
+        def collect(event):
+            with lock:
+                seen.append(event.seq)
+
+        bus.subscribe("collector", collect)
+        per_thread = 200
+
+        def hammer():
+            for _ in range(per_thread):
+                bus.publish(make_event())
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 8 * per_thread
+        assert sorted(seen) == list(range(8 * per_thread))

@@ -1,0 +1,228 @@
+"""Service → bus integration: publication, commit-order sequencing.
+
+Covers the event-ordering regression: sequence numbers must agree with
+check-in commit order even with eight threads hammering the pipeline,
+because the store allocates them inside the same locked section that
+appends the row (:meth:`DataStore.add_checkin_committed`).
+"""
+
+import threading
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.distance import destination_point
+from repro.lbsn.models import CheckIn, CheckInStatus
+from repro.lbsn.service import LbsnService
+from repro.lbsn.store import DataStore
+from repro.stream import (
+    CheckInAccepted,
+    CheckInFlagged,
+    CheckInRejected,
+    EventBus,
+    MayorChanged,
+    UserRegistered,
+    VenueCreated,
+)
+
+HERE = GeoPoint(35.0844, -106.6504)
+FAR_AWAY = GeoPoint(40.7128, -74.0060)
+
+
+def bus_service():
+    bus = EventBus()
+    log = []
+    bus.subscribe("log", log.append)
+    service = LbsnService(event_bus=bus)
+    return bus, log, service
+
+
+class TestPublication:
+    def test_registration_and_venue_events(self):
+        bus, log, service = bus_service()
+        user = service.register_user("Alice", username="alice")
+        venue = service.create_venue("Cafe", HERE)
+        assert isinstance(log[0], UserRegistered)
+        assert log[0].user_id == user.user_id
+        assert log[0].username == "alice"
+        assert isinstance(log[1], VenueCreated)
+        assert log[1].venue_id == venue.venue_id
+        assert log[1].location == venue.location
+
+    def test_valid_checkin_publishes_accepted_and_mayor_change(self):
+        bus, log, service = bus_service()
+        user = service.register_user("Alice")
+        venue = service.create_venue("Cafe", HERE)
+        result = service.check_in(user.user_id, venue.venue_id, HERE)
+        assert result.rewarded
+        accepted = [e for e in log if isinstance(e, CheckInAccepted)]
+        assert len(accepted) == 1
+        assert accepted[0].user_id == user.user_id
+        assert accepted[0].venue_location == venue.location
+        assert accepted[0].points == result.points
+        assert accepted[0].new_badge_count == len(result.new_badges)
+        assert accepted[0].became_mayor == result.became_mayor
+        mayor = [e for e in log if isinstance(e, MayorChanged)]
+        assert len(mayor) == 1
+        assert mayor[0].new_mayor_id == user.user_id
+
+    def test_gps_rejection_publishes_rejected(self):
+        bus, log, service = bus_service()
+        user = service.register_user("Alice")
+        venue = service.create_venue("Cafe", HERE)
+        result = service.check_in(user.user_id, venue.venue_id, FAR_AWAY)
+        assert result.checkin.status is CheckInStatus.REJECTED
+        rejected = [e for e in log if isinstance(e, CheckInRejected)]
+        assert len(rejected) == 1
+        assert rejected[0].rule == "gps-verification"
+
+    def test_flagged_checkin_publishes_flagged_with_rule(self):
+        bus, log, service = bus_service()
+        user = service.register_user("Racer")
+        a = service.create_venue("A", HERE)
+        b = service.create_venue("B", FAR_AWAY)
+        service.check_in(user.user_id, a.venue_id, HERE, timestamp=0.0)
+        # 2,000 km hop in 10 minutes: super-human speed.
+        result = service.check_in(
+            user.user_id, b.venue_id, FAR_AWAY, timestamp=600.0
+        )
+        assert result.checkin.status is CheckInStatus.FLAGGED
+        flagged = [e for e in log if isinstance(e, CheckInFlagged)]
+        assert len(flagged) == 1
+        assert flagged[0].rule == "super-human-speed"
+
+    def test_no_bus_means_no_overhead_events(self):
+        service = LbsnService()  # default: no bus at all
+        user = service.register_user("Quiet")
+        venue = service.create_venue("Cafe", HERE)
+        result = service.check_in(user.user_id, venue.venue_id, HERE)
+        assert result.rewarded
+        assert service.event_bus is None
+
+    def test_event_seqs_strictly_increasing(self):
+        bus, log, service = bus_service()
+        user = service.register_user("Alice")
+        venues = [
+            service.create_venue(f"V{i}", destination_point(HERE, 0.0, 300.0 * i))
+            for i in range(5)
+        ]
+        for i, venue in enumerate(venues):
+            service.check_in(
+                user.user_id, venue.venue_id, venue.location,
+                timestamp=4_000.0 * (i + 1),
+            )
+        seqs = [e.seq for e in log]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestStoreCommittedAppend:
+    def test_seq_matches_append_order_single_thread(self):
+        store = DataStore()
+        seqs = []
+        for i in range(5):
+            checkin = CheckIn(
+                checkin_id=store.checkin_ids.allocate(),
+                user_id=1,
+                venue_id=2,
+                timestamp=float(i),
+                reported_location=HERE,
+            )
+            _, seq = store.add_checkin_committed(checkin)
+            seqs.append(seq)
+        assert seqs == sorted(seqs)
+        assert store.event_seq_watermark() == seqs[-1] + 1
+
+    def test_eight_threads_commit_order_equals_seq_order(self):
+        """The regression: per-user sequence must be monotone in list order."""
+        store = DataStore()
+        per_thread = 200
+        results = {}
+
+        def hammer(user_id):
+            mine = []
+            for i in range(per_thread):
+                checkin = CheckIn(
+                    checkin_id=store.checkin_ids.allocate(),
+                    user_id=user_id,
+                    venue_id=user_id,
+                    timestamp=float(i),
+                    reported_location=HERE,
+                )
+                _, seq = store.add_checkin_committed(checkin)
+                mine.append((checkin.checkin_id, seq))
+            results[user_id] = mine
+
+        threads = [
+            threading.Thread(target=hammer, args=(user_id,))
+            for user_id in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        all_seqs = []
+        for user_id, mine in results.items():
+            # Per-user: seqs strictly increasing in the order committed...
+            seqs = [seq for _, seq in mine]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+            # ...and matching the store's per-user list order exactly.
+            stored_ids = [c.checkin_id for c in store.checkins_of_user(user_id)]
+            assert stored_ids == [checkin_id for checkin_id, _ in mine]
+            all_seqs.extend(seqs)
+        # Globally: every allocation distinct, no gaps.
+        assert sorted(all_seqs) == list(range(8 * per_thread))
+
+
+class TestConcurrentServicePublish:
+    def test_eight_threads_per_user_event_order_is_commit_order(self):
+        bus = EventBus()
+        recorded = []
+        lock = threading.Lock()
+
+        def collect(event):
+            if isinstance(event, (CheckInAccepted, CheckInFlagged)):
+                with lock:
+                    recorded.append(event)
+
+        bus.subscribe("collector", collect)
+        service = LbsnService(event_bus=bus)
+        users = [service.register_user(f"U{i}") for i in range(8)]
+        venues = [
+            service.create_venue(f"V{i}", destination_point(HERE, i * 45.0, 100.0 * i))
+            for i in range(8)
+        ]
+        per_thread = 25
+
+        def hammer(user, venue):
+            for i in range(per_thread):
+                service.check_in(
+                    user.user_id,
+                    venue.venue_id,
+                    venue.location,
+                    timestamp=4_000.0 * (i + 1),
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(users[i], venues[i]))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        by_user = {}
+        for event in recorded:
+            by_user.setdefault(event.user_id, []).append(event)
+        assert len(by_user) == 8
+        for user in users:
+            events = by_user[user.user_id]
+            seqs = [e.seq for e in events]
+            # Delivery order == seq order == commit order, per user.
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+            stored = service.store.checkins_of_user(user.user_id)
+            assert [e.checkin_id for e in events] == [
+                c.checkin_id for c in stored
+            ]

@@ -1,6 +1,5 @@
 """Tests for the injected cheater/power-user personas."""
 
-import pytest
 
 from repro.workload.cheaters import (
     CAUGHT_CHEATER_COUNT,

@@ -4,11 +4,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.lbsn.service import LbsnService
-from repro.workload.population import (
-    Persona,
-    PopulationConfig,
-    PopulationGenerator,
-)
+from repro.workload.population import Persona, PopulationGenerator
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.workload.scenario import build_web_stack, build_world
+from repro.workload.scenario import build_world
 
 
 class TestBuildWorld:

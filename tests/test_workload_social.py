@@ -5,11 +5,7 @@ import pytest
 from repro.errors import ReproError
 from repro.lbsn.service import LbsnService
 from repro.workload.population import PopulationGenerator
-from repro.workload.social import (
-    SocialGraph,
-    SocialGraphConfig,
-    generate_friend_graph,
-)
+from repro.workload.social import SocialGraphConfig, generate_friend_graph
 
 
 @pytest.fixture(scope="module")

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.geo.coordinates import GeoPoint
-from repro.geo.regions import contiguous_us_bbox, in_contiguous_us
+from repro.geo.regions import in_contiguous_us
 from repro.lbsn.service import LbsnService
 from repro.lbsn.specials import mayor_only_fraction, venues_with_specials
 from repro.workload.venues import VenueGenerator, VenueGeneratorConfig

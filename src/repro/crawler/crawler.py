@@ -20,6 +20,7 @@ from repro.crawler.fetcher import PageFetcher
 from repro.crawler.frontier import CrawlMode, IdFrontier
 from repro.crawler.parser import parse_user_page, parse_venue_page
 from repro.errors import CrawlError
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.http import HttpTransport
 from repro.simnet.network import Egress
 
@@ -62,6 +63,7 @@ class MultiThreadedCrawler:
         threads_per_machine: int = 14,
         stop_at: Optional[int] = None,
         abort_after_failures: int = 500,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not machine_egresses:
             raise CrawlError("need at least one crawl machine egress")
@@ -84,6 +86,33 @@ class MultiThreadedCrawler:
         )
         self._consecutive_failures = 0
         self._aborted = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._pages_metric = metrics.counter(
+                "repro_crawler_pages_fetched_total",
+                "Pages the crawler attempted, by crawl mode and outcome.",
+                ("mode", "outcome"),
+            )
+            self._parse_failures_metric = metrics.counter(
+                "repro_crawler_parse_failures_total",
+                "Pages fetched but unparseable, by crawl mode.",
+                ("mode",),
+            ).labels(mode.value)
+            self._thread_pages_metric = metrics.counter(
+                "repro_crawler_thread_pages_total",
+                "Pages attempted per crawl thread (machine.thread label).",
+                ("mode", "thread"),
+            )
+            self._throughput_metric = metrics.gauge(
+                "repro_crawler_pages_per_second",
+                "Fetch throughput of the last completed crawl, by mode.",
+                ("mode",),
+            ).labels(mode.value)
+        else:
+            self._pages_metric = None
+            self._parse_failures_metric = None
+            self._thread_pages_metric = None
+            self._throughput_metric = None
 
     @property
     def aborted(self) -> bool:
@@ -95,10 +124,14 @@ class MultiThreadedCrawler:
         started = time.perf_counter()
         threads: List[threading.Thread] = []
         for machine_index, egress in enumerate(self.machine_egresses):
-            fetcher = PageFetcher(self.transport, egress)
-            for _ in range(self.threads_per_machine):
+            fetcher = PageFetcher(
+                self.transport, egress, metrics=self._metrics
+            )
+            for thread_index in range(self.threads_per_machine):
                 thread = threading.Thread(
-                    target=self._worker, args=(fetcher,), daemon=True
+                    target=self._worker,
+                    args=(fetcher, f"m{machine_index}.t{thread_index}"),
+                    daemon=True,
                 )
                 threads.append(thread)
         for thread in threads:
@@ -106,9 +139,17 @@ class MultiThreadedCrawler:
         for thread in threads:
             thread.join()
         self._stats.wall_seconds = time.perf_counter() - started
+        if self._throughput_metric is not None:
+            self._throughput_metric.set(self._stats.pages_per_second)
         return self._stats
 
-    def _worker(self, fetcher: PageFetcher) -> None:
+    def _worker(self, fetcher: PageFetcher, thread_label: str = "m0.t0") -> None:
+        mode = self.mode.value
+        thread_pages = (
+            self._thread_pages_metric.labels(mode, thread_label)
+            if self._thread_pages_metric is not None
+            else None
+        )
         while True:
             if self._aborted:
                 return
@@ -116,6 +157,8 @@ class MultiThreadedCrawler:
             if profile_id is None:
                 return
             path = self.frontier.url_for(profile_id)
+            if thread_pages is not None:
+                thread_pages.inc()
             try:
                 body = fetcher.fetch(path)
             except CrawlError:
@@ -126,10 +169,14 @@ class MultiThreadedCrawler:
                 with self._lock:
                     self._stats.pages_fetched += 1
                     self._stats.misses += 1
+                if self._pages_metric is not None:
+                    self._pages_metric.labels(mode, "miss").inc()
                 continue
             try:
                 self._store(body)
             except CrawlError:
+                if self._parse_failures_metric is not None:
+                    self._parse_failures_metric.inc()
                 self._record_failure()
                 continue
             self.frontier.report_hit(profile_id)
@@ -137,6 +184,8 @@ class MultiThreadedCrawler:
                 self._stats.pages_fetched += 1
                 self._stats.hits += 1
                 self._consecutive_failures = 0
+            if self._pages_metric is not None:
+                self._pages_metric.labels(mode, "hit").inc()
 
     def _store(self, body: str) -> None:
         if self.mode is CrawlMode.USER:
@@ -153,6 +202,8 @@ class MultiThreadedCrawler:
                 # The site is refusing us (login wall, IP block, sustained
                 # rate limiting): a real crawler would give up too.
                 self._aborted = True
+        if self._pages_metric is not None:
+            self._pages_metric.labels(self.mode.value, "failure").inc()
 
 
 def crawl_full_site(
@@ -161,11 +212,13 @@ def crawl_full_site(
     user_threads_per_machine: int = 14,
     venue_threads_per_machine: int = 5,
     database: Optional[CrawlDatabase] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> tuple:
     """Run the thesis's full two-pass crawl: all users, then all venues.
 
     Returns ``(database, user_stats, venue_stats)`` with the derived
     UserInfo columns (RecentCheckins, TotalMayors) already recomputed.
+    ``metrics`` (optional) instruments both passes and their fetchers.
     """
     database = database or CrawlDatabase()
     user_crawl = MultiThreadedCrawler(
@@ -174,6 +227,7 @@ def crawl_full_site(
         CrawlMode.USER,
         machine_egresses,
         threads_per_machine=user_threads_per_machine,
+        metrics=metrics,
     )
     user_stats = user_crawl.run()
     venue_crawl = MultiThreadedCrawler(
@@ -182,6 +236,7 @@ def crawl_full_site(
         CrawlMode.VENUE,
         machine_egresses,
         threads_per_machine=venue_threads_per_machine,
+        metrics=metrics,
     )
     venue_stats = venue_crawl.run()
     database.recompute_derived()

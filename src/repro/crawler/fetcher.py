@@ -8,9 +8,11 @@ between "page doesn't exist" (a frontier signal) and "fetch failed"
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.errors import CrawlError
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.http import (
     HTTP_NOT_FOUND,
     HTTP_TOO_MANY_REQUESTS,
@@ -21,19 +23,37 @@ from repro.simnet.network import Egress
 
 
 class PageFetcher:
-    """Fetches profile pages through one egress point."""
+    """Fetches profile pages through one egress point.
+
+    With a :class:`~repro.obs.MetricsRegistry` attached, every ``fetch``
+    observes its wall time into ``repro_crawler_fetch_seconds`` and
+    counts 5xx retries in ``repro_crawler_fetch_retries_total``.
+    """
 
     def __init__(
         self,
         transport: HttpTransport,
         egress: Egress,
         max_retries: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_retries < 0:
             raise CrawlError(f"max_retries must be non-negative: {max_retries}")
         self.transport = transport
         self.egress = egress
         self.max_retries = max_retries
+        if metrics is not None:
+            self._fetch_seconds = metrics.histogram(
+                "repro_crawler_fetch_seconds",
+                "Wall time of one page fetch, retries included.",
+            ).child()
+            self._retries_metric = metrics.counter(
+                "repro_crawler_fetch_retries_total",
+                "Fetch retries after 5xx responses.",
+            ).child()
+        else:
+            self._fetch_seconds = None
+            self._retries_metric = None
 
     def fetch(self, path: str) -> Optional[str]:
         """Fetch one page.
@@ -43,10 +63,21 @@ class PageFetcher:
         failing or actively refuses the client (auth walls, rate limits,
         blocks) — the signals the crawl-control defense produces.
         """
+        if self._fetch_seconds is None:
+            return self._fetch(path)
+        started = time.perf_counter()
+        try:
+            return self._fetch(path)
+        finally:
+            self._fetch_seconds.observe(time.perf_counter() - started)
+
+    def _fetch(self, path: str) -> Optional[str]:
         response = self._attempt(path)
         retries = 0
         while response.status >= 500 and retries < self.max_retries:
             retries += 1
+            if self._retries_metric is not None:
+                self._retries_metric.inc()
             response = self._attempt(path)
         if response.status == HTTP_NOT_FOUND:
             return None

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import CrawlError
+from repro.obs.metrics import MetricsRegistry
 
 #: A unit of work: returns True on success, False on failure, and None
 #: when there is no work left (the frontier is exhausted).
@@ -34,6 +35,17 @@ class WorkerStats:
     failed: int = 0
 
 
+def _worker_items_counter(metrics: Optional[MetricsRegistry]):
+    """The ``repro_crawler_worker_items_total{outcome}`` family, or None."""
+    if metrics is None:
+        return None
+    return metrics.counter(
+        "repro_crawler_worker_items_total",
+        "Work items completed by pool/controller threads, by outcome.",
+        ("outcome",),
+    )
+
+
 class AppendixAController:
     """The thesis's thread-per-page launcher, faithfully ported.
 
@@ -43,7 +55,12 @@ class AppendixAController:
     GUI thread-count spinner) is :attr:`desired_threads`.
     """
 
-    def __init__(self, work: WorkItem, desired_threads: int = 14) -> None:
+    def __init__(
+        self,
+        work: WorkItem,
+        desired_threads: int = 14,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if desired_threads < 1:
             raise CrawlError(f"need at least one thread: {desired_threads}")
         self._work = work
@@ -52,6 +69,7 @@ class AppendixAController:
         self._thread_count = 0
         self._running = False
         self.stats = WorkerStats()
+        self._items_metric = _worker_items_counter(metrics)
         self._all_done = threading.Event()
 
     def start(self) -> None:
@@ -110,6 +128,10 @@ class AppendixAController:
                 self.stats.processed += 1
                 if not outcome:
                     self.stats.failed += 1
+                if self._items_metric is not None:
+                    self._items_metric.labels(
+                        "ok" if outcome else "failed"
+                    ).inc()
             relaunch = self._running
             if not self._running and self._thread_count == 0:
                 self._all_done.set()
@@ -120,12 +142,18 @@ class AppendixAController:
 class WorkerPool:
     """Long-lived worker threads draining the same :data:`WorkItem`."""
 
-    def __init__(self, work: WorkItem, threads: int = 14) -> None:
+    def __init__(
+        self,
+        work: WorkItem,
+        threads: int = 14,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if threads < 1:
             raise CrawlError(f"need at least one thread: {threads}")
         self._work = work
         self.threads = threads
         self.stats = WorkerStats()
+        self._items_metric = _worker_items_counter(metrics)
         self._mutex = threading.Lock()
         self._pool: list = []
 
@@ -153,3 +181,5 @@ class WorkerPool:
                 self.stats.processed += 1
                 if not outcome:
                     self.stats.failed += 1
+            if self._items_metric is not None:
+                self._items_metric.labels("ok" if outcome else "failed").inc()

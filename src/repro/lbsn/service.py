@@ -20,6 +20,7 @@ identifies.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
@@ -40,6 +41,8 @@ from repro.lbsn.models import (
 from repro.lbsn.rewards import BadgeEngine, PointsPolicy
 from repro.lbsn.specials import special_unlocked_by
 from repro.lbsn.store import DataStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.simnet.clock import SimClock, day_index
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stream ← lbsn)
@@ -87,6 +90,39 @@ class ServiceCounters:
     flagged: int = 0
     rejected: int = 0
     flagged_by_rule: Dict[str, int] = field(default_factory=dict)
+    #: Exported metric families, attached by :meth:`bind_metrics`.
+    _status_children: Optional[Dict[CheckInStatus, object]] = field(
+        default=None, repr=False, compare=False
+    )
+    _denials_metric: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> "ServiceCounters":
+        """Mirror every recorded outcome into exported counters.
+
+        ``repro_lbsn_checkins_total{status}`` counts outcomes;
+        ``repro_lbsn_checkin_denials_total{rule}`` counts the cheater-code
+        rule (or GPS verification) behind every flag/reject.  The three
+        status children are pre-bound here so the per-check-in hot path
+        is a dict lookup plus one counter increment, not a ``labels()``
+        resolution (the E20 overhead bench keeps this path honest).
+        """
+        checkins_metric = metrics.counter(
+            "repro_lbsn_checkins_total",
+            "Check-in attempts processed, by pipeline outcome.",
+            ("status",),
+        )
+        self._status_children = {
+            status: checkins_metric.labels(status.value)
+            for status in CheckInStatus
+        }
+        self._denials_metric = metrics.counter(
+            "repro_lbsn_checkin_denials_total",
+            "Flagged or rejected check-ins, by denying rule.",
+            ("rule",),
+        )
+        return self
 
     def record(self, status: CheckInStatus, rule: Optional[str]) -> None:
         """Tally one check-in outcome."""
@@ -98,6 +134,10 @@ class ServiceCounters:
             self.rejected += 1
         if rule:
             self.flagged_by_rule[rule] = self.flagged_by_rule.get(rule, 0) + 1
+        if self._status_children is not None:
+            self._status_children[status].inc()
+            if rule:
+                self._denials_metric.labels(rule).inc()
 
 
 class LbsnService:
@@ -111,9 +151,10 @@ class LbsnService:
         points_policy: Optional[PointsPolicy] = None,
         config: Optional[ServiceConfig] = None,
         event_bus: Optional["EventBus"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.clock = clock or SimClock()
-        self.store = DataStore()
+        self.store = DataStore(metrics=metrics)
         self.cheater_code = cheater_code or CheaterCode()
         self.badges = badge_engine or BadgeEngine()
         self.points = points_policy or PointsPolicy()
@@ -123,6 +164,26 @@ class LbsnService:
         #: set, the service publishes one event per state transition at
         #: the end of the pipeline, sequenced in commit order.
         self.event_bus = event_bus
+        #: Optional observability registry (see :mod:`repro.obs`).  When
+        #: set, the pipeline exports outcome/denial counters, the store
+        #: exports entity gauges and lock timings, and :attr:`tracer`
+        #: times every commit under the ``checkin.commit`` span.
+        self.metrics = metrics
+        self.tracer: Optional[Tracer] = None
+        if metrics is not None:
+            self.counters.bind_metrics(metrics)
+            self.tracer = Tracer(metrics)
+            self._users_registered = metrics.counter(
+                "repro_lbsn_users_registered_total",
+                "Accounts created through the service.",
+            )
+            self._venues_created = metrics.counter(
+                "repro_lbsn_venues_created_total",
+                "Venues created through the service.",
+            )
+        else:
+            self._users_registered = None
+            self._venues_created = None
         #: venue-ids currently mayored, per user.
         self._mayor_venues: Dict[int, Set[int]] = {}
         self._lock = threading.RLock()
@@ -147,6 +208,8 @@ class LbsnService:
                 created_at=self.clock.now(),
             )
             self.store.add_user(user)
+            if self._users_registered is not None:
+                self._users_registered.inc()
             if self.event_bus is not None:
                 self.event_bus.publish(
                     _stream_events().UserRegistered(
@@ -182,6 +245,8 @@ class LbsnService:
                 special=special,
             )
             self.store.add_venue(venue)
+            if self._venues_created is not None:
+                self._venues_created.inc()
             if self.event_bus is not None:
                 self.event_bus.publish(
                     _stream_events().VenueCreated(
@@ -223,8 +288,35 @@ class LbsnService:
         """Process one check-in attempt end to end.
 
         ``reported_location`` is whatever the client sent — the server has
-        no way to tell a genuine GPS fix from a spoofed one.
+        no way to tell a genuine GPS fix from a spoofed one.  With a
+        metrics registry attached, the whole pipeline runs under the
+        ``checkin.commit`` tracing span.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._check_in(
+                user_id, venue_id, reported_location, timestamp
+            )
+        # Hand-timed rather than `with tracer.span(...)`: this is the
+        # hottest traced region, and Tracer.record skips the per-call
+        # context-manager allocation (see the E20 overhead bench).
+        start = time.perf_counter()
+        try:
+            return self._check_in(
+                user_id, venue_id, reported_location, timestamp
+            )
+        finally:
+            tracer.record(
+                "checkin.commit", time.perf_counter() - start
+            )
+
+    def _check_in(
+        self,
+        user_id: int,
+        venue_id: int,
+        reported_location: GeoPoint,
+        timestamp: Optional[float] = None,
+    ) -> CheckInResult:
         now = self.clock.now() if timestamp is None else timestamp
         with self._lock:
             user = self.store.require_user(user_id)

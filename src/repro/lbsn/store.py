@@ -9,6 +9,7 @@ operations under :meth:`locked`.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -16,14 +17,47 @@ from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
 from repro.geo.grid import SpatialGrid
 from repro.lbsn.models import CheckIn, User, Venue
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.ids import SequentialIdAllocator
 
 
 class DataStore:
-    """Users, venues, check-ins, and the spatial index over venues."""
+    """Users, venues, check-ins, and the spatial index over venues.
 
-    def __init__(self) -> None:
+    Pass a :class:`~repro.obs.MetricsRegistry` to export entity counts as
+    gauges (``repro_store_users`` / ``_venues`` / ``_checkins``) and lock
+    hold times (``repro_store_lock_hold_seconds``) for the composite
+    sections — :meth:`locked` and :meth:`add_checkin_committed`, the two
+    places the lock is held across multi-step work.  Fine-grained getters
+    are deliberately not timed: their hold time is one dict lookup, and
+    per-call timers there would cost more than the work they measure.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.RLock()
+        self._metrics = metrics
+        if metrics is not None:
+            # Bind the anonymous children directly: these record on every
+            # row insert, so each saved indirection matters (E20 bench).
+            self._gauge_users = metrics.gauge(
+                "repro_store_users", "Users resident in the datastore."
+            ).child()
+            self._gauge_venues = metrics.gauge(
+                "repro_store_venues", "Venues resident in the datastore."
+            ).child()
+            self._gauge_checkins = metrics.gauge(
+                "repro_store_checkins",
+                "Check-in rows resident in the datastore.",
+            ).child()
+            self._lock_hold = metrics.histogram(
+                "repro_store_lock_hold_seconds",
+                "Store-lock hold time across composite sections.",
+            ).child()
+        else:
+            self._gauge_users = None
+            self._gauge_venues = None
+            self._gauge_checkins = None
+            self._lock_hold = None
         self._users: Dict[int, User] = {}
         self._venues: Dict[int, Venue] = {}
         self._checkins: Dict[int, CheckIn] = {}
@@ -41,8 +75,16 @@ class DataStore:
     @contextmanager
     def locked(self) -> Iterator[None]:
         """Hold the store lock across a multi-step operation."""
+        if self._lock_hold is None:
+            with self._lock:
+                yield
+            return
         with self._lock:
-            yield
+            acquired = time.perf_counter()
+            try:
+                yield
+            finally:
+                self._lock_hold.observe(time.perf_counter() - acquired)
 
     # Users ------------------------------------------------------------
 
@@ -57,6 +99,8 @@ class DataStore:
                 self._usernames[user.username] = user.user_id
             self._users[user.user_id] = user
             self._checkins_by_user.setdefault(user.user_id, [])
+            if self._gauge_users is not None:
+                self._gauge_users.inc()
             return user
 
     def get_user(self, user_id: int) -> Optional[User]:
@@ -97,6 +141,8 @@ class DataStore:
             self._venues[venue.venue_id] = venue
             self._checkins_by_venue.setdefault(venue.venue_id, [])
             self._venue_grid.insert(venue.venue_id, venue.location)
+            if self._gauge_venues is not None:
+                self._gauge_venues.inc()
             return venue
 
     def get_venue(self, venue_id: int) -> Optional[Venue]:
@@ -155,6 +201,8 @@ class DataStore:
             self._checkins_by_venue.setdefault(checkin.venue_id, []).append(
                 checkin
             )
+            if self._gauge_checkins is not None:
+                self._gauge_checkins.inc()
             return checkin
 
     def allocate_event_seq(self) -> int:
@@ -179,9 +227,14 @@ class DataStore:
         numbers are strictly increasing in exactly list-append order.
         """
         with self._lock:
+            started = (
+                time.perf_counter() if self._lock_hold is not None else 0.0
+            )
             self.add_checkin(checkin)
             seq = self._event_seq
             self._event_seq += 1
+            if self._lock_hold is not None:
+                self._lock_hold.observe(time.perf_counter() - started)
             return checkin, seq
 
     def event_seq_watermark(self) -> int:

@@ -15,6 +15,12 @@ Two defense hooks are built in:
 * ``visitor_obfuscator`` — §5.2 suggests hashing user IDs in the recent
   check-in list; when installed, the rendered visitor references are opaque
   tokens instead of crawlable ``/user/<id>`` links.
+
+One operational route rides along: when the service (or the constructor)
+carries a :class:`~repro.obs.MetricsRegistry`, ``GET /metrics`` serves the
+registry in Prometheus text exposition format, so the same simulated HTTP
+surface the crawler attacks also exposes the telemetry an operator would
+scrape.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Callable, Optional
 
 from repro.lbsn.models import User, Venue
 from repro.lbsn.service import LbsnService
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.http import (
     HTTP_NOT_FOUND,
     HttpRequest,
@@ -32,6 +39,9 @@ from repro.simnet.http import (
 )
 
 VisitorObfuscator = Callable[[int], str]
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 
 class LbsnWebServer:
@@ -42,17 +52,28 @@ class LbsnWebServer:
         service: LbsnService,
         show_whos_been_here: bool = True,
         visitor_obfuscator: Optional[VisitorObfuscator] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.service = service
         self.show_whos_been_here = show_whos_been_here
         self.visitor_obfuscator = visitor_obfuscator
+        #: Registry served at ``/metrics``; defaults to the service's own.
+        self.metrics = metrics if metrics is not None else service.metrics
 
     def install_routes(self, router: Router) -> None:
-        """Attach the site's routes to a router."""
+        """Attach the site's routes (and ``/metrics`` when instrumented)."""
         router.add("GET", r"/user/(?P<ident>[A-Za-z0-9_\-]+)", self._user_page)
         router.add("GET", r"/venue/(?P<venue_id>\d+)", self._venue_page)
+        if self.metrics is not None:
+            router.add("GET", r"/metrics", self._metrics_page)
 
     # Page handlers --------------------------------------------------------
+
+    def _metrics_page(self, request: HttpRequest, match) -> HttpResponse:
+        return HttpResponse(
+            body=self.metrics.render_text(),
+            headers={"Content-Type": METRICS_CONTENT_TYPE},
+        )
 
     def _user_page(self, request: HttpRequest, match) -> HttpResponse:
         ident = match.group("ident")

@@ -1,0 +1,43 @@
+"""Observability substrate: metrics registry + span tracer.
+
+``repro.obs`` sits at the bottom of the layer stack next to ``repro.geo``
+and ``repro.simnet`` — standard library only, no upward imports — and
+every higher layer takes an optional :class:`MetricsRegistry` the way the
+service takes an optional ``event_bus``:
+
+* :mod:`repro.lbsn` — check-in outcomes per status/rule, commit latency,
+  entity-count gauges, store lock hold time.
+* :mod:`repro.stream` — bus publish/deliver/drop accounting, queue depth,
+  detector scoring volume, live suspect counts.
+* :mod:`repro.crawler` — pages fetched per outcome, fetch latency,
+  retries, parse failures, per-thread throughput.
+
+Expose a snapshot with :meth:`MetricsRegistry.render_text` (Prometheus
+text format), the ``/metrics`` route on the simulated web server, or the
+``repro metrics`` CLI subcommand.  ``docs/OBSERVABILITY.md`` catalogues
+every metric name; a test holds that catalogue and the code in parity.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import SPAN_HISTOGRAM_NAME, SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "default_registry",
+    "SPAN_HISTOGRAM_NAME",
+    "SpanRecord",
+    "Tracer",
+]

@@ -5,6 +5,19 @@ geolocates the client's IP, and §5.2's crawl-control discussion reasons about
 blocking IPs behind NATs, proxies, and Tor.  This module models just enough:
 every client egress has an :class:`IpAddress`, an egress *kind* (direct, NAT,
 proxy, Tor exit), a registered geolocation, and a latency distribution.
+
+Latency calibration: ``Egress.base_latency_s`` defaults to 20 ms one-way
+(typical 2010 broadband to a nearby datacenter), doubled into an RTT and
+scaled by ``LatencyModel.KIND_MULTIPLIER`` — direct ×1.0, NAT ×1.1,
+public proxy ×6.0, Tor ×25.0 — with ±20% uniform jitter.  The proxy and
+Tor multipliers are not measured in the thesis; they encode its
+*qualitative* §5.2 claims ("crawling behind a public proxy cannot
+achieve enough performance", Tor "suffers from limited performance") at
+magnitudes consistent with contemporaneous Tor performance studies, and
+the E11 crawl-control bench turns them into the reproduced throughput
+collapse.  Crawler throughput experiments (E2) therefore reproduce the
+*scaling shape* — throughput ∝ threads until transport saturation — not
+2010 hardware's absolute pages/hour.
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.stream.events import StreamEvent
 
 EventCallback = Callable[[StreamEvent], None]
@@ -72,6 +73,35 @@ class SubscriberStats:
         return self.delivered + self.dropped
 
 
+class _SubscriberMetrics:
+    """Per-subscriber exported counters (mirrors :class:`SubscriberStats`)."""
+
+    __slots__ = ("delivered", "dropped", "errors", "queue_depth")
+
+    def __init__(self, metrics: MetricsRegistry, name: str) -> None:
+        self.delivered = metrics.counter(
+            "repro_bus_delivered_total",
+            "Events whose subscriber callback completed, by subscriber.",
+            ("subscriber",),
+        ).labels(name)
+        self.dropped = metrics.counter(
+            "repro_bus_dropped_total",
+            "Events lost to DROP_OLDEST eviction or REJECT refusal, "
+            "by subscriber.",
+            ("subscriber",),
+        ).labels(name)
+        self.errors = metrics.counter(
+            "repro_bus_subscriber_errors_total",
+            "Subscriber callback invocations that raised, by subscriber.",
+            ("subscriber",),
+        ).labels(name)
+        self.queue_depth = metrics.gauge(
+            "repro_bus_queue_depth",
+            "Events currently queued for a background subscriber.",
+            ("subscriber",),
+        ).labels(name)
+
+
 class _Subscription:
     """One subscriber: callback + (for background mode) queue and worker."""
 
@@ -82,6 +112,7 @@ class _Subscription:
         background: bool,
         queue_size: int,
         policy: BackpressurePolicy,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.name = name
         self.callback = callback
@@ -89,6 +120,9 @@ class _Subscription:
         self.queue_size = queue_size
         self.policy = policy
         self.stats = SubscriberStats()
+        self.metrics = (
+            _SubscriberMetrics(metrics, name) if metrics is not None else None
+        )
         self.closed = False
         if background:
             self._queue: deque = deque()
@@ -112,19 +146,26 @@ class _Subscription:
                 while len(self._queue) >= self.queue_size and not self.closed:
                     self._cond.wait()
                 if self.closed:
-                    self.stats.dropped += 1
+                    self._count_dropped(1)
                     return
             elif len(self._queue) >= self.queue_size:
                 if self.policy is BackpressurePolicy.DROP_OLDEST:
                     self._queue.popleft()
-                    self.stats.dropped += 1
+                    self._count_dropped(1)
                 else:  # REJECT
-                    self.stats.dropped += 1
+                    self._count_dropped(1)
                     return
             self._queue.append(event)
             if len(self._queue) > self.stats.max_queued:
                 self.stats.max_queued = len(self._queue)
+            if self.metrics is not None:
+                self.metrics.queue_depth.set(len(self._queue))
             self._cond.notify_all()
+
+    def _count_dropped(self, count: int) -> None:
+        self.stats.dropped += count
+        if self.metrics is not None:
+            self.metrics.dropped.inc(count)
 
     # Consumer side ----------------------------------------------------
 
@@ -137,6 +178,8 @@ class _Subscription:
                     self._cond.notify_all()
                     return
                 event = self._queue.popleft()
+                if self.metrics is not None:
+                    self.metrics.queue_depth.set(len(self._queue))
                 self._cond.notify_all()
             self._invoke(event)
 
@@ -145,7 +188,11 @@ class _Subscription:
             self.callback(event)
         except Exception:  # noqa: BLE001 - subscriber faults must not
             self.stats.errors += 1  # poison the check-in pipeline.
+            if self.metrics is not None:
+                self.metrics.errors.inc()
         self.stats.delivered += 1
+        if self.metrics is not None:
+            self.metrics.delivered.inc()
 
     # Lifecycle --------------------------------------------------------
 
@@ -166,8 +213,10 @@ class _Subscription:
         with self._cond:
             self.closed = True
             if not drain:
-                self.stats.dropped += len(self._queue)
+                self._count_dropped(len(self._queue))
                 self._queue.clear()
+                if self.metrics is not None:
+                    self.metrics.queue_depth.set(0)
             self._cond.notify_all()
         self._worker.join(timeout=5.0)
 
@@ -179,9 +228,14 @@ class EventBus:
     subscriber list is an immutable tuple swapped under a lock, so the hot
     path reads one attribute and loops — no lock acquisition per event
     beyond the (cheap) sequence stamp.
+
+    Pass a :class:`~repro.obs.MetricsRegistry` to export the publish
+    counter plus per-subscriber delivery/drop/error counters and a
+    queue-depth gauge (labeled ``subscriber=<name>``), mirroring the
+    in-process :class:`SubscriberStats` for scraping.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._subs: Tuple[_Subscription, ...] = ()
         self._by_name: Dict[str, _Subscription] = {}
         self._admin = threading.Lock()
@@ -189,6 +243,14 @@ class EventBus:
         self._next_seq = 0
         self._published = 0
         self._closed = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._published_metric = metrics.counter(
+                "repro_bus_published_total",
+                "Events published onto the bus.",
+            )
+        else:
+            self._published_metric = None
 
     # Subscription management -------------------------------------------
 
@@ -209,7 +271,14 @@ class EventBus:
                 raise BusError("bus is closed")
             if name in self._by_name:
                 raise BusError(f"duplicate subscriber name: {name!r}")
-            sub = _Subscription(name, callback, background, queue_size, policy)
+            sub = _Subscription(
+                name,
+                callback,
+                background,
+                queue_size,
+                policy,
+                metrics=self._metrics,
+            )
             self._by_name[name] = sub
             self._subs = self._subs + (sub,)
             return sub.stats
@@ -251,6 +320,8 @@ class EventBus:
             elif event.seq >= self._next_seq:
                 self._next_seq = event.seq + 1
             self._published += 1
+        if self._published_metric is not None:
+            self._published_metric.inc()
         for sub in self._subs:
             sub.offer(event)
         return event

@@ -38,11 +38,24 @@ from typing import Deque, Generic, List, Optional, Tuple, TypeVar
 from repro.analysis.patterns import CITY_CLUSTER_RADIUS_M
 from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import haversine_m
+from repro.obs.metrics import MetricsRegistry
 from repro.stream.events import (
     CheckInAccepted,
     CheckInFlagged,
     StreamEvent,
 )
+
+
+def _scored_counter(metrics: Optional[MetricsRegistry], detector: str):
+    """The ``repro_stream_events_scored_total{detector=...}`` child."""
+    if metrics is None:
+        return None
+    return metrics.counter(
+        "repro_stream_events_scored_total",
+        "Check-in events folded into streaming detector state, "
+        "by detector.",
+        ("detector",),
+    ).labels(detector)
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -147,7 +160,11 @@ class ActivityRateDetector:
     which the Fig 4.1 recent/total ratio falls out incrementally.
     """
 
-    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StreamDetectorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or StreamDetectorConfig()
         self.users: LruStateMap[int, _ActivityState] = LruStateMap(
             self.config.max_users
@@ -157,6 +174,7 @@ class ActivityRateDetector:
             self.config.max_venues, on_evict=self._venue_evicted
         )
         self.events_seen = 0
+        self._scored = _scored_counter(metrics, "activity")
 
     def _venue_evicted(self, venue_id: int, visitors: List[int]) -> None:
         for user_id in visitors:
@@ -168,6 +186,8 @@ class ActivityRateDetector:
         """Consume one bus event (non-check-in events are ignored)."""
         if isinstance(event, CheckInAccepted):
             self.events_seen += 1
+            if self._scored is not None:
+                self._scored.inc()
             state = self.users.touch(event.user_id, _ActivityState)
             state.total_checkins += 1
             state.valid_checkins += 1
@@ -175,6 +195,8 @@ class ActivityRateDetector:
             self._update_recent(event.venue_id, event.user_id)
         elif isinstance(event, CheckInFlagged):
             self.events_seen += 1
+            if self._scored is not None:
+                self._scored.inc()
             state = self.users.touch(event.user_id, _ActivityState)
             state.total_checkins += 1
 
@@ -251,23 +273,32 @@ class RewardRateDetector:
     offline factor exactly reproducible online.
     """
 
-    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StreamDetectorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or StreamDetectorConfig()
         self.users: LruStateMap[int, _RewardState] = LruStateMap(
             self.config.max_users
         )
         self.events_seen = 0
+        self._scored = _scored_counter(metrics, "reward")
 
     def on_event(self, event: StreamEvent) -> None:
         """Consume one bus event (non-check-in events are ignored)."""
         if isinstance(event, CheckInAccepted):
             self.events_seen += 1
+            if self._scored is not None:
+                self._scored.inc()
             state = self.users.touch(event.user_id, _RewardState)
             state.total_checkins += 1
             state.badge_count += event.new_badge_count
             state.points += event.points
         elif isinstance(event, CheckInFlagged):
             self.events_seen += 1
+            if self._scored is not None:
+                self._scored.inc()
             state = self.users.touch(event.user_id, _RewardState)
             state.total_checkins += 1
 
@@ -329,18 +360,25 @@ class GeoDispersionDetector:
     applies to the crawled check-in map, evaluated point-by-point.
     """
 
-    def __init__(self, config: Optional[StreamDetectorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StreamDetectorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or StreamDetectorConfig()
         self.users: LruStateMap[int, _GeoState] = LruStateMap(
             self.config.max_users
         )
         self.events_seen = 0
+        self._scored = _scored_counter(metrics, "geo")
 
     def on_event(self, event: StreamEvent) -> None:
         """Consume one bus event (only accepted check-ins map a point)."""
         if not isinstance(event, CheckInAccepted):
             return
         self.events_seen += 1
+        if self._scored is not None:
+            self._scored.inc()
         state = self.users.touch(event.user_id, _GeoState)
         point = event.venue_location
         state.point_count += 1

@@ -21,6 +21,7 @@ import threading
 from typing import Dict, List, Optional
 
 from repro.analysis.detection import DetectorConfig, SuspicionReport
+from repro.obs.metrics import MetricsRegistry
 from repro.stream.bus import BackpressurePolicy, EventBus
 from repro.stream.detectors import (
     ActivityRateDetector,
@@ -42,22 +43,49 @@ class SuspicionLedger:
         online/offline parity the E19 bench measures.
     stream_config:
         Memory bounds and window sizes for the incremental detectors.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  The ledger exports
+        how many check-ins it has scored
+        (``repro_ledger_checkins_scored_total``), how many times a user
+        newly crossed the reporting bar
+        (``repro_ledger_flags_raised_total``), and the current suspect
+        count (``repro_ledger_suspects``); the three detectors export
+        their per-detector scoring volume
+        (``repro_stream_events_scored_total{detector=...}``).
     """
 
     def __init__(
         self,
         config: Optional[DetectorConfig] = None,
         stream_config: Optional[StreamDetectorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or DetectorConfig()
         self.stream_config = stream_config or StreamDetectorConfig()
-        self.activity = ActivityRateDetector(self.stream_config)
-        self.rewards = RewardRateDetector(self.stream_config)
-        self.geography = GeoDispersionDetector(self.stream_config)
+        self.activity = ActivityRateDetector(self.stream_config, metrics)
+        self.rewards = RewardRateDetector(self.stream_config, metrics)
+        self.geography = GeoDispersionDetector(self.stream_config, metrics)
         self._suspects: Dict[int, SuspicionReport] = {}
         self._lock = threading.Lock()
         self.events_processed = 0
         self.last_seq = -1
+        if metrics is not None:
+            self._scored_metric = metrics.counter(
+                "repro_ledger_checkins_scored_total",
+                "Check-in events rescored by the suspicion ledger.",
+            )
+            self._flags_metric = metrics.counter(
+                "repro_ledger_flags_raised_total",
+                "Times a user newly crossed the ledger's reporting bar.",
+            )
+            self._suspects_metric = metrics.gauge(
+                "repro_ledger_suspects",
+                "Users currently over the ledger's reporting bar.",
+            )
+        else:
+            self._scored_metric = None
+            self._flags_metric = None
+            self._suspects_metric = None
 
     # Event intake -------------------------------------------------------
 
@@ -72,6 +100,8 @@ class SuspicionLedger:
                 if event.seq > self.last_seq:
                     self.last_seq = event.seq
                 self._rescore(event.user_id)
+            if self._scored_metric is not None:
+                self._scored_metric.inc()
 
     def attach(
         self,
@@ -127,9 +157,16 @@ class SuspicionLedger:
     def _rescore(self, user_id: int) -> None:
         report = self.score_user(user_id)
         if self._reportable(report):
+            if (
+                self._flags_metric is not None
+                and user_id not in self._suspects
+            ):
+                self._flags_metric.inc()
             self._suspects[user_id] = report
         else:
             self._suspects.pop(user_id, None)
+        if self._suspects_metric is not None:
+            self._suspects_metric.set(len(self._suspects))
 
     # Read side ----------------------------------------------------------
     #

@@ -10,6 +10,27 @@ dynamics included).
 Normal users are written to *not* trip the cheater code: their check-ins
 keep a minimum spacing, stay within their home metro, and travel happens in
 contiguous multi-day trips with realistic gaps before and after.
+
+Calibration constants, anchored to the thesis timeline and the §2.3
+rules the honest population must clear:
+
+* :data:`DEFAULT_HORIZON_DAYS` = 510 — the simulated service lifetime.
+  Foursquare launched in March 2009 and the crawl ran in mid-2010
+  (§3.2), roughly 510 days later; spreading each honest history over
+  this window is what gives the Fig 4.1 recent-vs-total curve its
+  shape, since recent-visitor lists retain only a venue's latest
+  visitors.
+* :data:`MIN_EVENT_GAP_S` = 30 min — the floor between one honest
+  user's consecutive check-ins.  Combined with same-metro distances
+  this clears every §2.3 trigger: far above the 1-minute spacing of
+  the rapid-fire rule, and metro-scale hops at ≥30 min stay well under
+  the super-human-speed ceiling.  The 1-hour same-venue rule is
+  handled separately — the event synthesiser never revisits a venue
+  inside an hour.
+* :data:`TRIP_EDGE_BUFFER_S` = 24 h — dead air around each multi-day
+  trip so the home→destination jump implies sub-airliner speed;
+  without it honest travelers would land in the E15 threshold
+  ablation's false-positive bucket.
 """
 
 from __future__ import annotations

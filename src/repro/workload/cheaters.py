@@ -15,6 +15,16 @@ so these personas are injected at fixed counts regardless of world scale:
   within a year, landing in the recent-visitor lists of many venues.
 * **1 mayor farmer** — §3.4's user with 865 mayorships from only 1265
   check-ins, harvested from small-town venues nobody else visits.
+
+The paper's literal figures are pinned as constants rather than derived,
+because they are *individually reported* numbers, not distributions:
+:data:`POWER_USER_COUNT` (6) + :data:`CAUGHT_CHEATER_COUNT` (5) make up
+§4.2's "11 users have checked in at least 5,000 times" split by whether
+their mayorship lists survived; :data:`TOP_CHEATER_CHECKINS` (12,500)
+is the global check-in leader's total; and
+:data:`FARMER_TARGET_MAYORSHIPS` / :data:`FARMER_TOTAL_CHECKINS`
+(865 / 1,265) reproduce §3.4's mayor farmer exactly — E8 and E9 assert
+these same constants back out of the finished world.
 """
 
 from __future__ import annotations

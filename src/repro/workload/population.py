@@ -14,6 +14,19 @@ Anchors taken from the text, reproduced as *proportions* at any scale:
   "20 million check-ins" is an explicit lower bound ("the actual number
   should be higher since only recent check-ins were ... crawled"), so the
   generator targets the tail proportions rather than the raw mean.
+
+The anchors live in module constants so the calibration is auditable in
+one place and E8 can assert against the same numbers the generator uses:
+
+* :data:`FULL_SCALE_USERS` = 1,890,000 — the crawled corpus size;
+  ``scale`` multiplies it (the default bench world is 1:500).
+* :data:`ZERO_CHECKIN_FRACTION` = 0.363 and
+  :data:`LIGHT_CHECKIN_FRACTION` = 0.204 — §4.2's "36.3% of the users
+  have never checked in" and "20.4% ... one to five"; together they
+  make the >50%-under-six-check-ins claim arithmetic, not tuning.
+* :data:`USERNAME_FRACTION` = 0.261 — §3.2's 26.1% of profiles carry a
+  username; the remainder are reachable only through numeric-ID URLs,
+  which is why the crawler enumerates IDs rather than names.
 """
 
 from __future__ import annotations

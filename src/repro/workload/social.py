@@ -6,6 +6,15 @@ information from public social data.  The generator builds a
 homophily-biased friendship graph — most edges inside a home city, a few
 across — which the privacy analysis then tries to *recover* from
 co-location observations alone.
+
+The thesis publishes no friend-graph statistics (profiles only *show*
+the list), so :class:`SocialGraphConfig` is calibrated for plausibility
+rather than to printed numbers — and that difference is deliberately
+visible in the defaults: ``mean_degree`` = 4.0 friends per active user,
+``same_city_bias`` = 0.85 (the homophily that makes co-location a
+usable friendship signal in E13), and ``inactive_degree_factor`` = 0.15
+(§4.2's 36.3% never-checked-in accounts are mostly abandoned sign-ups,
+so they carry proportionally few edges).
 """
 
 from __future__ import annotations

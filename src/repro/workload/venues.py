@@ -10,6 +10,25 @@ analysis depends on:
 * National chains (Starbucks first among them, for the Fig 3.4 query
   ``LIKE "%Starbucks%"``) get branches in proportion to city weight.
 * A fraction of venues carry specials, >90% of them mayor-only (§2.1).
+
+Calibration, and where each number comes from:
+
+* :data:`CHAINS` — national chains with Starbucks first (weight 0.30):
+  Fig 3.4 is a map of Starbucks branches recovered from the crawl, so
+  the coffee chain must be the most numerous and continentally spread.
+* ``VenueGeneratorConfig.city_fraction`` = 0.70 vs the uniform
+  small-town remainder — enough metro clustering for mayorship
+  contention (§2.1) while the 30% tail fills out the US silhouette
+  that makes the Fig 3.4 scatter legible.
+* ``special_fraction`` = 0.03 with ``mayor_only_share`` = 0.92 —
+  §2.1/§3.4: specials are rare and "more than 90%" are mayor-only,
+  which is precisely why mayorship farming pays (E9 counts ~1000
+  specials whose venue has no mayor yet).
+* ``alaska_fraction`` / ``hawaii_fraction`` = 0.004 each and
+  ``europe_fraction`` = 0.02 — remote venues exist so the Fig 4.3 mega
+  cheater has Alaska and Europe to "visit"; they are kept tiny so they
+  do not distort the contiguous-US geography the E7 city-count
+  classifier depends on.
 """
 
 from __future__ import annotations

@@ -92,3 +92,37 @@ class TestCommands:
         assert len(written) >= 5
         header = written[0].read_text().splitlines()[0]
         assert "," in header
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+
+
+class TestMetricsCommand:
+    def test_metrics_snapshot_spans_all_three_layers(self, capsys):
+        """One run must export lbsn, stream, and crawler counters."""
+        assert main(["metrics"] + SMALL) == 0
+        out = capsys.readouterr().out
+        # Service pipeline.
+        assert "repro_lbsn_checkins_total" in out
+        assert "repro_span_seconds_bucket" in out
+        # Stream pipeline.
+        assert "repro_bus_published_total" in out
+        assert "repro_ledger_checkins_scored_total" in out
+        # Crawler.
+        assert "repro_crawler_pages_fetched_total" in out
+        assert "repro_crawler_worker_items_total" in out
+        # It is valid Prometheus text exposition.
+        assert "# HELP repro_lbsn_checkins_total" in out
+        assert "# TYPE repro_lbsn_checkins_total counter" in out
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.slow_spans == 5

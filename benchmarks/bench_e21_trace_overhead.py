@@ -1,0 +1,210 @@
+"""E21 (extension) — the trace + structured-log tax on the check-in path.
+
+E20 priced the metrics layer; this experiment prices the *rest* of the
+observability stack added on top of it: per-check-in
+:class:`~repro.obs.context.TraceContext` minting, contextvar propagation,
+structured ``checkin`` / ``store.commit`` log records into the
+:class:`~repro.obs.log.LogHub` ring, and trace-id stamping on every
+published stream event.
+
+Both sides of the comparison carry a :class:`MetricsRegistry`, so the
+measured delta is purely the logging + tracing increment — the honest
+number an operator weighs when turning on the flight recorder in
+production.  The skeleton is E20's (interleaved rounds, GC paused over
+the timed region), but the increment under test is single-digit
+microseconds per check-in — an order of magnitude below the scheduler
+noise of a shared single-vCPU runner — so the estimator is sturdier:
+
+* Each round runs in **ABBA order** (base, traced, traced, base), so
+  every traced run has a temporally adjacent base run.
+* Every run is timed in **sectors** (batches of consecutive check-ins),
+  and the overhead is the **median over per-sector adjacent-pair
+  ratios** ``traced[k] / base[k]``.  The two failure modes of a shared
+  VM are both neutralised: *sustained* slowdowns (host frequency /
+  steal periods lasting seconds) are multiplicative and cancel inside
+  an adjacent pair, while *spikes* (a preemption landing on one ~25 ms
+  sector) poison single ratios that the median discards.  (Sector-wise
+  pairing is essential: per-check-in cost grows with history —
+  mayorship and badge scans — so a sector is only comparable to the
+  *same* sector of the paired run.)
+* Only **steady-state sectors** (the second half of each run) enter the
+  median.  The first sectors run against near-empty venue history, so
+  their check-ins are artificially cheap — a denominator no live
+  service has.  By mid-run every venue carries a realistic 60-day
+  mayorship window and the per-check-in cost has flattened; that is the
+  regime an operator's 5% budget refers to.
+* Acceptance bar: **< 5% median overhead**.
+
+Environment knobs (CI smoke mode uses the first and last):
+
+* ``REPRO_E21_CHECKINS`` — check-ins per round (default 4000, matching
+  E20 so the per-check-in baseline carries the same mayorship/badge
+  history cost — a shorter run would *flatter the numerator* by
+  cheapening the denominator).
+* ``REPRO_E21_ROUNDS`` — ABBA rounds, i.e. 2 runs per side per round
+  (default 8 → 16 runs per side, 256 sector pairs).
+* ``REPRO_E21_MAX_OVERHEAD`` — acceptance bar (default 0.05).  Shared CI
+  runners are noisy; the smoke job loosens this rather than asserting a
+  tight bound on unreliable hardware.
+"""
+
+import gc
+import os
+import statistics
+import time
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.obs import LogHub, MetricsRegistry
+
+CHECKINS = int(os.environ.get("REPRO_E21_CHECKINS", "4000"))
+ROUNDS = int(os.environ.get("REPRO_E21_ROUNDS", "8"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_E21_MAX_OVERHEAD", "0.05"))
+
+#: Check-ins per timed sector (~25 ms each at seed throughput).
+SECTOR = 250
+
+USERS = 10
+VENUES_PER_USER = 3  # rotated so the same-venue gap beats the 1-hour rule
+BASE_TS = 1_280_000_000.0  # 2010-07, the thesis's crawl summer
+CHECKIN_SPACING_S = 1_800.0  # one check-in per user per half hour
+
+
+def _build_service(metrics, log):
+    """The E20 micro-city, optionally with the log/trace layer attached."""
+    service = LbsnService(metrics=metrics, log=log)
+    venues = []
+    for i in range(USERS):
+        service.register_user(f"bench-user-{i}")
+        cluster = []
+        for j in range(VENUES_PER_USER):
+            cluster.append(
+                service.create_venue(
+                    f"bench-venue-{i}-{j}",
+                    GeoPoint(40.0 + i * 0.05 + j * 0.003, -96.0),
+                )
+            )
+        venues.append(cluster)
+    return service, venues
+
+
+def _run_checkins(service, venues):
+    """Drive the deterministic workload; returns per-sector wall times."""
+    gc.collect()
+    gc.disable()
+    sectors = []
+    try:
+        for sector_start in range(0, CHECKINS, SECTOR):
+            start = time.perf_counter()
+            for i in range(sector_start, min(sector_start + SECTOR, CHECKINS)):
+                user_index = i % USERS
+                round_index = i // USERS
+                venue = venues[user_index][round_index % VENUES_PER_USER]
+                service.check_in(
+                    user_id=user_index + 1,
+                    venue_id=venue.venue_id,
+                    reported_location=venue.location,
+                    timestamp=BASE_TS
+                    + round_index * CHECKIN_SPACING_S
+                    + user_index,
+                )
+            sectors.append(time.perf_counter() - start)
+        return sectors
+    finally:
+        gc.enable()
+
+
+def _clean_lap(runs):
+    """Sum of per-sector minima across runs — the reconstructed clean lap."""
+    return sum(min(times) for times in zip(*runs))
+
+
+def test_e21_trace_overhead(report_out, benchmark):
+    """Trace-minting + structured logging stays within 5% of metrics-only.
+
+    ``ROUNDS`` ABBA-ordered (metrics-only, metrics+log+trace) rounds;
+    the overhead is the median over all per-sector adjacent-pair time
+    ratios, which survives both spike and sustained-slowdown noise on
+    shared runners (see module docstring).
+    """
+
+    def one_side(log):
+        service, venues = _build_service(metrics=MetricsRegistry(), log=log)
+        return _run_checkins(service, venues), service
+
+    def compare():
+        base_runs, traced_runs, sector_ratios = [], [], []
+        hub = None
+        service = None
+        # Warmup: both code paths once, untimed, so allocator/bytecode
+        # warmup lands on neither measured side.
+        one_side(None)
+        one_side(LogHub(ring_size=8192))
+        for _ in range(ROUNDS):
+            base_1, _ = one_side(None)
+            hub = LogHub(ring_size=8192)
+            traced_1, service = one_side(hub)
+            traced_2, _ = one_side(LogHub(ring_size=8192))
+            base_2, _ = one_side(None)
+            base_runs += [base_1, base_2]
+            traced_runs += [traced_1, traced_2]
+            # Adjacent pairs: (base_1, traced_1) and (traced_2, base_2);
+            # only steady-state sectors (second half) enter the median.
+            warm = len(base_1) // 2
+            for base_run, traced_run in (
+                (base_1, traced_1),
+                (base_2, traced_2),
+            ):
+                sector_ratios.extend(
+                    traced_s / base_s
+                    for base_s, traced_s in zip(
+                        base_run[warm:], traced_run[warm:]
+                    )
+                )
+        return base_runs, traced_runs, sector_ratios, hub, service
+
+    base_runs, traced_runs, sector_ratios, hub, service = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    clean_base = _clean_lap(base_runs)
+    clean_traced = _clean_lap(traced_runs)
+    base_rate = CHECKINS / clean_base
+    traced_rate = CHECKINS / clean_traced
+    overhead = statistics.median(sector_ratios) - 1.0
+    clean_lap_ratio = clean_traced / clean_base - 1.0
+    quartiles = statistics.quantiles(sector_ratios, n=4)
+
+    # Every check-in of the last traced round minted a trace and logged.
+    ring = hub.records(logger="lbsn.service", event="checkin")
+    traced = sum(1 for record in ring if record.trace_id)
+    span_traces = sum(
+        1 for span in service.tracer.recent_slow() if span.trace_id
+    )
+    rows = [
+        f"workload: {CHECKINS} check-ins across {USERS} users "
+        f"x {VENUES_PER_USER} venues, {ROUNDS} ABBA rounds, "
+        f"sectors of {SECTOR}",
+        f"metrics-only service:      {base_rate:,.0f} check-ins/s "
+        f"(clean lap {clean_base:.3f} s over {len(base_runs)} runs)",
+        f"metrics+log+trace service: {traced_rate:,.0f} check-ins/s "
+        f"(clean lap {clean_traced:.3f} s over {len(traced_runs)} runs)",
+        f"steady-state sector-pair ratios: n={len(sector_ratios)}, "
+        "quartiles "
+        + "/".join(f"{q:.3f}" for q in quartiles)
+        + f"; clean-lap ratio {clean_lap_ratio:+.1%} (diagnostic)",
+        f"trace+log overhead (median of sector-pair ratios): "
+        f"{overhead:+.1%} (bar: < {MAX_OVERHEAD:.0%})",
+        f"log records emitted: {hub.emitted} "
+        f"(ring holds {len(hub)}, dropped {hub.dropped})",
+        f"checkin records carrying a trace_id: {traced}/{len(ring)}",
+        f"slow spans carrying a trace_id: {span_traces}",
+    ]
+    report_out("E21_trace_overhead", rows)
+
+    assert hub.emitted >= CHECKINS  # one "checkin" record per check-in
+    assert ring, "ring retained no checkin records"
+    assert traced == len(ring), "a checkin record lost its trace_id"
+    assert overhead < MAX_OVERHEAD, (
+        f"trace+log median overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} bar"
+    )

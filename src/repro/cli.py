@@ -8,8 +8,10 @@ The subcommands walk the paper's arc end to end on freshly built worlds:
 * ``detect``        — the Chapter-4 three-factor cheater scan (offline).
 * ``stream-detect`` — the same three factors, online over the event bus.
 * ``defend``        — the Chapter-5 verifier comparison table.
-* ``metrics``       — run an instrumented workload, dump the Prometheus
-  snapshot (see ``docs/OBSERVABILITY.md``).
+* ``metrics``       — run an instrumented workload, dump the snapshot as
+  Prometheus text or JSON (see ``docs/OBSERVABILITY.md``).
+* ``top``           — the same workload, watched live: a refreshing
+  rate dashboard over a :class:`~repro.obs.TimeSeriesRecorder`.
 
 All commands accept ``--scale`` (fraction of the 2010 corpus) and
 ``--seed``; they build their own world, so runs are independent and
@@ -121,6 +123,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="recent slow spans to list after the snapshot (default 5)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "snapshot format: Prometheus text exposition or the "
+            "/debug/vars JSON shape (default text)"
+        ),
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live rate dashboard over an instrumented workload",
+    )
+    _add_common(top)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between dashboard refreshes (default 0.5)",
+    )
+    top.add_argument(
+        "--refreshes",
+        type=int,
+        default=0,
+        help="stop after N refreshes (default 0: until the workload ends)",
+    )
+    top.add_argument(
+        "--rows",
+        type=int,
+        default=12,
+        help="series rows per refresh (default 12)",
     )
 
     figures = sub.add_parser(
@@ -339,30 +374,40 @@ def cmd_defend(args) -> int:
     return 0
 
 
-def run_metrics_workload(scale: float, seed: int, registry=None):
+def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
     """Run one end-to-end instrumented workload; returns the registry.
 
     Exercises every instrumented layer so the registry ends up holding the
     full metric catalogue of ``docs/OBSERVABILITY.md`` (a test asserts the
     parity): an event-bus-connected service populated by the world
-    builder (lbsn + store + stream + ledger), a two-pass crawl of its web
-    surface (crawler + fetcher), an Appendix-A-style worker pool, and a
-    ``GET /metrics`` scrape over the simulated HTTP transport.
+    builder (lbsn + store + stream + ledger), all of it logging through
+    one :class:`~repro.obs.log.LogHub`, a two-pass crawl of its web
+    surface (crawler + fetcher), an inline-defense pass (verdict counters
+    + check latency + action tally), an Appendix-A-style worker pool, and
+    a ``GET /metrics`` scrape over the simulated HTTP transport.
 
     Returns ``(registry, exposition, tracer)`` where ``exposition`` is the
     text served by the ``/metrics`` route at the end of the run.
     """
     from repro.crawler import crawl_full_site
     from repro.crawler.worker import WorkerPool
+    from repro.defense import (
+        DefendedLbsnService,
+        DeviceRegistry,
+        DistanceBoundingVerifier,
+        registry_locator,
+    )
+    from repro.geo.distance import destination_point
     from repro.lbsn.service import LbsnService
-    from repro.obs import default_registry
+    from repro.obs import LogHub, default_registry
     from repro.stream import EventBus, SuspicionLedger
     from repro.workload import build_web_stack, build_world
 
     registry = registry if registry is not None else default_registry()
-    bus = EventBus(metrics=registry)
-    SuspicionLedger(metrics=registry).attach(bus)
-    service = LbsnService(event_bus=bus, metrics=registry)
+    hub = log if log is not None else LogHub(metrics=registry)
+    bus = EventBus(metrics=registry, log=hub)
+    SuspicionLedger(metrics=registry, log=hub).attach(bus)
+    service = LbsnService(event_bus=bus, metrics=registry, log=hub)
     world = build_world(scale=scale, seed=seed, service=service)
     stack = build_web_stack(world, seed=seed + 1)
     crawl_full_site(
@@ -370,6 +415,26 @@ def run_metrics_workload(scale: float, seed: int, registry=None):
         [stack.network.create_egress()],
         metrics=registry,
     )
+
+    # An inline-defense pass: one honest claim (accepted) and one spoofed
+    # claim (device left behind → rejected), so the per-defense verdict
+    # counters, check-latency histogram, and action tally all populate.
+    devices = DeviceRegistry()
+    defended = DefendedLbsnService(
+        service,
+        DistanceBoundingVerifier(seed=seed + 2),
+        registry_locator(devices),
+        metrics=registry,
+        log=hub,
+    )
+    venue = service.store.require_venue(world.venues.venue_ids[0])
+    user = service.register_user("obs-defense-probe")
+    devices.place(user.user_id, venue.location)
+    defended.check_in(user.user_id, venue.venue_id, venue.location)
+    devices.place(
+        user.user_id, destination_point(venue.location, 90.0, 300_000.0)
+    )
+    defended.check_in(user.user_id, venue.venue_id, venue.location)
 
     # The Appendix-A worker pool, over a trivial in-memory work source.
     items = list(range(64))
@@ -391,10 +456,17 @@ def run_metrics_workload(scale: float, seed: int, registry=None):
 
 
 def cmd_metrics(args) -> int:
-    """Dump the Prometheus-text snapshot of one instrumented run."""
-    _, exposition, tracer = run_metrics_workload(
+    """Dump the snapshot of one instrumented run (text or JSON)."""
+    registry, exposition, tracer = run_metrics_workload(
         scale=args.scale, seed=args.seed
     )
+    if args.format == "json":
+        from repro.obs import registry_to_json
+
+        # The same serializer behind GET /debug/vars: one parser covers
+        # the CLI, the web route, and the recorder's exports.
+        print(registry_to_json(registry, indent=2))
+        return 0
     print(exposition, end="")
     if tracer is not None and args.slow_spans > 0:
         slow = tracer.recent_slow(args.slow_spans)
@@ -402,6 +474,69 @@ def cmd_metrics(args) -> int:
             print(f"# recent slow spans (worst-case ring, {len(slow)} shown)")
             for record in slow:
                 print(f"#   {record}")
+    return 0
+
+
+def _format_top_rows(recorder, limit: int) -> List[str]:
+    """The dashboard body: busiest series by current per-second rate."""
+    rows = []
+    for name, labelvalues in recorder.series_keys():
+        latest = recorder.latest(name, labelvalues)
+        if latest is None:
+            continue
+        rate = recorder.rate_per_s(name, labelvalues)
+        label = name if not labelvalues else (
+            name + "{" + ",".join(labelvalues) + "}"
+        )
+        rows.append((rate, latest[1], label))
+    rows.sort(key=lambda row: (-row[0], row[2]))
+    lines = [f"{'rate/s':>12}  {'value':>14}  series"]
+    for rate, value, label in rows[:limit]:
+        lines.append(f"{rate:>12.1f}  {value:>14.1f}  {label}")
+    return lines
+
+
+def cmd_top(args) -> int:
+    """Watch an instrumented workload live: rates, not just totals."""
+    import threading
+    import time as _time
+
+    from repro.obs import MetricsRegistry, TimeSeriesRecorder
+
+    registry = MetricsRegistry()
+    recorder = TimeSeriesRecorder(registry)
+    done = threading.Event()
+    failed = []
+
+    def work() -> None:
+        try:
+            run_metrics_workload(
+                scale=args.scale, seed=args.seed, registry=registry
+            )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failed.append(exc)
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=work, name="top-workload", daemon=True)
+    recorder.sample()
+    worker.start()
+    refreshes = 0
+    while not done.is_set() or refreshes == 0:
+        done.wait(args.interval)
+        recorder.sample()
+        refreshes += 1
+        print(f"--- repro top: refresh {refreshes} "
+              f"({recorder.samples_taken} samples) ---")
+        for line in _format_top_rows(recorder, args.rows):
+            print(line)
+        if args.refreshes and refreshes >= args.refreshes:
+            break
+    worker.join(timeout=60.0)
+    _time.sleep(0.0)  # yield to let daemon threads settle before exit
+    if failed:
+        print(f"workload failed: {failed[0]}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -454,6 +589,7 @@ _COMMANDS = {
     "stream-detect": cmd_stream_detect,
     "defend": cmd_defend,
     "metrics": cmd_metrics,
+    "top": cmd_top,
     "figures": cmd_figures,
 }
 

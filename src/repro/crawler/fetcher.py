@@ -12,6 +12,7 @@ import time
 from typing import Optional
 
 from repro.errors import CrawlError
+from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
 from repro.simnet.http import (
     HTTP_NOT_FOUND,
@@ -27,7 +28,11 @@ class PageFetcher:
 
     With a :class:`~repro.obs.MetricsRegistry` attached, every ``fetch``
     observes its wall time into ``repro_crawler_fetch_seconds`` and
-    counts 5xx retries in ``repro_crawler_fetch_retries_total``.
+    counts 5xx retries in ``repro_crawler_fetch_retries_total``.  With a
+    :class:`~repro.obs.log.LogHub` attached, fetch *failures* (rate
+    limits, persistent 5xx, refusals) emit WARNING ``crawler.fetch_failed``
+    records on the ``crawler.fetcher`` logger — the crawl-control defense's
+    signals, visible in the same structured log as everything else.
     """
 
     def __init__(
@@ -36,12 +41,16 @@ class PageFetcher:
         egress: Egress,
         max_retries: int = 2,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
     ) -> None:
         if max_retries < 0:
             raise CrawlError(f"max_retries must be non-negative: {max_retries}")
         self.transport = transport
         self.egress = egress
         self.max_retries = max_retries
+        self._logger = (
+            log.logger("crawler.fetcher") if log is not None else None
+        )
         if metrics is not None:
             self._fetch_seconds = metrics.histogram(
                 "repro_crawler_fetch_seconds",
@@ -82,10 +91,25 @@ class PageFetcher:
         if response.status == HTTP_NOT_FOUND:
             return None
         if response.status == HTTP_TOO_MANY_REQUESTS:
+            self._log_failure(path, response.status, retries, "rate-limited")
             raise CrawlError(f"rate limited fetching {path}")
         if not response.ok:
+            self._log_failure(path, response.status, retries, "http-error")
             raise CrawlError(f"HTTP {response.status} fetching {path}")
         return response.body
+
+    def _log_failure(
+        self, path: str, status: int, retries: int, reason: str
+    ) -> None:
+        if self._logger is not None:
+            self._logger.warning(
+                "crawler.fetch_failed",
+                path=path,
+                status=status,
+                retries=retries,
+                reason=reason,
+                egress_ip=self.egress.ip.value,
+            )
 
     def _attempt(self, path: str) -> HttpResponse:
         return self.transport.get(path, self.egress)

@@ -30,6 +30,7 @@ from repro.defense.hashing import (
     unsalted_visitor_obfuscator,
 )
 from repro.defense.verifier import (
+    InstrumentedVerifier,
     LocationClaim,
     LocationVerifier,
     VerificationOutcome,
@@ -62,6 +63,7 @@ __all__ = [
     "crack_unsalted_token",
     "hashed_visitor_obfuscator",
     "unsalted_visitor_obfuscator",
+    "InstrumentedVerifier",
     "LocationClaim",
     "LocationVerifier",
     "VerificationOutcome",

@@ -14,11 +14,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.defense.verifier import (
+    InstrumentedVerifier,
     LocationClaim,
     LocationVerifier,
     VerificationOutcome,
 )
 from repro.errors import DefenseError
+from repro.obs.metrics import MetricsRegistry
 from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import destination_point, haversine_m
 from repro.lbsn.service import LbsnService
@@ -184,10 +186,20 @@ def evaluate_verifiers(
     verifiers: Sequence[LocationVerifier],
     honest: Sequence[LocationClaim],
     attacks: Sequence[LocationClaim],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[VerifierEvaluation]:
-    """Run every verifier over both claim sets and tally the outcomes."""
+    """Run every verifier over both claim sets and tally the outcomes.
+
+    With ``metrics``, each verifier is wrapped in an
+    :class:`~repro.defense.verifier.InstrumentedVerifier` for the run, so
+    the evaluation also populates the per-defense verdict counters and
+    check-latency histograms — the E11 table and the scrape endpoint then
+    tell the same story.
+    """
     evaluations = []
     for verifier in verifiers:
+        if metrics is not None:
+            verifier = InstrumentedVerifier(verifier, metrics)
         evaluation = VerifierEvaluation(
             name=verifier.name,
             notes=DEPLOYMENT_NOTES.get(verifier.name, ""),

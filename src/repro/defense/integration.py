@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.defense.verifier import (
+    InstrumentedVerifier,
     LocationClaim,
     LocationVerifier,
     VerificationOutcome,
@@ -28,6 +29,9 @@ from repro.defense.verifier import (
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.models import CheckInResult, CheckInStatus
 from repro.lbsn.service import LbsnService
+from repro.obs.context import TraceContext, current_trace, use_trace
+from repro.obs.log import LogHub
+from repro.obs.metrics import MetricsRegistry
 
 #: Reason string recorded when an inline verifier refuses a check-in.
 RULE_LOCATION_VERIFIER = "location-verifier"
@@ -94,7 +98,29 @@ class DefendedLbsnService:
     user the ledger currently reports is refused before the verifier even
     runs — the Chapter-4 detector promoted from forensic tool to inline
     gate, with no offline re-crawl.
+
+    With a :class:`~repro.obs.MetricsRegistry` (``metrics=``) the wrapper
+    wraps its verifier in an :class:`~repro.defense.verifier.
+    InstrumentedVerifier` (per-defense verdict counters + check-latency
+    histogram) and exports what the *defense itself* did as
+    ``repro_defense_actions_total{action}``.  With a
+    :class:`~repro.obs.log.LogHub` (``log=``) every refusal emits one
+    ``defense.refused`` record on the ``defense`` logger.  The wrapper is
+    also a trace root: each ``check_in`` adopts the ambient
+    :class:`~repro.obs.context.TraceContext` or mints one, and runs the
+    whole verify → delegate chain under it — so the defense verdict, the
+    service's ``checkin`` record, and every downstream bus event share a
+    ``trace_id``.
     """
+
+    #: Actions tallied into ``repro_defense_actions_total``.
+    _ACTIONS = (
+        "verified",
+        "refused",
+        "inconclusive",
+        "unlocatable",
+        "ledger_refused",
+    )
 
     def __init__(
         self,
@@ -104,14 +130,40 @@ class DefendedLbsnService:
         refuse_inconclusive: bool = False,
         client_ip_of: Optional[Callable[[int], Optional[str]]] = None,
         suspicion_ledger=None,
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
     ) -> None:
         self.service = service
-        self.verifier = verifier
+        self.verifier = (
+            InstrumentedVerifier(verifier, metrics)
+            if metrics is not None
+            else verifier
+        )
         self.physical_locator = physical_locator
         self.refuse_inconclusive = refuse_inconclusive
         self.client_ip_of = client_ip_of
         self.suspicion_ledger = suspicion_ledger
         self.stats = DefenseStats()
+        self._logger = log.logger("defense") if log is not None else None
+        if metrics is not None:
+            actions = metrics.counter(
+                "repro_defense_actions_total",
+                "What the inline defense did with each check-in claim, "
+                "by action.",
+                ("action",),
+            )
+            self._action_children = {
+                action: actions.labels(action) for action in self._ACTIONS
+            }
+        else:
+            self._action_children = None
+        self._instrumented = (
+            self._logger is not None or self._action_children is not None
+        )
+
+    def _count_action(self, action: str) -> None:
+        if self._action_children is not None:
+            self._action_children[action].inc()
 
     def check_in(
         self,
@@ -119,25 +171,63 @@ class DefendedLbsnService:
         venue_id: int,
         reported_location: GeoPoint,
         timestamp: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> CheckInResult:
-        """Verify the claim, then delegate to the underlying service."""
+        """Verify the claim, then delegate to the underlying service.
+
+        When instrumented (metrics, log, or an instrumented underlying
+        service), the whole call runs under one
+        :class:`~repro.obs.context.TraceContext` — passed in, adopted
+        from the ambient context, or minted here.
+        """
+        if trace is None and (
+            self._instrumented
+            or self.service.log is not None
+            or self.service.tracer is not None
+        ):
+            trace = current_trace() or TraceContext.mint()
+        with use_trace(trace):
+            return self._check_in(
+                user_id, venue_id, reported_location, timestamp, trace
+            )
+
+    def _check_in(
+        self,
+        user_id: int,
+        venue_id: int,
+        reported_location: GeoPoint,
+        timestamp: Optional[float],
+        trace: Optional[TraceContext],
+    ) -> CheckInResult:
         if (
             self.suspicion_ledger is not None
             and self.suspicion_ledger.is_suspect(user_id)
         ):
             self.stats.ledger_refused += 1
+            self._count_action("ledger_refused")
             return self._refusal(
-                user_id, venue_id, reported_location, rule=RULE_STREAM_SUSPECT
+                user_id,
+                venue_id,
+                reported_location,
+                rule=RULE_STREAM_SUSPECT,
+                trace=trace,
             )
         venue = self.service.store.require_venue(venue_id)
         physical = self.physical_locator(user_id)
         if physical is None:
             # The verifier cannot sense this device at all.
             self.stats.unlocatable += 1
+            self._count_action("unlocatable")
             if self.refuse_inconclusive:
-                return self._refusal(user_id, venue_id, reported_location)
+                return self._refusal(
+                    user_id, venue_id, reported_location, trace=trace
+                )
             return self.service.check_in(
-                user_id, venue_id, reported_location, timestamp=timestamp
+                user_id,
+                venue_id,
+                reported_location,
+                timestamp=timestamp,
+                trace=trace,
             )
         claim = LocationClaim(
             user_id=user_id,
@@ -150,15 +240,26 @@ class DefendedLbsnService:
         result = self.verifier.verify(claim)
         if result.outcome is VerificationOutcome.REJECT:
             self.stats.refused += 1
-            return self._refusal(user_id, venue_id, reported_location)
+            self._count_action("refused")
+            return self._refusal(
+                user_id, venue_id, reported_location, trace=trace
+            )
         if result.outcome is VerificationOutcome.INCONCLUSIVE:
             self.stats.inconclusive += 1
+            self._count_action("inconclusive")
             if self.refuse_inconclusive:
-                return self._refusal(user_id, venue_id, reported_location)
+                return self._refusal(
+                    user_id, venue_id, reported_location, trace=trace
+                )
         else:
             self.stats.verified += 1
+            self._count_action("verified")
         return self.service.check_in(
-            user_id, venue_id, reported_location, timestamp=timestamp
+            user_id,
+            venue_id,
+            reported_location,
+            timestamp=timestamp,
+            trace=trace,
         )
 
     def _refusal(
@@ -167,9 +268,18 @@ class DefendedLbsnService:
         venue_id: int,
         reported_location: GeoPoint,
         rule: str = RULE_LOCATION_VERIFIER,
+        trace: Optional[TraceContext] = None,
     ) -> CheckInResult:
         from repro.lbsn.models import CheckIn
 
+        if self._logger is not None:
+            self._logger.info(
+                "defense.refused",
+                trace_id=trace.trace_id if trace is not None else None,
+                user_id=user_id,
+                venue_id=venue_id,
+                rule=rule,
+            )
         checkin = CheckIn(
             checkin_id=0,  # never recorded
             user_id=user_id,

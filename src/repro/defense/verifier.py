@@ -9,11 +9,13 @@ benefit — only defenses whose real-world mechanism senses physics read it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Protocol
 
 from repro.geo.coordinates import GeoPoint
+from repro.obs.metrics import MetricsRegistry
 
 
 class VerificationOutcome(Enum):
@@ -69,3 +71,55 @@ class LocationVerifier(Protocol):
     def verify(self, claim: LocationClaim) -> VerificationResult:
         """Judge one claim."""
         ...
+
+
+class InstrumentedVerifier:
+    """A :class:`LocationVerifier` wrapper exporting verdicts + latency.
+
+    Wraps any verifier and records, per check:
+
+    * ``repro_defense_verdicts_total{defense,outcome}`` — one increment
+      per judged claim, labeled by the wrapped defense's name and the
+      outcome (``accept`` / ``reject`` / ``inconclusive``).
+    * ``repro_defense_check_seconds{defense}`` — the wall-clock latency
+      of :meth:`verify`, the number the thesis's cost comparison talks
+      about qualitatively (distance bounding is *slow and accurate*;
+      address mapping is *fast and sloppy*).
+
+    The three outcome children are pre-bound at construction so the
+    per-claim cost is a clock read, one ``observe``, and one ``inc``.
+    Wrapping is transparent: ``name`` and any extra attributes forward to
+    the wrapped verifier, so evaluation tables and deployment notes keyed
+    by name are unaffected.
+    """
+
+    def __init__(
+        self, inner: LocationVerifier, metrics: MetricsRegistry
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self._latency = metrics.histogram(
+            "repro_defense_check_seconds",
+            "Latency of one location-verification check, by defense.",
+            ("defense",),
+        ).labels(self.name)
+        verdicts = metrics.counter(
+            "repro_defense_verdicts_total",
+            "Location-verification verdicts, by defense and outcome.",
+            ("defense", "outcome"),
+        )
+        self._verdict_children = {
+            outcome: verdicts.labels(self.name, outcome.value)
+            for outcome in VerificationOutcome
+        }
+
+    def verify(self, claim: LocationClaim) -> VerificationResult:
+        """Judge one claim through the wrapped verifier, instrumented."""
+        start = time.perf_counter()
+        result = self.inner.verify(claim)
+        self._latency.observe(time.perf_counter() - start)
+        self._verdict_children[result.outcome].inc()
+        return result
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

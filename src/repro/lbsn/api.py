@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
 from repro.lbsn.service import LbsnService
+from repro.obs.context import TraceContext, use_trace
 from repro.simnet.http import (
     HTTP_NOT_FOUND,
     HTTP_UNAUTHORIZED,
@@ -100,30 +101,38 @@ class LbsnApiServer:
             return HttpResponse(
                 status=HTTP_NOT_FOUND, body="status=bad_request"
             )
+        # Request entry is the trace root: when the service is
+        # instrumented, mint here so the whole handler (and everything
+        # the pipeline logs or publishes) shares one trace_id — which the
+        # response echoes for client-side correlation.
+        trace: Optional[TraceContext] = None
+        if self.service.log is not None or self.service.tracer is not None:
+            trace = TraceContext.mint()
         try:
-            result = self.service.check_in(
-                user_id=user_id,
-                venue_id=venue_id,
-                reported_location=GeoPoint(latitude, longitude),
-            )
+            with use_trace(trace):
+                result = self.service.check_in(
+                    user_id=user_id,
+                    venue_id=venue_id,
+                    reported_location=GeoPoint(latitude, longitude),
+                    trace=trace,
+                )
         except ServiceError as exc:
             return HttpResponse(status=HTTP_NOT_FOUND, body=f"status=error\nmessage={exc}")
-        return HttpResponse(
-            body=_kv(
-                {
-                    "status": result.checkin.status.value,
-                    "points": result.points,
-                    "badges": ",".join(result.new_badges),
-                    "mayor": "1" if result.became_mayor else "0",
-                    "special": (
-                        result.special_unlocked.description
-                        if result.special_unlocked
-                        else ""
-                    ),
-                    "warnings": ";".join(result.warnings),
-                }
-            )
-        )
+        payload = {
+            "status": result.checkin.status.value,
+            "points": result.points,
+            "badges": ",".join(result.new_badges),
+            "mayor": "1" if result.became_mayor else "0",
+            "special": (
+                result.special_unlocked.description
+                if result.special_unlocked
+                else ""
+            ),
+            "warnings": ";".join(result.warnings),
+        }
+        if trace is not None:
+            payload["trace"] = trace.trace_id
+        return HttpResponse(body=_kv(payload))
 
     def _venues_near(self, request: HttpRequest, match) -> HttpResponse:
         try:

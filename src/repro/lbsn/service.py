@@ -41,6 +41,8 @@ from repro.lbsn.models import (
 from repro.lbsn.rewards import BadgeEngine, PointsPolicy
 from repro.lbsn.specials import special_unlocked_by
 from repro.lbsn.store import DataStore
+from repro.obs.context import TraceContext, current_trace
+from repro.obs.log import LogHub, StructuredLogger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.simnet.clock import SimClock, day_index
@@ -50,6 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stream ← lbsn)
 
 #: Reason string recorded when GPS verification rejects an attempt.
 RULE_GPS_VERIFICATION = "gps-verification"
+
+#: Hoisted off the hot path: ``Enum.value`` goes through a descriptor on
+#: every access, which the per-check-in log record would otherwise pay.
+_VALID_STATUS = CheckInStatus.VALID.value
 
 _STREAM_EVENTS = None
 
@@ -152,9 +158,10 @@ class LbsnService:
         config: Optional[ServiceConfig] = None,
         event_bus: Optional["EventBus"] = None,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
     ) -> None:
         self.clock = clock or SimClock()
-        self.store = DataStore(metrics=metrics)
+        self.store = DataStore(metrics=metrics, log=log)
         self.cheater_code = cheater_code or CheaterCode()
         self.badges = badge_engine or BadgeEngine()
         self.points = points_policy or PointsPolicy()
@@ -169,6 +176,15 @@ class LbsnService:
         #: exports entity gauges and lock timings, and :attr:`tracer`
         #: times every commit under the ``checkin.commit`` span.
         self.metrics = metrics
+        #: Optional structured log (see :mod:`repro.obs.log`).  When set,
+        #: every check-in emits one ``checkin`` record carrying the
+        #: request's ``trace_id``, so the whole pipeline story — this
+        #: record, the commit (``store.commit``), the bus events, any
+        #: detector flag — links up under one grep key.
+        self.log = log
+        self._logger: Optional[StructuredLogger] = (
+            log.logger("lbsn.service") if log is not None else None
+        )
         self.tracer: Optional[Tracer] = None
         if metrics is not None:
             self.counters.bind_metrics(metrics)
@@ -211,12 +227,16 @@ class LbsnService:
             if self._users_registered is not None:
                 self._users_registered.inc()
             if self.event_bus is not None:
+                ambient = current_trace()
                 self.event_bus.publish(
                     _stream_events().UserRegistered(
                         seq=self.store.allocate_event_seq(),
                         timestamp=user.created_at,
                         user_id=user.user_id,
                         username=user.username,
+                        trace_id=(
+                            ambient.trace_id if ambient is not None else None
+                        ),
                     )
                 )
             return user
@@ -248,12 +268,16 @@ class LbsnService:
             if self._venues_created is not None:
                 self._venues_created.inc()
             if self.event_bus is not None:
+                ambient = current_trace()
                 self.event_bus.publish(
                     _stream_events().VenueCreated(
                         seq=self.store.allocate_event_seq(),
                         timestamp=venue.created_at,
                         venue_id=venue.venue_id,
                         location=venue.location,
+                        trace_id=(
+                            ambient.trace_id if ambient is not None else None
+                        ),
                     )
                 )
             return venue
@@ -284,6 +308,7 @@ class LbsnService:
         venue_id: int,
         reported_location: GeoPoint,
         timestamp: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> CheckInResult:
         """Process one check-in attempt end to end.
 
@@ -291,11 +316,22 @@ class LbsnService:
         no way to tell a genuine GPS fix from a spoofed one.  With a
         metrics registry attached, the whole pipeline runs under the
         ``checkin.commit`` tracing span.
+
+        ``trace`` is the request's :class:`~repro.obs.context.
+        TraceContext`.  When omitted and the service is instrumented, the
+        ambient context (web-server request entry, defense wrapper) is
+        adopted, or a fresh one is minted — this is the root of the
+        end-to-end ``trace_id`` chain.  Uninstrumented services never
+        mint.
         """
+        if trace is None and (
+            self._logger is not None or self.tracer is not None
+        ):
+            trace = current_trace() or TraceContext.mint()
         tracer = self.tracer
         if tracer is None:
             return self._check_in(
-                user_id, venue_id, reported_location, timestamp
+                user_id, venue_id, reported_location, timestamp, trace
             )
         # Hand-timed rather than `with tracer.span(...)`: this is the
         # hottest traced region, and Tracer.record skips the per-call
@@ -303,11 +339,13 @@ class LbsnService:
         start = time.perf_counter()
         try:
             return self._check_in(
-                user_id, venue_id, reported_location, timestamp
+                user_id, venue_id, reported_location, timestamp, trace
             )
         finally:
             tracer.record(
-                "checkin.commit", time.perf_counter() - start
+                "checkin.commit",
+                time.perf_counter() - start,
+                trace.trace_id if trace is not None else None,
             )
 
     def _check_in(
@@ -316,6 +354,7 @@ class LbsnService:
         venue_id: int,
         reported_location: GeoPoint,
         timestamp: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> CheckInResult:
         now = self.clock.now() if timestamp is None else timestamp
         with self._lock:
@@ -332,6 +371,7 @@ class LbsnService:
                     reported_location,
                     CheckInStatus.REJECTED,
                     RULE_GPS_VERIFICATION,
+                    trace,
                 )
                 return CheckInResult(
                     checkin=checkin,
@@ -359,6 +399,7 @@ class LbsnService:
                     reported_location,
                     CheckInStatus.REJECTED,
                     verdict.rule,
+                    trace,
                 )
                 return CheckInResult(
                     checkin=checkin, warnings=[verdict.message]
@@ -371,13 +412,16 @@ class LbsnService:
                     reported_location,
                     CheckInStatus.FLAGGED,
                     verdict.rule,
+                    trace,
                 )
                 return CheckInResult(
                     checkin=checkin, warnings=list(verdict.warnings)
                 )
 
             # Stage 3: a valid check-in earns rewards.
-            return self._reward(user, venue, now, reported_location, verdict)
+            return self._reward(
+                user, venue, now, reported_location, verdict, trace
+            )
 
     def _venue_location(self, venue_id: int) -> Optional[GeoPoint]:
         venue = self.store.get_venue(venue_id)
@@ -406,6 +450,7 @@ class LbsnService:
         reported_location: GeoPoint,
         status: CheckInStatus,
         rule: Optional[str],
+        trace: Optional[TraceContext] = None,
     ) -> CheckIn:
         """Persist a non-valid attempt, applying Foursquare's count policy.
 
@@ -413,6 +458,7 @@ class LbsnService:
         recorded and increment the user's raw total (but nothing else) —
         the policy §4.3 documents.
         """
+        trace_id = trace.trace_id if trace is not None else None
         checkin = CheckIn(
             checkin_id=self.store.checkin_ids.allocate(),
             user_id=user.user_id,
@@ -422,16 +468,29 @@ class LbsnService:
             status=status,
             flagged_rule=rule,
         )
+        seq = -1
         if status is not CheckInStatus.REJECTED:
             if self.event_bus is not None:
-                _, seq = self.store.add_checkin_committed(checkin)
+                _, seq = self.store.add_checkin_committed(
+                    checkin, trace_id=trace_id
+                )
             else:
                 self.store.add_checkin(checkin)
-                seq = -1
             user.total_checkins += 1
         elif self.event_bus is not None:
             seq = self.store.allocate_event_seq()
         self.counters.record(status, rule)
+        if self._logger is not None:
+            self._logger.info(
+                "checkin",
+                trace_id=trace_id,
+                user_id=user.user_id,
+                venue_id=venue.venue_id,
+                checkin_id=checkin.checkin_id,
+                status=status.value,
+                rule=rule,
+                seq=seq,
+            )
         if self.event_bus is not None:
             events = _stream_events()
             event_type = (
@@ -449,6 +508,7 @@ class LbsnService:
                     reported_location=reported_location,
                     checkin_id=checkin.checkin_id,
                     rule=rule,
+                    trace_id=trace_id,
                 )
             )
         return checkin
@@ -460,8 +520,10 @@ class LbsnService:
         now: float,
         reported_location: GeoPoint,
         verdict,
+        trace: Optional[TraceContext] = None,
     ) -> CheckInResult:
         """Apply the full reward pipeline for a valid check-in."""
+        trace_id = trace.trace_id if trace is not None else None
         first_visit = venue.venue_id not in user.venues_visited
         first_of_day = self._first_valid_of_day(user.user_id, now)
 
@@ -474,7 +536,9 @@ class LbsnService:
             status=CheckInStatus.VALID,
         )
         if self.event_bus is not None:
-            _, event_seq = self.store.add_checkin_committed(checkin)
+            _, event_seq = self.store.add_checkin_committed(
+                checkin, trace_id=trace_id
+            )
         else:
             self.store.add_checkin(checkin)
             event_seq = -1
@@ -518,6 +582,23 @@ class LbsnService:
         special = special_unlocked_by(venue, user, valid_here, is_mayor_after)
 
         self.counters.record(CheckInStatus.VALID, None)
+        if self._logger is not None:
+            # The hottest log call in the codebase (one per valid
+            # check-in): the status string is a hoisted constant and the
+            # field set is trimmed to what the trace chain needs —
+            # ``rule`` is omitted (it only means something on the flagged
+            # path, where :meth:`_record` logs it).
+            self._logger.info(
+                "checkin",
+                trace_id=trace_id,
+                user_id=user.user_id,
+                venue_id=venue.venue_id,
+                checkin_id=checkin.checkin_id,
+                status=_VALID_STATUS,
+                seq=event_seq,
+                points=awarded,
+                became_mayor=became_mayor,
+            )
         if self.event_bus is not None:
             events = _stream_events()
             self.event_bus.publish(
@@ -533,6 +614,7 @@ class LbsnService:
                     new_badge_count=len(new_badges),
                     became_mayor=became_mayor,
                     first_visit=first_visit,
+                    trace_id=trace_id,
                 )
             )
             if decision.changed:
@@ -543,6 +625,7 @@ class LbsnService:
                         venue_id=venue.venue_id,
                         new_mayor_id=venue.mayor_id,
                         previous_mayor_id=lost_mayor,
+                        trace_id=trace_id,
                     )
                 )
         return CheckInResult(

@@ -17,6 +17,7 @@ from repro.errors import ServiceError
 from repro.geo.coordinates import GeoPoint
 from repro.geo.grid import SpatialGrid
 from repro.lbsn.models import CheckIn, User, Venue
+from repro.obs.log import DEBUG, LogHub
 from repro.obs.metrics import MetricsRegistry
 from repro.simnet.ids import SequentialIdAllocator
 
@@ -33,9 +34,17 @@ class DataStore:
     per-call timers there would cost more than the work they measure.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._metrics = metrics
+        #: DEBUG-level commit records ("store.commit"), carrying the
+        #: check-in's trace so a grep over the structured log shows the
+        #: commit between the service's verify and publish records.
+        self._logger = log.logger("lbsn.store") if log is not None else None
         if metrics is not None:
             # Bind the anonymous children directly: these record on every
             # row insert, so each saved indirection matters (E20 bench).
@@ -216,7 +225,9 @@ class DataStore:
             self._event_seq += 1
             return seq
 
-    def add_checkin_committed(self, checkin: CheckIn) -> Tuple[CheckIn, int]:
+    def add_checkin_committed(
+        self, checkin: CheckIn, trace_id: Optional[str] = None
+    ) -> Tuple[CheckIn, int]:
         """Append a check-in AND allocate its event sequence atomically.
 
         This is the event-ordering fix: ``add_checkin`` followed by a
@@ -225,6 +236,11 @@ class DataStore:
         contradicts the store.  Composing both under one :meth:`locked`
         section guarantees that for every user (and venue), event sequence
         numbers are strictly increasing in exactly list-append order.
+
+        When a :class:`~repro.obs.log.LogHub` was injected, each commit
+        emits a DEBUG ``store.commit`` record carrying ``trace_id`` — the
+        link between the service's ``checkin`` record and the bus events
+        that follow.  The record is emitted *outside* the lock.
         """
         with self._lock:
             started = (
@@ -235,7 +251,17 @@ class DataStore:
             self._event_seq += 1
             if self._lock_hold is not None:
                 self._lock_hold.observe(time.perf_counter() - started)
-            return checkin, seq
+        logger = self._logger
+        if logger is not None and logger.enabled_for(DEBUG):
+            logger.debug(
+                "store.commit",
+                trace_id=trace_id,
+                checkin_id=checkin.checkin_id,
+                user_id=checkin.user_id,
+                venue_id=checkin.venue_id,
+                seq=seq,
+            )
+        return checkin, seq
 
     def event_seq_watermark(self) -> int:
         """The next sequence number that will be allocated."""

@@ -16,21 +16,35 @@ Two defense hooks are built in:
   check-in list; when installed, the rendered visitor references are opaque
   tokens instead of crawlable ``/user/<id>`` links.
 
-One operational route rides along: when the service (or the constructor)
+Operational routes ride along: when the service (or the constructor)
 carries a :class:`~repro.obs.MetricsRegistry`, ``GET /metrics`` serves the
-registry in Prometheus text exposition format, so the same simulated HTTP
-surface the crawler attacks also exposes the telemetry an operator would
-scrape.
+registry in Prometheus text exposition format (with the standard
+``version=0.0.4`` content type and an explicit ``Content-Length``), so the
+same simulated HTTP surface the crawler attacks also exposes the telemetry
+an operator would scrape.  Three debug routes complete the picture:
+
+* ``GET /debug/vars`` — the whole registry as JSON (the
+  :func:`~repro.obs.timeseries.registry_to_dict` shape shared with
+  ``repro metrics --format json``).
+* ``GET /debug/traces`` — the service tracer's retained slow spans, each
+  with its ``trace_id`` when the instrumented layer propagated one.
+* ``GET /debug/logs?trace_id=&logger=&event=&limit=`` — the structured
+  log ring as JSONL, filterable by the same keys
+  :meth:`repro.obs.log.LogHub.records` takes; ``?trace_id=`` is the
+  one-request flight-recorder query the obs layer exists for.
 """
 
 from __future__ import annotations
 
 import html
+import json
 from typing import Callable, Optional
 
 from repro.lbsn.models import User, Venue
 from repro.lbsn.service import LbsnService
+from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import registry_to_dict
 from repro.simnet.http import (
     HTTP_NOT_FOUND,
     HttpRequest,
@@ -40,8 +54,15 @@ from repro.simnet.http import (
 
 VisitorObfuscator = Callable[[int], str]
 
-#: Content type of the Prometheus text exposition format.
-METRICS_CONTENT_TYPE = "text/plain; version=0.0.4"
+#: Content type of the Prometheus text exposition format (the scrape
+#: protocol requires the charset parameter).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of the JSON debug routes.
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Content type of the JSONL ``/debug/logs`` route.
+JSONL_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 
 
 class LbsnWebServer:
@@ -53,12 +74,15 @@ class LbsnWebServer:
         show_whos_been_here: bool = True,
         visitor_obfuscator: Optional[VisitorObfuscator] = None,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
     ) -> None:
         self.service = service
         self.show_whos_been_here = show_whos_been_here
         self.visitor_obfuscator = visitor_obfuscator
         #: Registry served at ``/metrics``; defaults to the service's own.
         self.metrics = metrics if metrics is not None else service.metrics
+        #: Log hub served at ``/debug/logs``; defaults to the service's own.
+        self.log = log if log is not None else service.log
 
     def install_routes(self, router: Router) -> None:
         """Attach the site's routes (and ``/metrics`` when instrumented)."""
@@ -66,13 +90,76 @@ class LbsnWebServer:
         router.add("GET", r"/venue/(?P<venue_id>\d+)", self._venue_page)
         if self.metrics is not None:
             router.add("GET", r"/metrics", self._metrics_page)
+            router.add("GET", r"/debug/vars", self._debug_vars)
+        if self.service.tracer is not None:
+            router.add("GET", r"/debug/traces", self._debug_traces)
+        if self.log is not None:
+            router.add("GET", r"/debug/logs", self._debug_logs)
 
     # Page handlers --------------------------------------------------------
 
     def _metrics_page(self, request: HttpRequest, match) -> HttpResponse:
+        body = self.metrics.render_text()
         return HttpResponse(
-            body=self.metrics.render_text(),
-            headers={"Content-Type": METRICS_CONTENT_TYPE},
+            body=body,
+            headers={
+                "Content-Type": METRICS_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    # Debug routes ---------------------------------------------------------
+
+    def _debug_vars(self, request: HttpRequest, match) -> HttpResponse:
+        body = json.dumps(registry_to_dict(self.metrics), sort_keys=True)
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": JSON_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    def _debug_traces(self, request: HttpRequest, match) -> HttpResponse:
+        tracer = self.service.tracer
+        records = [] if tracer is None else tracer.recent_slow()
+        body = json.dumps(
+            {
+                "slow_threshold_s": (
+                    tracer.slow_threshold_s if tracer is not None else None
+                ),
+                "spans": [record.to_dict() for record in records],
+            }
+        )
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": JSON_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    def _debug_logs(self, request: HttpRequest, match) -> HttpResponse:
+        params = request.params
+        limit: Optional[int] = None
+        if params.get("limit"):
+            try:
+                limit = max(1, int(params["limit"]))
+            except ValueError:
+                limit = None
+        records = self.log.records(
+            trace_id=params.get("trace_id") or None,
+            logger=params.get("logger") or None,
+            event=params.get("event") or None,
+            limit=limit,
+        )
+        body = self.log.export_jsonl(records)
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": JSONL_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
         )
 
     def _user_page(self, request: HttpRequest, match) -> HttpResponse:

@@ -1,23 +1,50 @@
-"""Observability substrate: metrics registry + span tracer.
+"""Observability substrate: metrics, tracing, structured logs, history.
 
 ``repro.obs`` sits at the bottom of the layer stack next to ``repro.geo``
 and ``repro.simnet`` — standard library only, no upward imports — and
-every higher layer takes an optional :class:`MetricsRegistry` the way the
+every higher layer takes optional observability handles the way the
 service takes an optional ``event_bus``:
 
-* :mod:`repro.lbsn` — check-in outcomes per status/rule, commit latency,
-  entity-count gauges, store lock hold time.
-* :mod:`repro.stream` — bus publish/deliver/drop accounting, queue depth,
-  detector scoring volume, live suspect counts.
-* :mod:`repro.crawler` — pages fetched per outcome, fetch latency,
-  retries, parse failures, per-thread throughput.
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram families in a
+  thread-safe :class:`MetricsRegistry`, Prometheus text exposition.
+* :mod:`repro.obs.tracing` — span durations into the registry plus a
+  bounded ring of recent slow spans.
+* :mod:`repro.obs.log` — structured JSONL logging: bounded ring, sink
+  fan-out, per-logger level/sampling (:class:`LogHub`).
+* :mod:`repro.obs.context` — :class:`TraceContext` propagation, so one
+  ``trace_id`` links a check-in's log records, bus events, detector
+  scores, and defense verdicts end to end.
+* :mod:`repro.obs.timeseries` — :class:`TimeSeriesRecorder` snapshots
+  the registry into bounded per-series history rings with delta/rate
+  queries; also home of the shared JSON serializer
+  (:func:`registry_to_dict`) behind ``repro metrics --format json`` and
+  ``GET /debug/vars``.
 
-Expose a snapshot with :meth:`MetricsRegistry.render_text` (Prometheus
-text format), the ``/metrics`` route on the simulated web server, or the
-``repro metrics`` CLI subcommand.  ``docs/OBSERVABILITY.md`` catalogues
-every metric name; a test holds that catalogue and the code in parity.
+Instrumented layers: :mod:`repro.lbsn` (pipeline outcomes, commit spans,
+store gauges/locks, per-check-in log records), :mod:`repro.stream` (bus
+accounting, detector volume, ledger flags), :mod:`repro.defense`
+(verdict counters, check latency), :mod:`repro.crawler` (fetch outcomes
+and latency).  ``docs/OBSERVABILITY.md`` catalogues every metric name; a
+test holds that catalogue and the code in parity.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    set_current_trace,
+    use_trace,
+)
+from repro.obs.log import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    LogError,
+    LogHub,
+    LogRecord,
+    StructuredLogger,
+    level_name,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -26,6 +53,12 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
     default_registry,
+)
+from repro.obs.timeseries import (
+    TimeSeriesError,
+    TimeSeriesRecorder,
+    registry_to_dict,
+    registry_to_json,
 )
 from repro.obs.tracing import SPAN_HISTOGRAM_NAME, SpanRecord, Tracer
 
@@ -40,4 +73,21 @@ __all__ = [
     "SPAN_HISTOGRAM_NAME",
     "SpanRecord",
     "Tracer",
+    "TraceContext",
+    "current_trace",
+    "set_current_trace",
+    "use_trace",
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LogError",
+    "LogHub",
+    "LogRecord",
+    "StructuredLogger",
+    "level_name",
+    "TimeSeriesError",
+    "TimeSeriesRecorder",
+    "registry_to_dict",
+    "registry_to_json",
 ]

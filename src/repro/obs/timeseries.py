@@ -1,0 +1,283 @@
+"""Time-series recording over the metrics registry: rates, not just totals.
+
+A :class:`~repro.obs.metrics.MetricsRegistry` is point-in-time — it can
+say *how many* check-ins have ever committed, but not whether the rate
+just collapsed.  :class:`TimeSeriesRecorder` closes that gap without any
+external TSDB: on a configurable cadence (or on demand) it snapshots
+every family into bounded per-series rings of ``(timestamp, value)``
+points, from which delta and per-second-rate queries — and the
+``repro top`` live dashboard — fall out.
+
+Series identity is ``(family name, labelvalues)``, exactly the registry's
+child identity.  Histograms contribute their observation *count* (the
+same convention as :meth:`MetricsRegistry.snapshot`), so rate queries
+over a histogram series read "observations per second".
+
+The JSON shapes here (:func:`registry_to_dict`,
+:meth:`TimeSeriesRecorder.to_dict`) are the machine-readable metrics
+serializer for the whole repo: ``repro metrics --format json`` and the
+``GET /debug/vars`` route both emit them, so one parser handles every
+surface.
+
+Thread-safety: sampling walks the registry under each child's own lock
+and appends under the recorder lock; a background sampler thread
+(:meth:`start`) can run concurrently with hammering producers and
+readers.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TimeSeriesError",
+    "TimeSeriesRecorder",
+    "registry_to_dict",
+    "registry_to_json",
+]
+
+
+class TimeSeriesError(ReproError):
+    """Misuse of the time-series recorder (bad cadence, bad bounds)."""
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The whole registry as one JSON-ready mapping.
+
+    Shape::
+
+        {family: {"kind": "counter", "labelnames": ["status"],
+                  "samples": [{"labels": {"status": "valid"},
+                               "value": 4000.0}, ...]}}
+
+    Histogram samples additionally carry ``"sum"`` and ``"buckets"``
+    (cumulative ``{le: count}``); their ``"value"`` is the observation
+    count, matching :meth:`MetricsRegistry.snapshot`.
+    """
+    out: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples: List[Dict[str, Any]] = []
+        for labelvalues, child in family.children():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if family.kind == "histogram":
+                buckets = {
+                    ("+Inf" if bound == float("inf") else repr(bound)): count
+                    for bound, count in child.bucket_counts()
+                }
+                samples.append(
+                    {
+                        "labels": labels,
+                        "value": float(child.count),
+                        "sum": child.sum,
+                        "buckets": buckets,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        out[family.name] = {
+            "kind": family.kind,
+            "labelnames": list(family.labelnames),
+            "samples": samples,
+        }
+    return out
+
+
+def registry_to_json(registry: MetricsRegistry, indent: Optional[int] = None) -> str:
+    """:func:`registry_to_dict`, rendered to a JSON string."""
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+#: One stored sample point.
+Point = Tuple[float, float]
+
+#: One series key: (family name, labelvalues).
+SeriesKey = Tuple[str, Tuple[str, ...]]
+
+
+class TimeSeriesRecorder:
+    """Bounded per-metric history rings over a live registry.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot.  Families/children appearing after
+        construction are picked up automatically on the next sample.
+    max_points:
+        Ring bound per series; the oldest point falls off beyond it.
+        At the default one-second cadence, 600 points ≈ ten minutes of
+        history per series.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        max_points: int = 600,
+    ) -> None:
+        if max_points < 2:
+            raise TimeSeriesError(f"max_points must be >= 2: {max_points}")
+        self.registry = registry
+        self.max_points = max_points
+        self._lock = threading.Lock()
+        self._series: Dict[SeriesKey, Deque[Point]] = {}
+        self._samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # Sampling ----------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> int:
+        """Snapshot every family once; returns how many series updated."""
+        stamp = time.time() if now is None else now
+        flat = self.registry.snapshot()
+        updated = 0
+        with self._lock:
+            for name, table in flat.items():
+                for labelvalues, value in table.items():
+                    key = (name, labelvalues)
+                    ring = self._series.get(key)
+                    if ring is None:
+                        ring = deque(maxlen=self.max_points)
+                        self._series[key] = ring
+                    ring.append((stamp, float(value)))
+                    updated += 1
+            self._samples_taken += 1
+        return updated
+
+    def start(self, interval_s: float = 1.0) -> "TimeSeriesRecorder":
+        """Run :meth:`sample` on a daemon thread every ``interval_s``."""
+        if interval_s <= 0:
+            raise TimeSeriesError(f"interval_s must be > 0: {interval_s}")
+        if self._thread is not None and self._thread.is_alive():
+            raise TimeSeriesError("recorder already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="timeseries-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background sampler (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TimeSeriesRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # Queries -----------------------------------------------------------
+
+    @property
+    def samples_taken(self) -> int:
+        """How many sampling passes have run."""
+        with self._lock:
+            return self._samples_taken
+
+    def series_keys(self) -> List[SeriesKey]:
+        """Every recorded ``(name, labelvalues)``, sorted."""
+        with self._lock:
+            return sorted(self._series)
+
+    def series(
+        self, name: str, labels: Sequence[str] = ()
+    ) -> List[Point]:
+        """The stored ``(timestamp, value)`` points for one series."""
+        key = (name, tuple(labels))
+        with self._lock:
+            ring = self._series.get(key)
+            return list(ring) if ring is not None else []
+
+    def latest(
+        self, name: str, labels: Sequence[str] = ()
+    ) -> Optional[Point]:
+        """The newest stored point for one series, or None."""
+        key = (name, tuple(labels))
+        with self._lock:
+            ring = self._series.get(key)
+            return ring[-1] if ring else None
+
+    def delta(
+        self,
+        name: str,
+        labels: Sequence[str] = (),
+        window_s: Optional[float] = None,
+    ) -> float:
+        """Value change across the stored window (or the last ``window_s``).
+
+        For counters this is "how many since"; for gauges it is the net
+        movement.  Returns 0.0 with fewer than two points.
+        """
+        points = self._window(name, labels, window_s)
+        if len(points) < 2:
+            return 0.0
+        return points[-1][1] - points[0][1]
+
+    def rate_per_s(
+        self,
+        name: str,
+        labels: Sequence[str] = (),
+        window_s: Optional[float] = None,
+    ) -> float:
+        """Average per-second change across the window (0.0 if undefined)."""
+        points = self._window(name, labels, window_s)
+        if len(points) < 2:
+            return 0.0
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return (points[-1][1] - points[0][1]) / elapsed
+
+    def _window(
+        self,
+        name: str,
+        labels: Sequence[str],
+        window_s: Optional[float],
+    ) -> List[Point]:
+        points = self.series(name, labels)
+        if window_s is None or not points:
+            return points
+        horizon = points[-1][0] - window_s
+        return [p for p in points if p[0] >= horizon]
+
+    # Export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every series as JSON-ready history (shares the /debug shape).
+
+        Shape::
+
+            {family: [{"labels": [...], "points": [[ts, v], ...]}, ...]}
+        """
+        with self._lock:
+            items = [
+                (key, list(ring)) for key, ring in sorted(self._series.items())
+            ]
+        out: Dict[str, Any] = {}
+        for (name, labelvalues), points in items:
+            out.setdefault(name, []).append(
+                {
+                    "labels": list(labelvalues),
+                    "points": [[ts, value] for ts, value in points],
+                }
+            )
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict`, rendered to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

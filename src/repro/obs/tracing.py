@@ -58,6 +58,19 @@ class SpanRecord:
     duration_s: float
     #: Wall-clock completion time (``time.time()``), for correlation.
     ended_at: float
+    #: Trace this span belonged to (see :mod:`repro.obs.context`), when
+    #: the instrumented layer propagated one — lets ``/debug/traces``
+    #: link a stall back to the exact request that suffered it.
+    trace_id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape for the ``/debug/traces`` route."""
+        return {
+            "span": self.name,
+            "duration_s": self.duration_s,
+            "ended_at": self.ended_at,
+            "trace_id": self.trace_id,
+        }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}: {self.duration_s * 1000.0:.1f} ms"
@@ -124,13 +137,17 @@ class Tracer:
             self._children[name] = child
         return _SpanContext(self, child, name)
 
-    def record(self, name: str, duration: float) -> None:
+    def record(
+        self, name: str, duration: float, trace_id: Optional[str] = None
+    ) -> None:
         """Record one already-measured span duration.
 
         The zero-allocation primitive behind :meth:`span`: hot paths that
         time themselves with two ``perf_counter()`` calls in a
         ``try/finally`` (the check-in commit) use this directly, skipping
-        the per-call context-manager object.
+        the per-call context-manager object.  ``trace_id`` (optional, and
+        only *read* on the slow path) correlates a retained slow span
+        with the request's structured-log story.
         """
         child = self._children.get(name)
         if child is None:
@@ -138,12 +155,17 @@ class Tracer:
             self._children[name] = child
         child.observe(duration)
         if duration >= self.slow_threshold_s:
-            self._note_slow(name, duration)
+            self._note_slow(name, duration, trace_id)
 
-    def _note_slow(self, name: str, duration: float) -> None:
+    def _note_slow(
+        self, name: str, duration: float, trace_id: Optional[str] = None
+    ) -> None:
         """Retain one slow span; only the slow path ever takes this lock."""
         record = SpanRecord(
-            name=name, duration_s=duration, ended_at=time.time()
+            name=name,
+            duration_s=duration,
+            ended_at=time.time(),
+            trace_id=trace_id,
         )
         with self._lock:
             self._ring.append(record)

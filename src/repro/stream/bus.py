@@ -33,6 +33,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.log import LogHub, StructuredLogger
 from repro.obs.metrics import MetricsRegistry
 from repro.stream.events import StreamEvent
 
@@ -113,6 +114,7 @@ class _Subscription:
         queue_size: int,
         policy: BackpressurePolicy,
         metrics: Optional[MetricsRegistry] = None,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self.name = name
         self.callback = callback
@@ -123,6 +125,7 @@ class _Subscription:
         self.metrics = (
             _SubscriberMetrics(metrics, name) if metrics is not None else None
         )
+        self.logger = logger
         self.closed = False
         if background:
             self._queue: deque = deque()
@@ -146,14 +149,14 @@ class _Subscription:
                 while len(self._queue) >= self.queue_size and not self.closed:
                     self._cond.wait()
                 if self.closed:
-                    self._count_dropped(1)
+                    self._count_dropped(1, event)
                     return
             elif len(self._queue) >= self.queue_size:
                 if self.policy is BackpressurePolicy.DROP_OLDEST:
-                    self._queue.popleft()
-                    self._count_dropped(1)
+                    evicted = self._queue.popleft()
+                    self._count_dropped(1, evicted)
                 else:  # REJECT
-                    self._count_dropped(1)
+                    self._count_dropped(1, event)
                     return
             self._queue.append(event)
             if len(self._queue) > self.stats.max_queued:
@@ -162,10 +165,21 @@ class _Subscription:
                 self.metrics.queue_depth.set(len(self._queue))
             self._cond.notify_all()
 
-    def _count_dropped(self, count: int) -> None:
+    def _count_dropped(
+        self, count: int, event: Optional[StreamEvent] = None
+    ) -> None:
         self.stats.dropped += count
         if self.metrics is not None:
             self.metrics.dropped.inc(count)
+        if self.logger is not None:
+            self.logger.warning(
+                "bus.drop",
+                subscriber=self.name,
+                policy=self.policy.value,
+                count=count,
+                trace_id=getattr(event, "trace_id", None),
+                seq=event.seq if event is not None else None,
+            )
 
     # Consumer side ----------------------------------------------------
 
@@ -186,10 +200,18 @@ class _Subscription:
     def _invoke(self, event: StreamEvent) -> None:
         try:
             self.callback(event)
-        except Exception:  # noqa: BLE001 - subscriber faults must not
-            self.stats.errors += 1  # poison the check-in pipeline.
+        except Exception as exc:  # noqa: BLE001 - subscriber faults must
+            self.stats.errors += 1  # not poison the check-in pipeline.
             if self.metrics is not None:
                 self.metrics.errors.inc()
+            if self.logger is not None:
+                self.logger.error(
+                    "bus.subscriber_error",
+                    subscriber=self.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    trace_id=getattr(event, "trace_id", None),
+                    seq=event.seq,
+                )
         self.stats.delivered += 1
         if self.metrics is not None:
             self.metrics.delivered.inc()
@@ -233,9 +255,20 @@ class EventBus:
     counter plus per-subscriber delivery/drop/error counters and a
     queue-depth gauge (labeled ``subscriber=<name>``), mirroring the
     in-process :class:`SubscriberStats` for scraping.
+
+    Pass a :class:`~repro.obs.log.LogHub` to record delivery *anomalies*
+    as structured records on the ``stream.bus`` logger: WARNING
+    ``bus.drop`` per lost event (with the dropped event's ``trace_id``
+    when it carried one) and ERROR ``bus.subscriber_error`` per raising
+    callback.  The happy path logs nothing — at firehose rates a
+    per-delivery record would dwarf the work being delivered.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
+    ) -> None:
         self._subs: Tuple[_Subscription, ...] = ()
         self._by_name: Dict[str, _Subscription] = {}
         self._admin = threading.Lock()
@@ -244,6 +277,7 @@ class EventBus:
         self._published = 0
         self._closed = False
         self._metrics = metrics
+        self._logger = log.logger("stream.bus") if log is not None else None
         if metrics is not None:
             self._published_metric = metrics.counter(
                 "repro_bus_published_total",
@@ -278,6 +312,7 @@ class EventBus:
                 queue_size,
                 policy,
                 metrics=self._metrics,
+                logger=self._logger,
             )
             self._by_name[name] = sub
             self._subs = self._subs + (sub,)

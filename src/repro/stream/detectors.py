@@ -149,6 +149,10 @@ class _ActivityState:
     recent_memberships: int = 0
     #: Valid check-in timestamps inside the sliding window.
     window: Deque[float] = field(default_factory=deque)
+    #: Trace of the newest event folded into this state (see
+    #: :mod:`repro.obs.context`) — lets a downstream flag cite the exact
+    #: request that pushed the score over the bar.
+    last_trace_id: Optional[str] = None
 
 
 class ActivityRateDetector:
@@ -191,6 +195,7 @@ class ActivityRateDetector:
             state = self.users.touch(event.user_id, _ActivityState)
             state.total_checkins += 1
             state.valid_checkins += 1
+            state.last_trace_id = event.trace_id
             self._push_window(state, event.timestamp)
             self._update_recent(event.venue_id, event.user_id)
         elif isinstance(event, CheckInFlagged):
@@ -199,6 +204,7 @@ class ActivityRateDetector:
                 self._scored.inc()
             state = self.users.touch(event.user_id, _ActivityState)
             state.total_checkins += 1
+            state.last_trace_id = event.trace_id
 
     def _push_window(self, state: _ActivityState, now: float) -> None:
         window = state.window
@@ -232,6 +238,11 @@ class ActivityRateDetector:
         if state is None:
             return (0, 0)
         return (state.recent_memberships, state.total_checkins)
+
+    def last_trace_id(self, user_id: int) -> Optional[str]:
+        """Trace of the newest event scored for this user, if any."""
+        state = self.users.get(user_id)
+        return None if state is None else state.last_trace_id
 
     def rate_per_hour(self, user_id: int, now: float) -> float:
         """Valid check-ins per hour inside the sliding window."""

@@ -20,6 +20,14 @@ Every event carries:
 Events are plain mutable dataclasses with ``slots`` — the bus stamps
 ``seq`` in place on unsequenced events, and slots keep per-event overhead
 small at firehose rates.
+
+Every concrete event also carries an optional ``trace_id`` (see
+:mod:`repro.obs.context`): the producer stamps the check-in's trace onto
+the events it publishes, so online consumers — detectors, the suspicion
+ledger, defenses — can cite the *exact request* behind a score or flag,
+and ``grep trace_id`` over the structured log reconstructs the full
+verify → commit → publish → detect → flag chain.  ``trace_id`` defaults
+to ``None`` and costs nothing when tracing is off.
 """
 
 from __future__ import annotations
@@ -52,6 +60,8 @@ class UserRegistered(StreamEvent):
 
     user_id: int
     username: Optional[str] = None
+    #: Originating request trace (see :mod:`repro.obs.context`).
+    trace_id: Optional[str] = None
 
 
 @dataclass(slots=True)
@@ -60,6 +70,8 @@ class VenueCreated(StreamEvent):
 
     venue_id: int
     location: Optional[GeoPoint] = None
+    #: Originating request trace (see :mod:`repro.obs.context`).
+    trace_id: Optional[str] = None
 
 
 @dataclass(slots=True)
@@ -76,6 +88,8 @@ class CheckInEvent(StreamEvent):
     venue_location: GeoPoint
     reported_location: GeoPoint
     checkin_id: int = 0
+    #: Originating request trace (see :mod:`repro.obs.context`).
+    trace_id: Optional[str] = None
 
 
 @dataclass(slots=True)
@@ -109,6 +123,8 @@ class MayorChanged(StreamEvent):
     venue_id: int
     new_mayor_id: Optional[int] = None
     previous_mayor_id: Optional[int] = None
+    #: Originating request trace (see :mod:`repro.obs.context`).
+    trace_id: Optional[str] = None
 
 
 #: The event types a check-in pipeline can emit, for isinstance fan-out.

@@ -21,6 +21,7 @@ import threading
 from typing import Dict, List, Optional
 
 from repro.analysis.detection import DetectorConfig, SuspicionReport
+from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
 from repro.stream.bus import BackpressurePolicy, EventBus
 from repro.stream.detectors import (
@@ -52,6 +53,12 @@ class SuspicionLedger:
         count (``repro_ledger_suspects``); the three detectors export
         their per-detector scoring volume
         (``repro_stream_events_scored_total{detector=...}``).
+    log:
+        Optional :class:`~repro.obs.log.LogHub`.  Each time a user newly
+        crosses the reporting bar the ledger emits one ``ledger.flag``
+        record carrying the *triggering event's* ``trace_id`` — the last
+        hop of the end-to-end check-in → commit → publish → detect → flag
+        chain (see :mod:`repro.obs.context`).
     """
 
     def __init__(
@@ -59,13 +66,17 @@ class SuspicionLedger:
         config: Optional[DetectorConfig] = None,
         stream_config: Optional[StreamDetectorConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
     ) -> None:
         self.config = config or DetectorConfig()
         self.stream_config = stream_config or StreamDetectorConfig()
         self.activity = ActivityRateDetector(self.stream_config, metrics)
         self.rewards = RewardRateDetector(self.stream_config, metrics)
         self.geography = GeoDispersionDetector(self.stream_config, metrics)
+        self._logger = log.logger("stream.ledger") if log is not None else None
         self._suspects: Dict[int, SuspicionReport] = {}
+        #: Trace that raised each live flag (user_id → trace_id).
+        self._flag_traces: Dict[int, Optional[str]] = {}
         self._lock = threading.Lock()
         self.events_processed = 0
         self.last_seq = -1
@@ -99,7 +110,7 @@ class SuspicionLedger:
                 self.events_processed += 1
                 if event.seq > self.last_seq:
                     self.last_seq = event.seq
-                self._rescore(event.user_id)
+                self._rescore(event.user_id, trace_id=event.trace_id)
             if self._scored_metric is not None:
                 self._scored_metric.inc()
 
@@ -154,17 +165,35 @@ class SuspicionLedger:
             return True
         return report.strongest_factor >= self.config.strong_factor_threshold
 
-    def _rescore(self, user_id: int) -> None:
+    def _rescore(
+        self, user_id: int, trace_id: Optional[str] = None
+    ) -> None:
         report = self.score_user(user_id)
         if self._reportable(report):
-            if (
-                self._flags_metric is not None
-                and user_id not in self._suspects
-            ):
-                self._flags_metric.inc()
+            newly_flagged = user_id not in self._suspects
+            if newly_flagged:
+                if self._flags_metric is not None:
+                    self._flags_metric.inc()
+                # Lazy-read rescores carry no event; fall back to the
+                # newest trace the activity detector folded in.
+                if trace_id is None:
+                    trace_id = self.activity.last_trace_id(user_id)
+                self._flag_traces[user_id] = trace_id
+                if self._logger is not None:
+                    self._logger.info(
+                        "ledger.flag",
+                        trace_id=trace_id,
+                        user_id=user_id,
+                        combined_score=round(report.combined_score, 4),
+                        activity_score=round(report.activity_score, 4),
+                        reward_score=round(report.reward_score, 4),
+                        pattern_score=round(report.pattern_score, 4),
+                        total_checkins=report.total_checkins,
+                    )
             self._suspects[user_id] = report
         else:
             self._suspects.pop(user_id, None)
+            self._flag_traces.pop(user_id, None)
         if self._suspects_metric is not None:
             self._suspects_metric.set(len(self._suspects))
 
@@ -183,6 +212,11 @@ class SuspicionLedger:
                 return False
             self._rescore(user_id)
             return user_id in self._suspects
+
+    def flag_trace_id(self, user_id: int) -> Optional[str]:
+        """Trace of the event that raised this user's live flag, if any."""
+        with self._lock:
+            return self._flag_traces.get(user_id)
 
     def suspect_ids(self) -> List[int]:
         """All current suspect user-ids (unordered snapshot)."""

@@ -126,3 +126,48 @@ class TestMetricsCommand:
     def test_metrics_defaults(self):
         args = build_parser().parse_args(["metrics"])
         assert args.slow_spans == 5
+        assert args.format == "text"
+
+    def test_metrics_json_format_shares_the_debug_vars_shape(self, capsys):
+        import json
+
+        assert main(["metrics", "--format", "json"] + SMALL) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        # Every instrumented layer present, in the registry_to_dict shape.
+        for family in (
+            "repro_lbsn_checkins_total",
+            "repro_bus_published_total",
+            "repro_crawler_pages_fetched_total",
+            "repro_log_records_total",
+            "repro_defense_verdicts_total",
+            "repro_defense_actions_total",
+        ):
+            assert family in parsed, family
+            assert set(parsed[family]) == {"kind", "labelnames", "samples"}
+        histogram = parsed["repro_defense_check_seconds"]
+        assert histogram["kind"] == "histogram"
+        for sample in histogram["samples"]:
+            assert "buckets" in sample and "sum" in sample
+
+    def test_metrics_format_choices_enforced(self):
+        args = build_parser().parse_args(["metrics", "--format", "json"])
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--format", "yaml"])
+
+
+class TestTopCommand:
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.interval == 0.5
+        assert args.refreshes == 0
+        assert args.rows == 12
+
+    def test_top_renders_rate_dashboard(self, capsys):
+        argv = ["top", "--interval", "0.2", "--refreshes", "2", "--rows", "6"]
+        assert main(argv + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "repro top: refresh 1" in out
+        assert "rate/s" in out and "series" in out
+        # At least one real series row made it onto the board.
+        assert "repro_" in out

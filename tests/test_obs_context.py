@@ -1,0 +1,119 @@
+"""Unit tests for trace propagation (repro.obs.context).
+
+Minting, the ID format contract the log-grep workflow depends on, child
+contexts and span allocation, and the contextvar-based ambient context
+(install/restore, nesting, thread isolation).
+"""
+
+import re
+import threading
+
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    set_current_trace,
+    use_trace,
+)
+
+ID_SHAPE = re.compile(r"^[0-9a-f]{8}-[0-9a-f]{8}$")
+
+
+class TestMinting:
+    def test_ids_are_fixed_width_hex(self):
+        trace = TraceContext.mint()
+        assert ID_SHAPE.match(trace.trace_id)
+        assert trace.parent_span_id is None
+
+    def test_ids_are_unique_and_ordered(self):
+        ids = [TraceContext.mint().trace_id for _ in range(100)]
+        assert len(set(ids)) == 100
+        # Fixed-width hex sequences sort in mint order within a process.
+        assert ids == sorted(ids)
+
+    def test_ids_unique_across_threads(self):
+        out = []
+        lock = threading.Lock()
+
+        def mint_some():
+            local = [TraceContext.mint().trace_id for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=mint_some) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 800
+
+
+class TestSpansAndChildren:
+    def test_span_ids_count_up_within_a_trace(self):
+        trace = TraceContext.mint()
+        assert trace.next_span_id() == "1"
+        assert trace.next_span_id() == "2"
+
+    def test_child_shares_trace_and_records_parent(self):
+        trace = TraceContext.mint()
+        child = trace.child()
+        assert child.trace_id == trace.trace_id
+        assert child.parent_span_id == "1"
+        assert trace.child("7").parent_span_id == "7"
+
+    def test_equality_and_hash(self):
+        a = TraceContext("t", "1")
+        b = TraceContext("t", "1")
+        c = TraceContext("t", "2")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "t"
+
+
+class TestAmbientContext:
+    def test_defaults_to_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_installs_and_restores(self):
+        trace = TraceContext.mint()
+        with use_trace(trace) as installed:
+            assert installed is trace
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_use_trace_nests(self):
+        outer, inner = TraceContext.mint(), TraceContext.mint()
+        with use_trace(outer):
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_use_trace_restores_on_exception(self):
+        trace = TraceContext.mint()
+        try:
+            with use_trace(trace):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+
+    def test_set_current_trace_returns_reset_token(self):
+        trace = TraceContext.mint()
+        token = set_current_trace(trace)
+        try:
+            assert current_trace() is trace
+        finally:
+            token.var.reset(token)
+        assert current_trace() is None
+
+    def test_threads_do_not_share_the_ambient_trace(self):
+        trace = TraceContext.mint()
+        seen = []
+        with use_trace(trace):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace())
+            )
+            thread.start()
+            thread.join()
+        # A fresh thread starts from the default, not the caller's trace.
+        assert seen == [None]

@@ -1,0 +1,204 @@
+"""Unit tests for the time-series recorder and the shared JSON serializer
+(repro.obs.timeseries).
+
+The delta/rate queries use explicit ``now`` stamps so the arithmetic is
+deterministic; the background-sampler thread is covered separately in
+``test_obs_concurrency``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TimeSeriesError,
+    TimeSeriesRecorder,
+    registry_to_dict,
+    registry_to_json,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    checkins = registry.counter(
+        "t_checkins_total", "Check-ins.", ("status",)
+    )
+    depth = registry.gauge("t_queue_depth", "Queue depth.")
+    latency = registry.histogram(
+        "t_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+    )
+    return registry, checkins, depth, latency
+
+
+class TestRegistrySerializer:
+    def test_counter_and_gauge_shapes(self):
+        registry, checkins, depth, _ = _registry()
+        checkins.labels("valid").inc(3)
+        checkins.labels("flagged").inc()
+        depth.set(7)
+        out = registry_to_dict(registry)
+        family = out["t_checkins_total"]
+        assert family["kind"] == "counter"
+        assert family["labelnames"] == ["status"]
+        values = {
+            sample["labels"]["status"]: sample["value"]
+            for sample in family["samples"]
+        }
+        assert values == {"valid": 3.0, "flagged": 1.0}
+        (gauge_sample,) = out["t_queue_depth"]["samples"]
+        assert gauge_sample == {"labels": {}, "value": 7.0}
+
+    def test_histogram_sample_carries_count_sum_buckets(self):
+        registry, _, _, latency = _registry()
+        latency.observe(0.05)
+        latency.observe(0.5)
+        latency.observe(5.0)
+        (sample,) = registry_to_dict(registry)["t_latency_seconds"]["samples"]
+        assert sample["value"] == 3.0  # observation count
+        assert math.isclose(sample["sum"], 5.55)
+        assert sample["buckets"]["0.1"] == 1
+        assert sample["buckets"]["1.0"] == 2  # cumulative
+        assert sample["buckets"]["+Inf"] == 3
+
+    def test_json_round_trips(self):
+        registry, checkins, _, _ = _registry()
+        checkins.labels("valid").inc()
+        parsed = json.loads(registry_to_json(registry, indent=2))
+        assert parsed == registry_to_dict(registry)
+
+
+class TestSampling:
+    def test_sample_records_every_series(self):
+        registry, checkins, depth, latency = _registry()
+        checkins.labels("valid").inc(4)
+        depth.set(2)
+        latency.observe(0.3)
+        recorder = TimeSeriesRecorder(registry)
+        updated = recorder.sample(now=100.0)
+        assert updated == 3
+        assert recorder.samples_taken == 1
+        assert recorder.latest("t_checkins_total", ("valid",)) == (100.0, 4.0)
+        assert recorder.latest("t_queue_depth") == (100.0, 2.0)
+        # Histogram series store the observation count.
+        assert recorder.latest("t_latency_seconds") == (100.0, 1.0)
+
+    def test_new_series_picked_up_mid_flight(self):
+        registry, checkins, _, _ = _registry()
+        recorder = TimeSeriesRecorder(registry)
+        checkins.labels("valid").inc()
+        recorder.sample(now=1.0)
+        checkins.labels("rejected").inc()
+        recorder.sample(now=2.0)
+        keys = recorder.series_keys()
+        assert ("t_checkins_total", ("rejected",)) in keys
+        assert len(recorder.series("t_checkins_total", ("valid",))) == 2
+
+    def test_max_points_bounds_each_ring(self):
+        registry, checkins, _, _ = _registry()
+        child = checkins.labels("valid")
+        recorder = TimeSeriesRecorder(registry, max_points=2)
+        for stamp in (1.0, 2.0, 3.0):
+            child.inc()
+            recorder.sample(now=stamp)
+        points = recorder.series("t_checkins_total", ("valid",))
+        assert points == [(2.0, 2.0), (3.0, 3.0)]
+
+    def test_unknown_series_is_empty(self):
+        registry, _, _, _ = _registry()
+        recorder = TimeSeriesRecorder(registry)
+        assert recorder.series("t_missing") == []
+        assert recorder.latest("t_missing") is None
+
+
+class TestDeltaAndRate:
+    def _recorder(self):
+        registry, checkins, _, _ = _registry()
+        child = checkins.labels("valid")
+        recorder = TimeSeriesRecorder(registry)
+        child.inc(10)
+        recorder.sample(now=100.0)
+        child.inc(20)
+        recorder.sample(now=110.0)
+        child.inc(10)
+        recorder.sample(now=120.0)
+        return recorder
+
+    def test_delta_over_full_window(self):
+        recorder = self._recorder()
+        assert recorder.delta("t_checkins_total", ("valid",)) == 30.0
+
+    def test_rate_per_s_over_full_window(self):
+        recorder = self._recorder()
+        assert recorder.rate_per_s("t_checkins_total", ("valid",)) == 1.5
+
+    def test_windowed_queries_trim_old_points(self):
+        recorder = self._recorder()
+        delta = recorder.delta("t_checkins_total", ("valid",), window_s=10.0)
+        assert delta == 10.0
+        rate = recorder.rate_per_s(
+            "t_checkins_total", ("valid",), window_s=10.0
+        )
+        assert rate == 1.0
+
+    def test_fewer_than_two_points_is_zero(self):
+        registry, checkins, _, _ = _registry()
+        checkins.labels("valid").inc()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=1.0)
+        assert recorder.delta("t_checkins_total", ("valid",)) == 0.0
+        assert recorder.rate_per_s("t_checkins_total", ("valid",)) == 0.0
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        registry, checkins, _, _ = _registry()
+        checkins.labels("valid").inc(4)
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=100.0)
+        out = recorder.to_dict()
+        assert out["t_checkins_total"] == [
+            {"labels": ["valid"], "points": [[100.0, 4.0]]}
+        ]
+        # Unlabelled families appear as one solo series each.
+        assert out["t_queue_depth"] == [
+            {"labels": [], "points": [[100.0, 0.0]]}
+        ]
+
+    def test_to_json_round_trips(self):
+        registry, checkins, _, _ = _registry()
+        checkins.labels("valid").inc()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=1.0)
+        assert json.loads(recorder.to_json()) == recorder.to_dict()
+
+
+class TestGuards:
+    def test_max_points_floor(self):
+        registry, _, _, _ = _registry()
+        with pytest.raises(TimeSeriesError):
+            TimeSeriesRecorder(registry, max_points=1)
+
+    def test_interval_must_be_positive(self):
+        registry, _, _, _ = _registry()
+        recorder = TimeSeriesRecorder(registry)
+        with pytest.raises(TimeSeriesError):
+            recorder.start(interval_s=0.0)
+
+    def test_double_start_rejected(self):
+        registry, _, _, _ = _registry()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.start(interval_s=60.0)
+        try:
+            with pytest.raises(TimeSeriesError):
+                recorder.start(interval_s=60.0)
+        finally:
+            recorder.stop()
+
+    def test_context_manager_stops_the_sampler(self):
+        registry, _, _, _ = _registry()
+        with TimeSeriesRecorder(registry).start(interval_s=60.0) as recorder:
+            assert recorder._thread.is_alive()
+        assert recorder._thread is None
+        recorder.stop()  # idempotent

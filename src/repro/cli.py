@@ -167,6 +167,47 @@ def build_parser() -> argparse.ArgumentParser:
         default="figures_out",
         help="output directory for CSV files (default ./figures_out)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault storm through every layer; resilience report (E22)",
+    )
+    _add_common(chaos)
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1337,
+        help="seed of the fault plan's decision streams (default 1337)",
+    )
+    chaos.add_argument(
+        "--checkins",
+        type=int,
+        default=300,
+        help="check-in attempts in the commit storm (default 300)",
+    )
+    chaos.add_argument(
+        "--fetch-failure",
+        type=float,
+        default=0.20,
+        help="per-check crawler fetch failure probability (default 0.20)",
+    )
+    chaos.add_argument(
+        "--subscriber-failure",
+        type=float,
+        default=0.05,
+        help="per-delivery victim-subscriber failure probability "
+        "(default 0.05)",
+    )
+    chaos.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="control run: identical workload with no injector wired",
+    )
+    chaos.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the same seeds and assert byte-identical digests",
+    )
     return parser
 
 
@@ -581,6 +622,88 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """E22: the seeded fault storm, with invariant checks."""
+    from repro.obs.log import LogHub
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workload.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        scale=args.scale,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        checkins=args.checkins,
+        fetch_failure=args.fetch_failure,
+        subscriber_failure=args.subscriber_failure,
+        faults_enabled=not args.no_faults,
+    )
+    metrics = MetricsRegistry()
+    log = LogHub(metrics=metrics)
+    report = run_chaos(config, metrics=metrics, log=log)
+    crawl = report.crawl
+    print(
+        f"chaos seed={config.seed}/{config.fault_seed} "
+        f"storm={'off' if args.no_faults else 'on'} "
+        f"({report.wall_seconds:.2f}s wall, simulated time throughout)"
+    )
+    if crawl is not None:
+        print(
+            f"  crawl: {crawl.hits} hits / {crawl.failures} failures "
+            f"({crawl.transient_failures} transient), "
+            f"aborted={report.crawl_aborted}, "
+            f"breaker opens={report.crawler_breaker_opens}"
+        )
+    print(
+        f"  commits: {report.checkins_returned}/"
+        f"{report.checkins_attempted} returned, "
+        f"{report.commit_retries} retries, "
+        f"{report.commit_exhausted} exhausted"
+    )
+    print(
+        f"  bus: victim errors={report.victim_errors} "
+        f"(isolated), ledger suspects={len(report.ledger_suspects)}"
+    )
+    print(
+        f"  breaker drill: opened after "
+        f"{report.breaker_failures_to_open} failures, "
+        f"half-open={report.breaker_half_opened}, "
+        f"re-opened on probe failure="
+        f"{report.breaker_reopened_on_probe_failure}, "
+        f"closed={report.breaker_closed_after_probe}"
+    )
+    statuses = ", ".join(
+        f"{status}:{count}"
+        for status, count in sorted(report.web_statuses.items())
+    )
+    print(
+        f"  web: [{statuses}] metrics_ok={report.metrics_route_ok} "
+        f"vars_ok={report.debug_vars_route_ok} "
+        f"logs_ok={report.debug_logs_route_ok}"
+    )
+    fired = ", ".join(
+        f"{point}={count}"
+        for point, count in sorted(report.faults_fired.items())
+    )
+    print(f"  faults fired: {fired or '(none)'}")
+    print(f"  fault sequence digest: {report.fault_sequence_digest or '-'}")
+    print(f"  committed state digest: {report.committed_state_digest}")
+    ok = report.commit_exhausted == 0 and not report.crawl_aborted
+    if args.verify:
+        replay = run_chaos(config)
+        seq_ok = (
+            replay.fault_sequence_digest == report.fault_sequence_digest
+        )
+        state_ok = (
+            replay.committed_state_digest == report.committed_state_digest
+        )
+        print(
+            f"  replay: fault sequence identical={seq_ok}, "
+            f"end state identical={state_ok}"
+        )
+        ok = ok and seq_ok and state_ok
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "crawl": cmd_crawl,
@@ -591,6 +714,7 @@ _COMMANDS = {
     "metrics": cmd_metrics,
     "top": cmd_top,
     "figures": cmd_figures,
+    "chaos": cmd_chaos,
 }
 
 

@@ -13,13 +13,17 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.crawler.database import CrawlDatabase
 from repro.crawler.fetcher import PageFetcher
 from repro.crawler.frontier import CrawlMode, IdFrontier
 from repro.crawler.parser import parse_user_page, parse_venue_page
-from repro.errors import CrawlError
+from repro.errors import CrawlError, PermanentError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import BackoffPolicy
+from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
 from repro.simnet.http import HttpTransport
 from repro.simnet.network import Egress
@@ -34,6 +38,9 @@ class CrawlStats:
     hits: int = 0
     misses: int = 0
     failures: int = 0
+    #: Failures whose error was transient (retryable) — a subset of
+    #: ``failures``; the remainder were permanent refusals or parse bugs.
+    transient_failures: int = 0
     wall_seconds: float = 0.0
     threads: int = 0
     machines: int = 0
@@ -64,6 +71,12 @@ class MultiThreadedCrawler:
         stop_at: Optional[int] = None,
         abort_after_failures: int = 500,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
+        faults: Optional[FaultInjector] = None,
+        breaker_factory: Optional[Callable[[str], CircuitBreaker]] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        sleep: Optional[Callable[[float], object]] = None,
+        fetch_max_retries: int = 2,
     ) -> None:
         if not machine_egresses:
             raise CrawlError("need at least one crawl machine egress")
@@ -87,6 +100,19 @@ class MultiThreadedCrawler:
         self._consecutive_failures = 0
         self._aborted = False
         self._metrics = metrics
+        self._log = log
+        #: Optional resilience wiring, forwarded to every fetcher: the
+        #: fault injector (``crawler.fetch`` point), a per-machine
+        #: circuit breaker (``breaker_factory(name)`` is called once per
+        #: egress; breakers land in :attr:`breakers`), and a backoff
+        #: policy paced through ``sleep`` (pass ``clock.advance`` for
+        #: simulated time).
+        self.faults = faults
+        self.breaker_factory = breaker_factory
+        self.backoff = backoff
+        self._sleep = sleep
+        self.fetch_max_retries = fetch_max_retries
+        self.breakers: List[CircuitBreaker] = []
         if metrics is not None:
             self._pages_metric = metrics.counter(
                 "repro_crawler_pages_fetched_total",
@@ -124,8 +150,20 @@ class MultiThreadedCrawler:
         started = time.perf_counter()
         threads: List[threading.Thread] = []
         for machine_index, egress in enumerate(self.machine_egresses):
+            breaker: Optional[CircuitBreaker] = None
+            if self.breaker_factory is not None:
+                breaker = self.breaker_factory(f"egress-m{machine_index}")
+                self.breakers.append(breaker)
             fetcher = PageFetcher(
-                self.transport, egress, metrics=self._metrics
+                self.transport,
+                egress,
+                max_retries=self.fetch_max_retries,
+                metrics=self._metrics,
+                log=self._log,
+                faults=self.faults,
+                breaker=breaker,
+                backoff=self.backoff,
+                sleep=self._sleep,
             )
             for thread_index in range(self.threads_per_machine):
                 thread = threading.Thread(
@@ -161,8 +199,10 @@ class MultiThreadedCrawler:
                 thread_pages.inc()
             try:
                 body = fetcher.fetch(path)
-            except CrawlError:
-                self._record_failure()
+            except CrawlError as error:
+                self._record_failure(
+                    transient=not isinstance(error, PermanentError)
+                )
                 continue
             if body is None:
                 self.frontier.report_miss(profile_id)
@@ -193,10 +233,12 @@ class MultiThreadedCrawler:
         else:
             self.database.upsert_venue(parse_venue_page(body))
 
-    def _record_failure(self) -> None:
+    def _record_failure(self, transient: bool = False) -> None:
         with self._lock:
             self._stats.pages_fetched += 1
             self._stats.failures += 1
+            if transient:
+                self._stats.transient_failures += 1
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.abort_after_failures:
                 # The site is refusing us (login wall, IP block, sustained
@@ -213,12 +255,20 @@ def crawl_full_site(
     venue_threads_per_machine: int = 5,
     database: Optional[CrawlDatabase] = None,
     metrics: Optional[MetricsRegistry] = None,
+    log: Optional[LogHub] = None,
+    faults: Optional[FaultInjector] = None,
+    breaker_factory: Optional[Callable[[str], CircuitBreaker]] = None,
+    backoff: Optional[BackoffPolicy] = None,
+    sleep: Optional[Callable[[float], object]] = None,
 ) -> tuple:
     """Run the thesis's full two-pass crawl: all users, then all venues.
 
     Returns ``(database, user_stats, venue_stats)`` with the derived
     UserInfo columns (RecentCheckins, TotalMayors) already recomputed.
-    ``metrics`` (optional) instruments both passes and their fetchers.
+    ``metrics`` (optional) instruments both passes and their fetchers;
+    ``faults``/``breaker_factory``/``backoff``/``sleep`` (optional) give
+    both passes the resilience wiring :class:`MultiThreadedCrawler`
+    documents.
     """
     database = database or CrawlDatabase()
     user_crawl = MultiThreadedCrawler(
@@ -228,6 +278,11 @@ def crawl_full_site(
         machine_egresses,
         threads_per_machine=user_threads_per_machine,
         metrics=metrics,
+        log=log,
+        faults=faults,
+        breaker_factory=breaker_factory,
+        backoff=backoff,
+        sleep=sleep,
     )
     user_stats = user_crawl.run()
     venue_crawl = MultiThreadedCrawler(
@@ -237,6 +292,11 @@ def crawl_full_site(
         machine_egresses,
         threads_per_machine=venue_threads_per_machine,
         metrics=metrics,
+        log=log,
+        faults=faults,
+        breaker_factory=breaker_factory,
+        backoff=backoff,
+        sleep=sleep,
     )
     venue_stats = venue_crawl.run()
     database.recompute_derived()

@@ -159,9 +159,14 @@ class LbsnService:
         event_bus: Optional["EventBus"] = None,
         metrics: Optional[MetricsRegistry] = None,
         log: Optional[LogHub] = None,
+        faults=None,
     ) -> None:
         self.clock = clock or SimClock()
-        self.store = DataStore(metrics=metrics, log=log)
+        #: Optional :class:`~repro.faults.FaultInjector`.  The service
+        #: itself only forwards it to the store (``store.commit`` fires
+        #: before any row mutates, so aborted commits are atomic).
+        self.faults = faults
+        self.store = DataStore(metrics=metrics, log=log, faults=faults)
         self.cheater_code = cheater_code or CheaterCode()
         self.badges = badge_engine or BadgeEngine()
         self.points = points_policy or PointsPolicy()

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.faults.injector import FaultInjector
+from repro.faults.points import POINT_STORE_COMMIT
 from repro.geo.coordinates import GeoPoint
 from repro.geo.grid import SpatialGrid
 from repro.lbsn.models import CheckIn, User, Venue
@@ -38,9 +40,14 @@ class DataStore:
         self,
         metrics: Optional[MetricsRegistry] = None,
         log: Optional[LogHub] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._lock = threading.RLock()
         self._metrics = metrics
+        #: Optional fault injector checked at ``store.commit`` *before*
+        #: any table row mutates, so a fired commit fault aborts cleanly
+        #: (typically as :class:`~repro.errors.CommitContentionError`).
+        self.faults = faults
         #: DEBUG-level commit records ("store.commit"), carrying the
         #: check-in's trace so a grep over the structured log shows the
         #: commit between the service's verify and publish records.
@@ -241,7 +248,16 @@ class DataStore:
         emits a DEBUG ``store.commit`` record carrying ``trace_id`` — the
         link between the service's ``checkin`` record and the bus events
         that follow.  The record is emitted *outside* the lock.
+
+        With a fault injector attached, the ``store.commit`` failure
+        point is checked *before* the lock is taken or any row mutates:
+        a fired fault (typically
+        :class:`~repro.errors.CommitContentionError`) therefore never
+        leaves partial state — the commit is all-or-nothing, which is
+        the invariant the chaos suite's ledger-parity check leans on.
         """
+        if self.faults is not None:
+            self.faults.check(POINT_STORE_COMMIT, trace_id=trace_id)
         with self._lock:
             started = (
                 time.perf_counter() if self._lock_hold is not None else 0.0

@@ -40,12 +40,16 @@ import html
 import json
 from typing import Callable, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.points import POINT_WEB_REQUEST
 from repro.lbsn.models import User, Venue
 from repro.lbsn.service import LbsnService
 from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeseries import registry_to_dict
 from repro.simnet.http import (
+    HTTP_GATEWAY_TIMEOUT,
     HTTP_NOT_FOUND,
     HttpRequest,
     HttpResponse,
@@ -53,6 +57,10 @@ from repro.simnet.http import (
 )
 
 VisitorObfuscator = Callable[[int], str]
+
+#: Path prefixes the fault middleware never degrades: observability must
+#: stay readable precisely while the service is failing.
+FAULT_EXEMPT_PREFIXES = ("/metrics", "/debug/")
 
 #: Content type of the Prometheus text exposition format (the scrape
 #: protocol requires the charset parameter).
@@ -75,6 +83,7 @@ class LbsnWebServer:
         visitor_obfuscator: Optional[VisitorObfuscator] = None,
         metrics: Optional[MetricsRegistry] = None,
         log: Optional[LogHub] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.service = service
         self.show_whos_been_here = show_whos_been_here
@@ -83,6 +92,11 @@ class LbsnWebServer:
         self.metrics = metrics if metrics is not None else service.metrics
         #: Log hub served at ``/debug/logs``; defaults to the service's own.
         self.log = log if log is not None else service.log
+        #: Optional fault injector behind :meth:`fault_middleware`;
+        #: defaults to the service's own.
+        self.faults = faults if faults is not None else getattr(
+            service, "faults", None
+        )
 
     def install_routes(self, router: Router) -> None:
         """Attach the site's routes (and ``/metrics`` when instrumented)."""
@@ -95,6 +109,48 @@ class LbsnWebServer:
             router.add("GET", r"/debug/traces", self._debug_traces)
         if self.log is not None:
             router.add("GET", r"/debug/logs", self._debug_logs)
+
+    # Fault middleware ------------------------------------------------------
+
+    def fault_middleware(
+        self,
+    ) -> Callable[[HttpRequest], Optional[HttpResponse]]:
+        """A transport middleware firing the ``web.request`` point.
+
+        Install on the :class:`~repro.simnet.http.HttpTransport` in front
+        of routing.  Per fired fault: HTTP specs short-circuit with their
+        status, ERROR specs answer 500, LATENCY specs charge the
+        service's simulated clock and answer 504 Gateway Timeout.
+        ``/metrics`` and ``/debug/*`` are exempt — observability must not
+        degrade with the service (the chaos suite pins this).
+        """
+
+        def middleware(request: HttpRequest) -> Optional[HttpResponse]:
+            faults = self.faults
+            if faults is None:
+                return None
+            path = request.path
+            for prefix in FAULT_EXEMPT_PREFIXES:
+                if path.startswith(prefix):
+                    return None
+            decision = faults.decide(POINT_WEB_REQUEST, label=path)
+            if decision is None:
+                return None
+            if decision.latency_s > 0:
+                self.service.clock.advance(decision.latency_s)
+            if decision.kind is FaultKind.LATENCY:
+                return HttpResponse(
+                    status=HTTP_GATEWAY_TIMEOUT,
+                    body="injected timeout",
+                )
+            status = decision.status if (
+                decision.kind is FaultKind.HTTP
+            ) else 500
+            return HttpResponse(
+                status=status, body=f"injected HTTP {status}"
+            )
+
+        return middleware
 
     # Page handlers --------------------------------------------------------
 

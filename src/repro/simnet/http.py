@@ -17,6 +17,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Pattern, Tuple
 
 from repro.errors import HttpError, NetworkError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+from repro.faults.points import POINT_SIMNET_REQUEST
 from repro.simnet.network import Egress, Network
 
 HTTP_OK = 200
@@ -26,6 +29,7 @@ HTTP_FORBIDDEN = 403
 HTTP_NOT_FOUND = 404
 HTTP_TOO_MANY_REQUESTS = 429
 HTTP_SERVER_ERROR = 500
+HTTP_GATEWAY_TIMEOUT = 504
 
 
 @dataclass(frozen=True)
@@ -127,6 +131,7 @@ class HttpTransport:
         network: Network,
         clock=None,
         blocking: bool = False,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._router = router
         self._network = network
@@ -134,6 +139,12 @@ class HttpTransport:
         self._middleware: List[Middleware] = []
         self._stats = TransportStats()
         self._lock = threading.Lock()
+        #: Optional fault injector consulted once per request at
+        #: ``simnet.request``: LATENCY faults add to the sampled
+        #: round-trip, ERROR faults raise (``spec.error`` or
+        #: :class:`~repro.errors.NetworkError` — packet loss), HTTP
+        #: faults short-circuit into a response with ``spec.status``.
+        self.faults = faults
         #: When True, each request really sleeps its sampled round-trip
         #: time, so multi-threaded clients overlap network waits exactly as
         #: they would against a remote server — the effect the E2 crawler
@@ -166,6 +177,26 @@ class HttpTransport:
         if egress is None:
             raise NetworkError("request needs an egress")
         latency = self._network.latency.sample_rtt_s(egress)
+        injected: Optional[HttpResponse] = None
+        if self.faults is not None:
+            decision = self.faults.decide(
+                POINT_SIMNET_REQUEST, label=egress.ip.value
+            )
+            if decision is not None:
+                latency += decision.latency_s
+                if decision.kind is FaultKind.ERROR:
+                    with self._lock:
+                        self._stats.total_latency_s += latency
+                    error = decision.spec.error or NetworkError
+                    raise error(
+                        f"injected network loss for {method} {path} "
+                        f"(fire #{decision.fire_index})"
+                    )
+                if decision.kind is FaultKind.HTTP:
+                    injected = HttpResponse(
+                        status=decision.status,
+                        body=f"injected HTTP {decision.status}",
+                    )
         if self.blocking:
             time.sleep(latency)
         timestamp = self._clock.now() if self._clock is not None else 0.0
@@ -177,11 +208,12 @@ class HttpTransport:
             params=dict(params or {}),
             timestamp=timestamp,
         )
-        response: Optional[HttpResponse] = None
-        for middleware in self._middleware:
-            response = middleware(request)
-            if response is not None:
-                break
+        response: Optional[HttpResponse] = injected
+        if response is None:
+            for middleware in self._middleware:
+                response = middleware(request)
+                if response is not None:
+                    break
         if response is None:
             response = self._router.dispatch(request)
         with self._lock:

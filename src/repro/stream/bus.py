@@ -33,6 +33,8 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.points import POINT_STREAM_SUBSCRIBER
 from repro.obs.log import LogHub, StructuredLogger
 from repro.obs.metrics import MetricsRegistry
 from repro.stream.events import StreamEvent
@@ -115,9 +117,11 @@ class _Subscription:
         policy: BackpressurePolicy,
         metrics: Optional[MetricsRegistry] = None,
         logger: Optional[StructuredLogger] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.name = name
         self.callback = callback
+        self.faults = faults
         self.background = background
         self.queue_size = queue_size
         self.policy = policy
@@ -199,6 +203,16 @@ class _Subscription:
 
     def _invoke(self, event: StreamEvent) -> None:
         try:
+            if self.faults is not None:
+                # Injected subscriber faults (label = subscriber name, so
+                # plans can target one victim) take the same isolation
+                # path as genuine callback bugs: counted, logged, never
+                # propagated to the publisher.
+                self.faults.check(
+                    POINT_STREAM_SUBSCRIBER,
+                    label=self.name,
+                    trace_id=getattr(event, "trace_id", None),
+                )
             self.callback(event)
         except Exception as exc:  # noqa: BLE001 - subscriber faults must
             self.stats.errors += 1  # not poison the check-in pipeline.
@@ -268,6 +282,7 @@ class EventBus:
         self,
         metrics: Optional[MetricsRegistry] = None,
         log: Optional[LogHub] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._subs: Tuple[_Subscription, ...] = ()
         self._by_name: Dict[str, _Subscription] = {}
@@ -277,6 +292,9 @@ class EventBus:
         self._published = 0
         self._closed = False
         self._metrics = metrics
+        #: Optional fault injector checked once per delivery at
+        #: ``stream.subscriber`` (label = subscriber name).
+        self.faults = faults
         self._logger = log.logger("stream.bus") if log is not None else None
         if metrics is not None:
             self._published_metric = metrics.counter(
@@ -313,6 +331,7 @@ class EventBus:
                 policy,
                 metrics=self._metrics,
                 logger=self._logger,
+                faults=self.faults,
             )
             self._by_name[name] = sub
             self._subs = self._subs + (sub,)

@@ -8,6 +8,13 @@ from repro.workload.behavior import (
     EventReplayer,
     ReplayReport,
 )
+from repro.workload.chaos import (
+    VICTIM_SUBSCRIBER,
+    ChaosConfig,
+    ChaosReport,
+    committed_state_digest,
+    run_chaos,
+)
 from repro.workload.cheaters import (
     CAUGHT_CHEATER_COUNT,
     FARMER_TARGET_MAYORSHIPS,
@@ -83,3 +90,10 @@ from repro.workload.social import (
 )
 
 __all__ += ["SocialGraph", "SocialGraphConfig", "generate_friend_graph"]
+__all__ += [
+    "VICTIM_SUBSCRIBER",
+    "ChaosConfig",
+    "ChaosReport",
+    "committed_state_digest",
+    "run_chaos",
+]

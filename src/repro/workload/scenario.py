@@ -152,12 +152,18 @@ def build_web_stack(
     show_whos_been_here: bool = True,
     visitor_obfuscator=None,
     blocking: bool = False,
+    faults=None,
 ) -> WebStack:
     """Expose a world's website and API over the simulated network.
 
     Pass ``blocking=True`` for experiments that measure crawler throughput:
     requests then really sleep their sampled round-trip times, so thread
     counts matter the way they did against the live site.
+
+    Pass a :class:`~repro.faults.FaultInjector` as ``faults`` to arm the
+    HTTP surface: the transport checks ``simnet.request`` (loss/latency)
+    and the web server's fault middleware checks ``web.request``
+    (injected 5xx/timeouts, observability routes exempt).
     """
     network = Network(seed=seed)
     router = Router()
@@ -165,13 +171,20 @@ def build_web_stack(
         world.service,
         show_whos_been_here=show_whos_been_here,
         visitor_obfuscator=visitor_obfuscator,
+        faults=faults,
     )
     webserver.install_routes(router)
     apiserver = LbsnApiServer(world.service)
     apiserver.install_routes(router)
     transport = HttpTransport(
-        router, network, clock=world.service.clock, blocking=blocking
+        router,
+        network,
+        clock=world.service.clock,
+        blocking=blocking,
+        faults=faults,
     )
+    if faults is not None:
+        transport.add_middleware(webserver.fault_middleware())
     return WebStack(
         network=network,
         router=router,

@@ -1,0 +1,88 @@
+"""Same seeds ⇒ same storm: the replay contract, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.chaos.conftest import ChaosHarness
+
+
+@pytest.fixture(scope="module")
+def other_seed_storm() -> ChaosHarness:
+    """The same workload under a differently-seeded storm."""
+    return ChaosHarness.run(fault_seed=2026)
+
+
+class TestReplayIdentical:
+    def test_fault_sequence_digest_identical(self, storm, storm_replay):
+        assert storm.report.fault_sequence_digest
+        assert (
+            storm.report.fault_sequence_digest
+            == storm_replay.report.fault_sequence_digest
+        )
+
+    def test_committed_state_digest_identical(self, storm, storm_replay):
+        assert storm.report.committed_state_digest
+        assert (
+            storm.report.committed_state_digest
+            == storm_replay.report.committed_state_digest
+        )
+
+    def test_fired_counts_identical(self, storm, storm_replay):
+        assert storm.report.faults_fired == storm_replay.report.faults_fired
+        assert sum(storm.report.faults_fired.values()) > 0
+
+    def test_crawl_outcome_identical(self, storm, storm_replay):
+        a, b = storm.report.crawl, storm_replay.report.crawl
+        assert a is not None and b is not None
+        assert (a.hits, a.misses, a.failures, a.transient_failures) == (
+            b.hits,
+            b.misses,
+            b.failures,
+            b.transient_failures,
+        )
+
+    def test_checkin_outcome_identical(self, storm, storm_replay):
+        a, b = storm.report, storm_replay.report
+        assert a.checkins_returned == b.checkins_returned
+        assert a.commit_retries == b.commit_retries
+        assert a.ledger_suspects == b.ledger_suspects
+        assert a.victim_errors == b.victim_errors
+
+    def test_web_statuses_identical(self, storm, storm_replay):
+        assert storm.report.web_statuses == storm_replay.report.web_statuses
+
+
+class TestDigestShape:
+    def test_digests_are_sha256_hex(self, storm):
+        for digest in (
+            storm.report.fault_sequence_digest,
+            storm.report.committed_state_digest,
+        ):
+            assert len(digest) == 64
+            int(digest, 16)  # raises if not hex
+
+    def test_digests_differ_from_each_other(self, storm):
+        assert (
+            storm.report.fault_sequence_digest
+            != storm.report.committed_state_digest
+        )
+
+
+class TestSeedSensitivity:
+    def test_different_fault_seed_different_sequence(
+        self, storm, other_seed_storm
+    ):
+        assert (
+            other_seed_storm.report.fault_sequence_digest
+            != storm.report.fault_sequence_digest
+        )
+
+    def test_different_fault_seed_same_committed_state(
+        self, storm, other_seed_storm
+    ):
+        """The committed end state is invariant to *which* storm blew."""
+        assert (
+            other_seed_storm.report.committed_state_digest
+            == storm.report.committed_state_digest
+        )

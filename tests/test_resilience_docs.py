@@ -1,0 +1,157 @@
+"""docs/RESILIENCE.md is executable documentation.
+
+Two two-way parity checks:
+
+* the failure-point table must name exactly the points in
+  :data:`repro.faults.points.FAILURE_POINTS`;
+* the metric table must name exactly the metrics the resilience layer
+  registers when fully exercised.
+
+Plus a guard that the resilience metrics stay *out* of the plain
+``repro metrics`` workload — docs/OBSERVABILITY.md has its own parity
+test, and lazily-registered storm metrics must not leak into it.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultInjectedError
+from repro.faults import (
+    FAILURE_POINTS,
+    BackoffPolicy,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    retry_call,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.simnet.clock import SimClock
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+RESILIENCE_PREFIXES = ("repro_faults_", "repro_retry_", "repro_breaker_")
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return (DOCS / "RESILIENCE.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def registered_names():
+    """Every metric the resilience layer registers when exercised."""
+    metrics = MetricsRegistry()
+    clock = SimClock()
+    plan = FaultPlan.standard_storm(seed=1)
+    FaultInjector(plan, clock=clock, metrics=metrics)
+    breaker = CircuitBreaker(
+        name="doc", failure_threshold=1, now_fn=clock.now, metrics=metrics
+    )
+    breaker.record_failure()
+    breaker.allow()
+    state = {"calls": 0}
+
+    def flaky():
+        state["calls"] += 1
+        if state["calls"] < 2:
+            raise FaultInjectedError("doc")
+        return True
+
+    retry_call(
+        flaky,
+        BackoffPolicy(jitter_fraction=0.0),
+        metrics=metrics,
+        op="doc",
+    )
+    return {
+        name
+        for name in metrics.names()
+        if name.startswith(RESILIENCE_PREFIXES)
+    }
+
+
+class TestFailurePointParity:
+    def documented_points(self, doc_text):
+        names = set()
+        for line in doc_text.splitlines():
+            match = re.match(r"\| `([a-z]+\.[a-z_]+)` \|", line)
+            if match:
+                names.add(match.group(1))
+        return names
+
+    def test_every_point_is_documented(self, doc_text):
+        missing = set(FAILURE_POINTS) - self.documented_points(doc_text)
+        assert not missing, (
+            f"failure points wired in code but absent from "
+            f"docs/RESILIENCE.md: {sorted(missing)}"
+        )
+
+    def test_every_documented_point_exists(self, doc_text):
+        stale = self.documented_points(doc_text) - set(FAILURE_POINTS)
+        assert stale <= set(), (
+            f"failure points documented in docs/RESILIENCE.md but not in "
+            f"repro.faults.points.FAILURE_POINTS: {sorted(stale)}"
+        )
+
+    def test_catalogue_is_complete(self):
+        # The five layers the issue names, wired end to end.
+        assert set(FAILURE_POINTS) == {
+            "crawler.fetch",
+            "simnet.request",
+            "stream.subscriber",
+            "store.commit",
+            "web.request",
+        }
+
+
+class TestMetricCatalogueParity:
+    def documented_metrics(self, doc_text):
+        names = set()
+        for line in doc_text.splitlines():
+            match = re.match(r"\| `(repro_[a-z0-9_]+)`", line)
+            if match:
+                names.add(match.group(1))
+        return names
+
+    def test_every_registered_metric_is_documented(
+        self, doc_text, registered_names
+    ):
+        missing = registered_names - self.documented_metrics(doc_text)
+        assert not missing, (
+            f"resilience metrics registered but absent from "
+            f"docs/RESILIENCE.md: {sorted(missing)}"
+        )
+
+    def test_every_documented_metric_is_registered(
+        self, doc_text, registered_names
+    ):
+        stale = self.documented_metrics(doc_text) - registered_names
+        assert not stale, (
+            f"metrics documented in docs/RESILIENCE.md but never "
+            f"registered by the resilience layer: {sorted(stale)}"
+        )
+
+    def test_all_three_families_covered(self, registered_names):
+        for prefix in RESILIENCE_PREFIXES:
+            assert any(
+                name.startswith(prefix) for name in registered_names
+            ), prefix
+
+
+class TestNoLeakIntoObservabilityCatalogue:
+    def test_plain_metrics_workload_registers_no_storm_metrics(self):
+        """The OBSERVABILITY.md parity fixture must stay storm-free."""
+        from repro.cli import run_metrics_workload
+
+        registry, _, _ = run_metrics_workload(scale=0.0002, seed=5)
+        leaked = {
+            name
+            for name in registry.names()
+            if name.startswith(RESILIENCE_PREFIXES)
+        }
+        assert not leaked, (
+            f"resilience metrics leaked into the plain metrics workload "
+            f"(this breaks the OBSERVABILITY.md catalogue): {sorted(leaked)}"
+        )

@@ -208,6 +208,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the same seeds and assert byte-identical digests",
     )
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="write a partitioned WAL + ledger-snapshot tree (repro.durable)",
+    )
+    _add_common(snapshot)
+    snapshot.add_argument(
+        "--out",
+        default="durable_out",
+        help="output directory for the durable tree (default ./durable_out)",
+    )
+    snapshot.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        help="detector worker shards (default 4)",
+    )
+    snapshot.add_argument(
+        "--checkins",
+        type=int,
+        default=300,
+        help="check-in storm length (default 300)",
+    )
+    snapshot.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=100,
+        help="auto-checkpoint every N applied events per shard "
+        "(default 100; 0 = final snapshot only)",
+    )
+
+    walreplay = sub.add_parser(
+        "wal-replay",
+        help="cold-replay a durable tree from disk; print shard digests",
+    )
+    walreplay.add_argument(
+        "--dir",
+        default="durable_out",
+        help="durable tree written by `repro snapshot` "
+        "(default ./durable_out)",
+    )
+    walreplay.add_argument(
+        "--verify",
+        action="store_true",
+        help="exit non-zero unless the replayed digests match the "
+        "tree's manifest",
+    )
     return parser
 
 
@@ -696,12 +743,89 @@ def cmd_chaos(args) -> int:
         state_ok = (
             replay.committed_state_digest == report.committed_state_digest
         )
+        suspects_ok = replay.ledger_suspects == report.ledger_suspects
         print(
             f"  replay: fault sequence identical={seq_ok}, "
-            f"end state identical={state_ok}"
+            f"end state identical={state_ok}, "
+            f"ledger suspects identical={suspects_ok}"
         )
-        ok = ok and seq_ok and state_ok
+        if not (seq_ok and state_ok and suspects_ok):
+            print("  VERIFY FAILED: replay digests diverged", file=sys.stderr)
+        ok = ok and seq_ok and state_ok and suspects_ok
     return 0 if ok else 1
+
+
+def cmd_snapshot(args) -> int:
+    """Write a partitioned WAL + snapshot tree and its manifest."""
+    from repro.workload.durable import DurableConfig, write_durable_tree
+
+    config = DurableConfig(
+        scale=args.scale,
+        seed=args.seed,
+        partitions=args.partitions,
+        checkins=args.checkins,
+        snapshot_every=args.snapshot_every,
+    )
+    report = write_durable_tree(config, args.out)
+    print(
+        f"durable tree at {args.out}: {config.partitions} partitions, "
+        f"{report.events_published} events "
+        f"(watermark {report.watermark}), "
+        f"{report.checkins_returned}/{report.checkins_attempted} "
+        f"storm check-ins ({report.wall_seconds:.2f}s wall)"
+    )
+    print(
+        f"  wal: {report.wal_appended} records, {report.wal_bytes} bytes, "
+        f"{report.wal_segments} segments, {report.wal_fsyncs} fsyncs"
+    )
+    print(f"  snapshots: {report.snapshots_written} shard checkpoints")
+    for partition, digest in enumerate(report.victim_digests):
+        print(f"  partition-{partition:02d} digest: {digest}")
+    print(f"  combined digest: {report.victim_combined}")
+    return 0
+
+
+def cmd_wal_replay(args) -> int:
+    """Cold-replay a durable tree; optionally verify against its manifest."""
+    from pathlib import Path
+
+    from repro.durable.snapshot import SnapshotError
+    from repro.durable.wal import WalCorruptionError
+    from repro.workload.durable import replay_durable_tree
+
+    if not Path(args.dir).is_dir():
+        print(f"no durable tree at {args.dir}", file=sys.stderr)
+        return 1
+    try:
+        result = replay_durable_tree(args.dir)
+    except (WalCorruptionError, SnapshotError) as exc:
+        print(f"REPLAY FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replayed {result['partitions']} partition(s) from {args.dir}"
+    )
+    for partition, digest in enumerate(result["digests"]):
+        print(f"  partition-{partition:02d} digest: {digest}")
+    print(f"  combined digest: {result['combined_digest']}")
+    if not args.verify:
+        return 0
+    if result["manifest"] is None:
+        print(
+            "VERIFY FAILED: tree has no manifest.json "
+            "(write one with `repro snapshot`)",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["matches_manifest"]:
+        print(
+            "VERIFY FAILED: replayed combined digest "
+            f"{result['combined_digest']} != manifest "
+            f"{result['manifest'].get('combined_digest')}",
+            file=sys.stderr,
+        )
+        return 1
+    print("  verify: replayed digests match the manifest")
+    return 0
 
 
 _COMMANDS = {
@@ -715,6 +839,8 @@ _COMMANDS = {
     "top": cmd_top,
     "figures": cmd_figures,
     "chaos": cmd_chaos,
+    "snapshot": cmd_snapshot,
+    "wal-replay": cmd_wal_replay,
 }
 
 

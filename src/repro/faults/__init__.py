@@ -26,6 +26,7 @@ from repro.faults.plan import FaultKind, FaultPlan, FaultPlanError, FaultSpec
 from repro.faults.points import (
     FAILURE_POINTS,
     POINT_CRAWLER_FETCH,
+    POINT_DURABLE_WORKER,
     POINT_SIMNET_REQUEST,
     POINT_STORE_COMMIT,
     POINT_STREAM_SUBSCRIBER,
@@ -42,6 +43,7 @@ from repro.faults.retry import (
 __all__ = [
     "FAILURE_POINTS",
     "POINT_CRAWLER_FETCH",
+    "POINT_DURABLE_WORKER",
     "POINT_SIMNET_REQUEST",
     "POINT_STORE_COMMIT",
     "POINT_STREAM_SUBSCRIBER",

@@ -37,6 +37,13 @@ POINT_STREAM_SUBSCRIBER = "stream.subscriber"
 #: mutates, so a fired commit fault never leaves partial state.
 POINT_STORE_COMMIT = "store.commit"
 
+#: One event applied by a :class:`repro.durable.worker.DetectorWorker` —
+#: fires *after* the WAL append and *before* detector state mutates, so a
+#: fired fault crashes the worker (in-memory ledger discarded) while the
+#: durable intake stays complete.  ``label`` is the partition name
+#: (``partition-NN``), so a plan can kill a single victim worker.
+POINT_DURABLE_WORKER = "durable.worker"
+
 #: One public web request served by :class:`repro.lbsn.webserver.
 #: LbsnWebServer`'s fault middleware — fires as an injected 5xx or a
 #: timeout (504 after the latency charge).  ``/metrics`` and ``/debug/*``
@@ -58,6 +65,11 @@ FAILURE_POINTS: Dict[str, str] = {
     POINT_STORE_COMMIT: (
         "One check-in commit: typed CommitContentionError before any "
         "row mutates (atomic abort)."
+    ),
+    POINT_DURABLE_WORKER: (
+        "One event applied by a partitioned detector worker (label = "
+        "partition-NN): crashes the worker after the WAL append, before "
+        "detector state mutates."
     ),
     POINT_WEB_REQUEST: (
         "One public web request: injected 5xx or 504 timeout; /metrics "

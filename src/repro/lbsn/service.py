@@ -305,6 +305,17 @@ class LbsnService:
         with self._lock:
             return len(self._mayor_venues.get(user_id, set()))
 
+    def event_watermark(self) -> int:
+        """The next event ``seq`` the store will allocate.
+
+        This is the seq handoff the durability layer keys on: every
+        event published so far has ``seq < event_watermark()``, so a
+        WAL whose replay reaches ``watermark - 1`` has seen everything
+        the service committed (the ``repro wal-replay`` manifest records
+        it for exactly that check).
+        """
+        return self.store.event_seq_watermark()
+
     # The check-in pipeline ------------------------------------------------
 
     def check_in(

@@ -285,6 +285,9 @@ class EventBus:
         faults: Optional[FaultInjector] = None,
     ) -> None:
         self._subs: Tuple[_Subscription, ...] = ()
+        #: Durable taps (WAL writers): delivered before every plain
+        #: subscriber so the log always leads derived state.
+        self._durable_subs: Tuple[_Subscription, ...] = ()
         self._by_name: Dict[str, _Subscription] = {}
         self._admin = threading.Lock()
         self._seq_lock = threading.Lock()
@@ -314,10 +317,24 @@ class EventBus:
         background: bool = False,
         queue_size: int = 1024,
         policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+        durable: bool = False,
     ) -> SubscriberStats:
-        """Register a named subscriber; returns its live stats object."""
+        """Register a named subscriber; returns its live stats object.
+
+        ``durable=True`` marks a write-ahead tap (see
+        :mod:`repro.durable`): it is delivered *before* every plain
+        subscriber on each publish, so the persisted log always leads
+        any derived in-memory state.  Durable taps must be synchronous —
+        a queue between the bus and the WAL would reorder the
+        durability guarantee away.
+        """
         if queue_size < 1:
             raise BusError(f"queue_size must be >= 1: {queue_size}")
+        if durable and background:
+            raise BusError(
+                f"durable subscriber {name!r} must be synchronous "
+                "(background=False)"
+            )
         with self._admin:
             if self._closed:
                 raise BusError("bus is closed")
@@ -334,7 +351,10 @@ class EventBus:
                 faults=self.faults,
             )
             self._by_name[name] = sub
-            self._subs = self._subs + (sub,)
+            if durable:
+                self._durable_subs = self._durable_subs + (sub,)
+            else:
+                self._subs = self._subs + (sub,)
             return sub.stats
 
     def unsubscribe(self, name: str, drain: bool = True) -> None:
@@ -344,11 +364,14 @@ class EventBus:
             if sub is None:
                 raise BusError(f"no such subscriber: {name!r}")
             self._subs = tuple(s for s in self._subs if s is not sub)
+            self._durable_subs = tuple(
+                s for s in self._durable_subs if s is not sub
+            )
         sub.close(drain=drain)
 
     def subscriber_names(self) -> List[str]:
-        """Names of the current subscribers, in subscription order."""
-        return [sub.name for sub in self._subs]
+        """Current subscriber names, durable taps first then plain subs."""
+        return [sub.name for sub in self._durable_subs + self._subs]
 
     def stats_of(self, name: str) -> SubscriberStats:
         """Live stats for one subscriber."""
@@ -376,6 +399,8 @@ class EventBus:
             self._published += 1
         if self._published_metric is not None:
             self._published_metric.inc()
+        for sub in self._durable_subs:
+            sub.offer(event)
         for sub in self._subs:
             sub.offer(event)
         return event
@@ -408,7 +433,8 @@ class EventBus:
             if self._closed:
                 return
             self._closed = True
-            subs, self._subs = self._subs, ()
+            subs, self._subs = self._durable_subs + self._subs, ()
+            self._durable_subs = ()
             self._by_name.clear()
         for sub in subs:
             sub.close(drain=drain)

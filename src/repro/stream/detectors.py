@@ -109,6 +109,30 @@ class LruStateMap(Generic[K, V]):
         """Snapshot of resident keys, coldest first."""
         return list(self._data.keys())
 
+    # Snapshot hooks ----------------------------------------------------
+    #
+    # Serialized coldest-first and restored by plain insertion in the
+    # same order, so the restored map evicts in exactly the order the
+    # original would have — recovery must not perturb LRU recency or
+    # replayed evictions diverge from the uncrashed run.
+
+    def state_dict(self, encode_value) -> dict:
+        """JSON-able snapshot: eviction count + (key, value) pairs."""
+        return {
+            "evictions": self.evictions,
+            "entries": [
+                [key, encode_value(value)]
+                for key, value in self._data.items()
+            ],
+        }
+
+    def load_state_dict(self, doc: dict, decode_value) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces contents)."""
+        self._data.clear()
+        self.evictions = doc["evictions"]
+        for key, encoded in doc["entries"]:
+            self._data[key] = decode_value(encoded)
+
 
 @dataclass
 class StreamDetectorConfig:
@@ -260,6 +284,42 @@ class ActivityRateDetector:
             return 0.0
         return min(1.0, (recent / total) / saturating_ratio)
 
+    # Snapshot hooks ----------------------------------------------------
+
+    @staticmethod
+    def _encode_user(state: _ActivityState) -> list:
+        return [
+            state.total_checkins,
+            state.valid_checkins,
+            state.recent_memberships,
+            list(state.window),
+            state.last_trace_id,
+        ]
+
+    @staticmethod
+    def _decode_user(doc: list) -> _ActivityState:
+        return _ActivityState(
+            total_checkins=doc[0],
+            valid_checkins=doc[1],
+            recent_memberships=doc[2],
+            window=deque(doc[3]),
+            last_trace_id=doc[4],
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every accumulator this detector owns."""
+        return {
+            "events_seen": self.events_seen,
+            "users": self.users.state_dict(self._encode_user),
+            "venues": self.venues.state_dict(list),
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces contents)."""
+        self.events_seen = doc["events_seen"]
+        self.users.load_state_dict(doc["users"], self._decode_user)
+        self.venues.load_state_dict(doc["venues"], list)
+
 
 # ---------------------------------------------------------------------------
 # Factor 2 — below-normal rewards
@@ -335,6 +395,30 @@ class RewardRateDetector:
             min(badge_ceiling, total * expected_badges_per_100 / 100.0),
         )
         return max(0.0, 1.0 - badges / expected)
+
+    # Snapshot hooks ----------------------------------------------------
+
+    @staticmethod
+    def _encode_user(state: _RewardState) -> list:
+        return [state.total_checkins, state.badge_count, state.points]
+
+    @staticmethod
+    def _decode_user(doc: list) -> _RewardState:
+        return _RewardState(
+            total_checkins=doc[0], badge_count=doc[1], points=doc[2]
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every accumulator this detector owns."""
+        return {
+            "events_seen": self.events_seen,
+            "users": self.users.state_dict(self._encode_user),
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces contents)."""
+        self.events_seen = doc["events_seen"]
+        self.users.load_state_dict(doc["users"], self._decode_user)
 
 
 # ---------------------------------------------------------------------------
@@ -451,3 +535,56 @@ class GeoDispersionDetector:
         if state is None or state.point_count < self.config.min_pattern_points:
             return 0.0
         return min(1.0, len(state.leaders) / saturating_city_count)
+
+    # Snapshot hooks ----------------------------------------------------
+    #
+    # ``max_speed_mps`` can legitimately be ``inf`` (zero-elapsed hop);
+    # the JSON encoder round-trips it via the non-strict ``Infinity``
+    # literal, which :mod:`json` accepts by default.
+
+    @staticmethod
+    def _encode_user(state: _GeoState) -> list:
+        return [
+            state.point_count,
+            [[p.latitude, p.longitude] for p in state.leaders],
+            [state.south, state.west, state.north, state.east],
+            (
+                None
+                if state.last_position is None
+                else [
+                    state.last_position.latitude,
+                    state.last_position.longitude,
+                ]
+            ),
+            state.last_timestamp,
+            state.max_speed_mps,
+        ]
+
+    @staticmethod
+    def _decode_user(doc: list) -> _GeoState:
+        south, west, north, east = doc[2]
+        return _GeoState(
+            point_count=doc[0],
+            leaders=[GeoPoint(lat, lon) for lat, lon in doc[1]],
+            south=south,
+            west=west,
+            north=north,
+            east=east,
+            last_position=(
+                None if doc[3] is None else GeoPoint(doc[3][0], doc[3][1])
+            ),
+            last_timestamp=doc[4],
+            max_speed_mps=doc[5],
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every accumulator this detector owns."""
+        return {
+            "events_seen": self.events_seen,
+            "users": self.users.state_dict(self._encode_user),
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces contents)."""
+        self.events_seen = doc["events_seen"]
+        self.users.load_state_dict(doc["users"], self._decode_user)

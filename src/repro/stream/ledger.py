@@ -17,6 +17,9 @@ DefendedLbsnService` can consult it on every check-in.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import threading
 from typing import Dict, List, Optional
 
@@ -240,3 +243,64 @@ class SuspicionLedger:
 
     def __len__(self) -> int:
         return len(self._suspects)
+
+    # Snapshot hooks -----------------------------------------------------
+    #
+    # The durability layer (:mod:`repro.durable.snapshot`) persists the
+    # ledger as: this state dict + the ``seq`` watermark.  Recovery loads
+    # the dict into a *fresh* ledger and replays the WAL suffix — so the
+    # dict must capture every accumulator scoring reads, and nothing
+    # environment-dependent.
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of all ledger + detector state."""
+        with self._lock:
+            return {
+                "events_processed": self.events_processed,
+                "last_seq": self.last_seq,
+                "suspects": [
+                    dataclasses.asdict(self._suspects[user_id])
+                    for user_id in sorted(self._suspects)
+                ],
+                "flag_traces": [
+                    [user_id, self._flag_traces[user_id]]
+                    for user_id in sorted(self._flag_traces)
+                ],
+                "activity": self.activity.state_dict(),
+                "rewards": self.rewards.state_dict(),
+                "geography": self.geography.state_dict(),
+            }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces all state)."""
+        with self._lock:
+            self.events_processed = doc["events_processed"]
+            self.last_seq = doc["last_seq"]
+            self._suspects = {
+                report["user_id"]: SuspicionReport(**report)
+                for report in doc["suspects"]
+            }
+            self._flag_traces = {
+                user_id: trace for user_id, trace in doc["flag_traces"]
+            }
+            self.activity.load_state_dict(doc["activity"])
+            self.rewards.load_state_dict(doc["rewards"])
+            self.geography.load_state_dict(doc["geography"])
+        if self._suspects_metric is not None:
+            self._suspects_metric.set(len(self._suspects))
+
+    def digest(self) -> str:
+        """sha256 over the canonical, *trace-scrubbed* ledger state.
+
+        Trace ids are uuid-per-request and differ between two otherwise
+        identical runs, so the crash/replay parity checks compare this
+        digest rather than raw state: equal digests ⇔ equal scoring
+        state.  (Snapshot round-trips still preserve traces — only the
+        digest ignores them.)
+        """
+        doc = self.state_dict()
+        doc.pop("flag_traces")
+        for entry in doc["activity"]["users"]["entries"]:
+            entry[1][4] = None  # last_trace_id slot
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()

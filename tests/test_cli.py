@@ -25,13 +25,16 @@ class TestParser:
         """``--help`` must work (and exit 0) for every registered command."""
         from repro.cli import _COMMANDS
 
+        # wal-replay reads an existing tree; it takes no world knobs.
+        worldless = {"wal-replay"}
         for command in _COMMANDS:
             with pytest.raises(SystemExit) as excinfo:
                 build_parser().parse_args([command, "--help"])
             assert excinfo.value.code == 0
             out = capsys.readouterr().out
-            assert "--scale" in out
-            assert "--seed" in out
+            if command not in worldless:
+                assert "--scale" in out
+                assert "--seed" in out
 
     def test_stream_detect_defaults(self):
         args = build_parser().parse_args(["stream-detect"])
@@ -171,3 +174,160 @@ class TestTopCommand:
         assert "rate/s" in out and "series" in out
         # At least one real series row made it onto the board.
         assert "repro_" in out
+
+
+def _fake_chaos_report(state_digest, sequence_digest="seq-1", suspects=(1,)):
+    from types import SimpleNamespace
+
+    return SimpleNamespace(
+        crawl=None,
+        crawl_aborted=False,
+        crawler_breaker_opens=0,
+        wall_seconds=0.01,
+        checkins_attempted=10,
+        checkins_returned=10,
+        commit_retries=0,
+        commit_exhausted=0,
+        victim_errors=0,
+        ledger_suspects=list(suspects),
+        breaker_failures_to_open=3,
+        breaker_half_opened=True,
+        breaker_reopened_on_probe_failure=True,
+        breaker_closed_after_probe=True,
+        web_statuses={200: 5},
+        metrics_route_ok=True,
+        debug_vars_route_ok=True,
+        debug_logs_route_ok=True,
+        faults_fired={},
+        fault_sequence_digest=sequence_digest,
+        committed_state_digest=state_digest,
+    )
+
+
+class TestChaosVerifyExitCodes:
+    """--verify must turn digest divergence into a non-zero exit."""
+
+    def test_verify_passes_when_replay_agrees(self, monkeypatch, capsys):
+        import repro.workload.chaos as chaos_mod
+
+        monkeypatch.setattr(
+            chaos_mod,
+            "run_chaos",
+            lambda config, metrics=None, log=None: _fake_chaos_report("same"),
+        )
+        assert main(["chaos", "--verify"] + SMALL) == 0
+        assert "end state identical=True" in capsys.readouterr().out
+
+    def test_verify_fails_on_state_divergence(self, monkeypatch, capsys):
+        import repro.workload.chaos as chaos_mod
+
+        digests = iter(["run-one", "run-two"])
+        monkeypatch.setattr(
+            chaos_mod,
+            "run_chaos",
+            lambda config, metrics=None, log=None: _fake_chaos_report(
+                next(digests)
+            ),
+        )
+        assert main(["chaos", "--verify"] + SMALL) == 1
+        captured = capsys.readouterr()
+        assert "VERIFY FAILED" in captured.err
+
+    def test_verify_fails_on_suspect_divergence(self, monkeypatch, capsys):
+        import repro.workload.chaos as chaos_mod
+
+        suspect_sets = iter([(1, 2), (1, 3)])
+        monkeypatch.setattr(
+            chaos_mod,
+            "run_chaos",
+            lambda config, metrics=None, log=None: _fake_chaos_report(
+                "same", suspects=next(suspect_sets)
+            ),
+        )
+        assert main(["chaos", "--verify"] + SMALL) == 1
+        assert "VERIFY FAILED" in capsys.readouterr().err
+
+
+class TestSnapshotAndWalReplay:
+    """The durable tree CLI pair: write with one, verify with the other."""
+
+    @pytest.fixture(scope="class")
+    def tree(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli-tree")
+        argv = [
+            "snapshot", "--out", str(out),
+            "--partitions", "2", "--checkins", "80",
+        ] + SMALL
+        assert main(argv) == 0
+        return out
+
+    def test_snapshot_prints_digests(self, tree, capsys):
+        # The fixture already ran; rerun into a fresh dir to see output.
+        out = tree.parent / "cli-tree-again"
+        argv = [
+            "snapshot", "--out", str(out),
+            "--partitions", "2", "--checkins", "80",
+        ] + SMALL
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "partition-00 digest:" in text
+        assert "partition-01 digest:" in text
+        assert "combined digest:" in text
+
+    def test_wal_replay_verify_passes_on_intact_tree(self, tree, capsys):
+        assert main(["wal-replay", "--dir", str(tree), "--verify"]) == 0
+        assert "digests match the manifest" in capsys.readouterr().out
+
+    def test_wal_replay_missing_dir_exits_nonzero(self, tree, capsys):
+        missing = str(tree / "nope")
+        assert main(["wal-replay", "--dir", missing]) == 1
+        assert "no durable tree" in capsys.readouterr().err
+
+    def test_wal_replay_verify_fails_on_manifest_mismatch(
+        self, tree, tmp_path, capsys
+    ):
+        import json
+        import shutil
+
+        clone = tmp_path / "tampered"
+        shutil.copytree(tree, clone)
+        manifest_path = clone / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["combined_digest"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        assert main(["wal-replay", "--dir", str(clone), "--verify"]) == 1
+        assert "VERIFY FAILED" in capsys.readouterr().err
+
+    def test_wal_replay_verify_fails_without_manifest(
+        self, tree, tmp_path, capsys
+    ):
+        import shutil
+
+        clone = tmp_path / "no-manifest"
+        shutil.copytree(tree, clone)
+        (clone / "manifest.json").unlink()
+        # Plain replay still works...
+        assert main(["wal-replay", "--dir", str(clone)]) == 0
+        capsys.readouterr()
+        # ...but --verify has nothing to verify against.
+        assert main(["wal-replay", "--dir", str(clone), "--verify"]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_wal_replay_fails_on_mid_log_corruption(
+        self, tree, tmp_path, capsys
+    ):
+        import shutil
+
+        from repro.durable.wal import SEGMENT_MAGIC
+
+        clone = tmp_path / "corrupt"
+        shutil.copytree(tree, clone)
+        # Snapshots would mask WAL damage; drop them to force a full scan.
+        for snap in (clone / "partition-00" / "snapshots").glob("*.json"):
+            snap.unlink()
+        segment = sorted((clone / "partition-00" / "wal").glob("*.wal"))[0]
+        raw = bytearray(segment.read_bytes())
+        raw[len(SEGMENT_MAGIC) + 10] ^= 0xFF
+        segment.write_bytes(bytes(raw))
+        assert main(["wal-replay", "--dir", str(clone)]) == 1
+        assert "REPLAY FAILED" in capsys.readouterr().err

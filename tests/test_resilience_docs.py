@@ -96,9 +96,10 @@ class TestFailurePointParity:
         )
 
     def test_catalogue_is_complete(self):
-        # The five layers the issue names, wired end to end.
+        # The five original layers plus the durable-worker kill point.
         assert set(FAILURE_POINTS) == {
             "crawler.fetch",
+            "durable.worker",
             "simnet.request",
             "stream.subscriber",
             "store.commit",

@@ -146,7 +146,20 @@ def test_e20_obs_overhead(report_out, benchmark):
         f"families; outcomes {statuses}",
         f"checkin.commit spans recorded: {span_count}",
     ]
-    report_out("E20_obs_overhead", rows)
+    report_out(
+        "E20_obs_overhead",
+        rows,
+        summary={
+            "checkins": CHECKINS,
+            "rounds": ROUNDS,
+            "bare_checkins_per_s": round(bare_rate),
+            "instrumented_checkins_per_s": round(instr_rate),
+            "overhead_median_pair_ratio": round(overhead, 4),
+            "max_overhead_bar": MAX_OVERHEAD,
+            "metric_families": len(registry.names()),
+            "spans": span_count,
+        },
+    )
 
     # The registry saw every check-in of the last instrumented round.
     assert sum(statuses.values()) == CHECKINS

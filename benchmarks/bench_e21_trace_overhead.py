@@ -199,7 +199,20 @@ def test_e21_trace_overhead(report_out, benchmark):
         f"checkin records carrying a trace_id: {traced}/{len(ring)}",
         f"slow spans carrying a trace_id: {span_traces}",
     ]
-    report_out("E21_trace_overhead", rows)
+    report_out(
+        "E21_trace_overhead",
+        rows,
+        summary={
+            "checkins": CHECKINS,
+            "rounds": ROUNDS,
+            "metrics_only_checkins_per_s": round(base_rate),
+            "traced_checkins_per_s": round(traced_rate),
+            "overhead_median_sector_ratio": round(overhead, 4),
+            "max_overhead_bar": MAX_OVERHEAD,
+            "log_records_emitted": hub.emitted,
+            "trace_stamped_checkin_records": traced,
+        },
+    )
 
     assert hub.emitted >= CHECKINS  # one "checkin" record per check-in
     assert ring, "ring retained no checkin records"

@@ -178,4 +178,18 @@ def test_e22_fault_storm(report_out, benchmark):
         f"wall time (simulated clocks only): {storm.wall_seconds:.2f} s "
         f"storm / {clean.wall_seconds:.2f} s control",
     ]
-    report_out("E22_fault_storm", rows)
+    report_out(
+        "E22_fault_storm",
+        rows,
+        summary={
+            "scale": SCALE,
+            "checkins": CHECKINS,
+            "injected_5xx": injected_5xx,
+            "replay_digest_identical": storm.fault_sequence_digest
+            == replay.fault_sequence_digest,
+            "state_parity_with_fault_free": storm.committed_state_digest
+            == clean.committed_state_digest,
+            "log_records": log.emitted,
+            "storm_wall_seconds": round(storm.wall_seconds, 3),
+        },
+    )

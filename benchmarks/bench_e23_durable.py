@@ -212,4 +212,18 @@ def test_e23_durable(report_out, benchmark, tmp_path):
         "trace-stamped; wal/snapshot/durable metric families registered"
     )
 
-    report_out("E23_durable", rows)
+    report_out(
+        "E23_durable",
+        rows,
+        summary={
+            "scale": SCALE,
+            "checkins": CHECKINS,
+            "events_published_n1": storms[1].events_published,
+            "events_published_n4": storms[4].events_published,
+            "parity_ok_n1": storms[1].parity_ok,
+            "parity_ok_n4": storms[4].parity_ok,
+            "cold_replay_peak_events_per_s": round(max(curve_throughputs)),
+            "replay_suffix_cadence_off": suffixes[0],
+            "replay_suffix_cadence_50": suffixes[50],
+        },
+    )

@@ -1,0 +1,247 @@
+"""E24 (extension) — the profiler's own tax, and the health surface.
+
+Three claims, one experiment:
+
+1. **Overhead** — running the sampling profiler at its default rate
+   (97 Hz) while the check-in hot path executes costs **< 5%**
+   throughput, measured with the E20 methodology: interleaved
+   (bare, profiled) rounds, GC paused in the timed region, overhead =
+   median of the per-pair time ratios.
+2. **Attribution** — a planted hot function with a distinctive name
+   burns CPU on a worker thread; the profiler must name it in the top-3
+   of the hotspot table (ranked by self samples) and in the collapsed
+   export.
+3. **Health parity** — ``/debug/health`` served over the simnet stack
+   returns exactly the health score an offline
+   :class:`~repro.obs.slo.SloEngine` computes from the same registry
+   state (the acceptance bar ISSUE 8 pins).
+
+Environment knobs (CI smoke mode uses the first and last):
+
+* ``REPRO_E24_CHECKINS`` — check-ins per round (default 4000).
+* ``REPRO_E24_ROUNDS`` — interleaved rounds per side (default 5).
+* ``REPRO_E24_MAX_OVERHEAD`` — acceptance bar (default 0.05).  Shared
+  CI runners are noisy; the smoke job loosens this rather than
+  asserting a tight bound on unreliable hardware.
+"""
+
+import gc
+import json
+import os
+import statistics
+import threading
+import time
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import LbsnWebServer
+from repro.obs import (
+    MetricsRegistry,
+    SamplingProfiler,
+    SloEngine,
+    default_slos,
+)
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+CHECKINS = int(os.environ.get("REPRO_E24_CHECKINS", "4000"))
+ROUNDS = int(os.environ.get("REPRO_E24_ROUNDS", "5"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_E24_MAX_OVERHEAD", "0.05"))
+
+USERS = 10
+VENUES_PER_USER = 3
+BASE_TS = 1_280_000_000.0  # 2010-07, the thesis's crawl summer
+CHECKIN_SPACING_S = 1_800.0
+ATTRIBUTION_SAMPLES = 300
+
+
+def _build_service(metrics):
+    """The E20 tiny city: every check-in lands on the valid/reward path."""
+    service = LbsnService(metrics=metrics)
+    venues = []
+    for i in range(USERS):
+        service.register_user(f"bench-user-{i}")
+        cluster = []
+        for j in range(VENUES_PER_USER):
+            cluster.append(
+                service.create_venue(
+                    f"bench-venue-{i}-{j}",
+                    GeoPoint(40.0 + i * 0.05 + j * 0.003, -96.0),
+                )
+            )
+        venues.append(cluster)
+    return service, venues
+
+
+def _run_checkins(service, venues) -> float:
+    """The timed region (GC paused; identical on both sides)."""
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for i in range(CHECKINS):
+            user_index = i % USERS
+            round_index = i // USERS
+            venue = venues[user_index][round_index % VENUES_PER_USER]
+            service.check_in(
+                user_id=user_index + 1,
+                venue_id=venue.venue_id,
+                reported_location=venue.location,
+                timestamp=BASE_TS
+                + round_index * CHECKIN_SPACING_S
+                + user_index,
+            )
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _e24_planted_hotspot(release: threading.Event) -> int:
+    """The needle the profiler must find: a pure-CPU spin, no builtin
+    frames between the loop and the arithmetic, so samples leaf here."""
+    acc = 1
+    while not release.is_set():
+        for i in range(4096):
+            acc = (acc * 31 + i) % 1_000_003
+    return acc
+
+
+def test_e24_profiler_overhead_and_health(report_out, benchmark):
+    # -- 1. overhead: interleaved bare/profiled pairs -----------------
+    def compare():
+        pair_ratios, bare_times, prof_times = [], [], []
+        for _ in range(ROUNDS):
+            service, venues = _build_service(metrics=None)
+            bare_s = _run_checkins(service, venues)
+            service, venues = _build_service(metrics=None)
+            profiler = SamplingProfiler()  # default 97 Hz
+            profiler.start()
+            try:
+                prof_s = _run_checkins(service, venues)
+            finally:
+                profiler.stop()
+            bare_times.append(bare_s)
+            prof_times.append(prof_s)
+            pair_ratios.append(prof_s / bare_s)
+        return pair_ratios, bare_times, prof_times, profiler
+
+    pair_ratios, bare_times, prof_times, profiler = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    bare_rate = CHECKINS / min(bare_times)
+    prof_rate = CHECKINS / min(prof_times)
+    overhead = statistics.median(pair_ratios) - 1.0
+    last_round = profiler.snapshot()
+
+    # -- 2. attribution: the planted hot function ---------------------
+    hotspot_profiler = SamplingProfiler()
+    release = threading.Event()
+    ready = threading.Event()
+
+    def burn():
+        ready.set()
+        _e24_planted_hotspot(release)
+
+    worker = threading.Thread(target=burn, name="e24-hot", daemon=True)
+    worker.start()
+    assert ready.wait(timeout=10.0)
+    try:
+        for _ in range(ATTRIBUTION_SAMPLES):
+            hotspot_profiler.sample_once()
+    finally:
+        release.set()
+        worker.join(timeout=10.0)
+    snapshot = hotspot_profiler.snapshot()
+    top3 = snapshot.top(3)
+    top3_names = [name for name, _, _ in top3]
+    planted_rank = next(
+        (
+            rank
+            for rank, name in enumerate(top3_names, start=1)
+            if "_e24_planted_hotspot" in name
+        ),
+        None,
+    )
+    collapsed = snapshot.collapsed()
+
+    # -- 3. health parity: /debug/health vs the offline engine --------
+    registry = MetricsRegistry()
+    service, venues = _build_service(metrics=registry)
+    for i in range(min(CHECKINS, 500)):
+        user_index = i % USERS
+        round_index = i // USERS
+        venue = venues[user_index][round_index % VENUES_PER_USER]
+        service.check_in(
+            user_id=user_index + 1,
+            venue_id=venue.venue_id,
+            reported_location=venue.location,
+            timestamp=BASE_TS + round_index * CHECKIN_SPACING_S + user_index,
+        )
+    engine = SloEngine(registry, default_slos(), metrics=registry)
+    engine.evaluate()
+    offline = engine.evaluate().health_dict()
+
+    webserver = LbsnWebServer(service, slo=engine)
+    router = Router()
+    webserver.install_routes(router)
+    network = Network(seed=0)
+    transport = HttpTransport(router, network)
+    response = transport.get("/debug/health", network.create_egress())
+    assert response.ok
+    served = json.loads(response.body)
+    parity = served["health_score"] == offline["health_score"]
+
+    rows = [
+        f"workload: {CHECKINS} check-ins across {USERS} users "
+        f"x {VENUES_PER_USER} venues, {ROUNDS} paired rounds, "
+        f"profiler at default {profiler.hz:g} Hz",
+        f"bare service:     {bare_rate:,.0f} check-ins/s "
+        f"(best {min(bare_times):.3f} s)",
+        f"profiled service: {prof_rate:,.0f} check-ins/s "
+        f"(best {min(prof_times):.3f} s)",
+        "per-pair ratios: "
+        + ", ".join(f"{ratio:.3f}" for ratio in pair_ratios),
+        f"profiler overhead (median of pair ratios): {overhead:+.1%} "
+        f"(bar: < {MAX_OVERHEAD:.0%})",
+        f"last profiled round: {last_round.samples} sampling passes, "
+        f"{len(last_round.stacks)} unique stacks, "
+        f"{last_round.dropped} dropped",
+        f"planted-hotspot attribution: {ATTRIBUTION_SAMPLES} passes, "
+        f"top-3 by self samples: {top3_names}",
+        f"planted function rank: {planted_rank} "
+        f"(self={top3[planted_rank - 1][1] if planted_rank else 0} samples)",
+        f"collapsed export: {len(collapsed.splitlines())} folded stacks, "
+        f"planted frame present: {'_e24_planted_hotspot' in collapsed}",
+        f"health parity: /debug/health {served['health_score']:.4f} == "
+        f"offline {offline['health_score']:.4f}: {parity} "
+        f"(worst: {served['worst_objective']})",
+    ]
+    report_out(
+        "E24_profiler_slo",
+        rows,
+        summary={
+            "checkins": CHECKINS,
+            "rounds": ROUNDS,
+            "profiler_hz": profiler.hz,
+            "bare_checkins_per_s": round(bare_rate),
+            "profiled_checkins_per_s": round(prof_rate),
+            "overhead_median_pair_ratio": round(overhead, 4),
+            "max_overhead_bar": MAX_OVERHEAD,
+            "planted_hotspot_rank": planted_rank,
+            "health_score": served["health_score"],
+            "health_parity": parity,
+        },
+    )
+
+    assert last_round.samples > 0, "profiler never sampled the workload"
+    assert planted_rank is not None and planted_rank <= 3, (
+        f"planted hot function missing from top-3: {top3_names}"
+    )
+    assert "_e24_planted_hotspot" in collapsed
+    assert parity, (
+        f"/debug/health {served['health_score']} != "
+        f"offline {offline['health_score']}"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"profiler overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} bar"
+    )

@@ -8,11 +8,21 @@ Every experiment writes its paper-style output rows to
 ``benchmarks/out/E<n>_<name>.txt`` and echoes them to stdout, so
 ``pytest benchmarks/ --benchmark-only`` regenerates the full set of
 figures/tables alongside the timing numbers.
+
+Each write also emits a machine-readable twin,
+``benchmarks/out/E<n>_<name>_summary.json``: the headline numbers
+(either the bench's explicit ``summary=`` dict or key/value pairs
+auto-extracted from the text rows), plus the world scale, seed, and git
+revision — the perf trajectory across commits, greppable without
+parsing prose.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -50,14 +60,76 @@ def bench_crawl(bench_world, bench_stack):
     return database, user_stats, venue_stats
 
 
+def _git_rev() -> str:
+    """The short commit hash, or ``"unknown"`` outside a work tree."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+#: ``label: 123`` / ``label=1.5`` pairs inside a prose row.  Labels are
+#: word-ish runs; values may carry thousands separators or a sign.
+_HEADLINE_PAIR = re.compile(
+    r"([A-Za-z][A-Za-z0-9 _./%()+-]*?)\s*[=:]\s*\+?(-?\d[\d,]*(?:\.\d+)?)"
+)
+
+
+def _headline_from_rows(rows) -> dict:
+    """Fallback headline: numeric key/value pairs scraped from the rows.
+
+    Benches with an explicit ``summary=`` dict skip this; for the rest
+    this still yields a useful machine-readable digest of the text
+    report (first occurrence of each key wins, capped at 24 entries).
+    """
+    headline: dict = {}
+    for row in rows:
+        for label, value in _HEADLINE_PAIR.findall(str(row)):
+            key = re.sub(r"[^a-z0-9]+", "_", label.strip().lower()).strip("_")
+            if not key or key in headline:
+                continue
+            number = float(value.replace(",", ""))
+            headline[key] = int(number) if number.is_integer() else number
+            if len(headline) >= 24:
+                return headline
+    return headline
+
+
 @pytest.fixture(scope="session")
 def report_out():
-    """Writer for experiment outputs: report_out(exp_id, rows)."""
-    OUT_DIR.mkdir(exist_ok=True)
+    """Writer for experiment outputs: report_out(exp_id, rows, summary=...).
 
-    def write(exp_id: str, rows):
+    Writes the paper-style text report and its ``*_summary.json`` twin;
+    ``summary`` (optional) becomes the JSON ``headline`` verbatim,
+    otherwise the headline is auto-extracted from the rows.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    git_rev = _git_rev()
+
+    def write(exp_id: str, rows, summary=None):
         text = "\n".join(str(row) for row in rows) + "\n"
         (OUT_DIR / f"{exp_id}.txt").write_text(text)
+        doc = {
+            "experiment": exp_id,
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "git_rev": git_rev,
+            "output": f"{exp_id}.txt",
+            "rows": len(rows),
+            "headline": dict(summary) if summary else _headline_from_rows(
+                rows
+            ),
+        }
+        (OUT_DIR / f"{exp_id}_summary.json").write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\n===== {exp_id} =====")
         print(text)
 

@@ -11,7 +11,12 @@ The subcommands walk the paper's arc end to end on freshly built worlds:
 * ``metrics``       — run an instrumented workload, dump the snapshot as
   Prometheus text or JSON (see ``docs/OBSERVABILITY.md``).
 * ``top``           — the same workload, watched live: a refreshing
-  rate dashboard over a :class:`~repro.obs.TimeSeriesRecorder`.
+  rate dashboard (plus SLO health panel) over a
+  :class:`~repro.obs.TimeSeriesRecorder`.
+* ``profile``       — sample the workload with the wall-clock profiler;
+  print the hotspot table, optionally dump collapsed stacks.
+* ``slo``           — evaluate the default objectives against a workload:
+  compliance, error budgets, burn rates, and the health score.
 
 All commands accept ``--scale`` (fraction of the 2010 corpus) and
 ``--seed``; they build their own world, so runs are independent and
@@ -157,6 +162,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=12,
         help="series rows per refresh (default 12)",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="sampling-profile an instrumented workload; hotspot table",
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        help="max profiling window in seconds (default 2.0; the run ends "
+        "early when the workload finishes)",
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=97.0,
+        help="sampling frequency (default 97 Hz)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="hotspot rows to print (default 15)",
+    )
+    profile.add_argument(
+        "--collapsed",
+        default=None,
+        metavar="PATH",
+        help="also write Brendan-Gregg collapsed stacks to PATH",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate the default SLOs against an instrumented workload",
+    )
+    _add_common(slo)
 
     figures = sub.add_parser(
         "figures", help="export every figure's data series as CSV"
@@ -477,6 +519,8 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
     Returns ``(registry, exposition, tracer)`` where ``exposition`` is the
     text served by the ``/metrics`` route at the end of the run.
     """
+    import threading
+
     from repro.crawler import crawl_full_site
     from repro.crawler.worker import WorkerPool
     from repro.defense import (
@@ -487,7 +531,14 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
     )
     from repro.geo.distance import destination_point
     from repro.lbsn.service import LbsnService
-    from repro.obs import LogHub, default_registry
+    from repro.obs import (
+        LogHub,
+        ProfiledSection,
+        SamplingProfiler,
+        SloEngine,
+        default_registry,
+        default_slos,
+    )
     from repro.stream import EventBus, SuspicionLedger
     from repro.workload import build_web_stack, build_world
 
@@ -535,6 +586,37 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
 
     WorkerPool(drain, threads=4, metrics=registry).run()
 
+    # A short profiled burst: one helper thread spins inside a tagged
+    # section while this thread drives synchronous sampling passes, so
+    # the profiler families carry real samples (the catalogue parity
+    # test only needs the families, but zero-sample telemetry is a poor
+    # advertisement for a profiler).
+    profiler = SamplingProfiler(metrics=registry)
+    spinning = threading.Event()
+    stop_spin = threading.Event()
+
+    def _spin() -> None:
+        with ProfiledSection(profiler, "obs.workload"):
+            spinning.set()
+            while not stop_spin.is_set():
+                sum(i * i for i in range(128))
+
+    spinner = threading.Thread(
+        target=_spin, name="obs-profile-burst", daemon=True
+    )
+    spinner.start()
+    spinning.wait(timeout=5.0)
+    for _ in range(8):
+        profiler.sample_once()
+    stop_spin.set()
+    spinner.join(timeout=5.0)
+
+    # Two SLO evaluation passes (burn windows need at least two points),
+    # read straight off the registry the workload just populated.
+    engine = SloEngine(registry, default_slos(), metrics=registry, log=hub)
+    engine.evaluate()
+    engine.evaluate()
+
     # Scrape the snapshot the way an operator would: over HTTP.
     scrape = stack.transport.get("/metrics", stack.network.create_egress())
     exposition = (
@@ -565,8 +647,25 @@ def cmd_metrics(args) -> int:
     return 0
 
 
-def _format_top_rows(recorder, limit: int) -> List[str]:
-    """The dashboard body: busiest series by current per-second rate."""
+def _terminal_width(default: int = 100) -> int:
+    """Current terminal width (falls back when not a tty)."""
+    import shutil
+
+    return shutil.get_terminal_size((default, 24)).columns
+
+
+def _format_top_rows(
+    recorder, limit: int, width: Optional[int] = None
+) -> List[str]:
+    """The dashboard body: busiest series by current per-second rate.
+
+    Every line is clamped to ``width`` columns so a refresh on a narrow
+    terminal never wraps — wrapped rows used to double the frame height
+    and scroll earlier refreshes off screen.
+    """
+    if width is None:
+        width = _terminal_width()
+    width = max(20, width)
     rows = []
     for name, labelvalues in recorder.series_keys():
         latest = recorder.latest(name, labelvalues)
@@ -581,7 +680,33 @@ def _format_top_rows(recorder, limit: int) -> List[str]:
     lines = [f"{'rate/s':>12}  {'value':>14}  series"]
     for rate, value, label in rows[:limit]:
         lines.append(f"{rate:>12.1f}  {value:>14.1f}  {label}")
-    return lines
+    return [
+        line if len(line) <= width else line[: width - 1] + "…"
+        for line in lines
+    ]
+
+
+def _format_health_panel(report, width: Optional[int] = None) -> List[str]:
+    """The ``repro top`` SLO panel: health score + the worst objective."""
+    if width is None:
+        width = _terminal_width()
+    width = max(20, width)
+    worst = report.status(report.worst) if report.worst else None
+    lines = [f"health {report.health_score:5.1f}/100"]
+    if worst is not None:
+        short = max(worst.burn_rates.values()) if worst.burn_rates else 0.0
+        lines[0] += (
+            f" | worst {worst.name}: budget "
+            f"{worst.budget_remaining:.0%}, burn {short:.1f}x, "
+            f"state {worst.state}"
+        )
+    alerting = [s.name for s in report.statuses if s.state != "ok"]
+    if alerting:
+        lines.append("alerting: " + ", ".join(alerting))
+    return [
+        line if len(line) <= width else line[: width - 1] + "…"
+        for line in lines
+    ]
 
 
 def cmd_top(args) -> int:
@@ -589,10 +714,16 @@ def cmd_top(args) -> int:
     import threading
     import time as _time
 
-    from repro.obs import MetricsRegistry, TimeSeriesRecorder
+    from repro.obs import (
+        MetricsRegistry,
+        SloEngine,
+        TimeSeriesRecorder,
+        default_slos,
+    )
 
     registry = MetricsRegistry()
     recorder = TimeSeriesRecorder(registry)
+    engine = SloEngine(registry, default_slos(), metrics=registry)
     done = threading.Event()
     failed = []
 
@@ -610,13 +741,17 @@ def cmd_top(args) -> int:
     recorder.sample()
     worker.start()
     refreshes = 0
+    width = _terminal_width()
     while not done.is_set() or refreshes == 0:
         done.wait(args.interval)
         recorder.sample()
+        report = engine.evaluate()
         refreshes += 1
         print(f"--- repro top: refresh {refreshes} "
               f"({recorder.samples_taken} samples) ---")
-        for line in _format_top_rows(recorder, args.rows):
+        for line in _format_health_panel(report, width):
+            print(line)
+        for line in _format_top_rows(recorder, args.rows, width):
             print(line)
         if args.refreshes and refreshes >= args.refreshes:
             break
@@ -625,6 +760,92 @@ def cmd_top(args) -> int:
     if failed:
         print(f"workload failed: {failed[0]}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Sampling-profile the instrumented workload; print the hotspots."""
+    import threading
+
+    from repro.obs import MetricsRegistry, SamplingProfiler
+
+    registry = MetricsRegistry()
+    profiler = SamplingProfiler(hz=args.hz, metrics=registry)
+    done = threading.Event()
+    failed = []
+
+    def work() -> None:
+        try:
+            run_metrics_workload(
+                scale=args.scale, seed=args.seed, registry=registry
+            )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failed.append(exc)
+        finally:
+            done.set()
+
+    worker = threading.Thread(
+        target=work, name="profile-workload", daemon=True
+    )
+    profiler.start()
+    worker.start()
+    done.wait(timeout=args.seconds)
+    profiler.stop()
+    worker.join(timeout=60.0)
+    snapshot = profiler.snapshot()
+    print(
+        f"profiled {snapshot.elapsed_s:.2f}s at {args.hz:g} Hz: "
+        f"{snapshot.samples} sampling passes, "
+        f"{snapshot.stack_samples} stack samples, "
+        f"{len(snapshot.stacks)} unique stacks, "
+        f"{snapshot.dropped} dropped"
+    )
+    top = snapshot.top(args.top)
+    if top:
+        name_width = max(len(name) for name, _, _ in top)
+        print(f"{'self':>8}  {'total':>8}  function")
+        for name, self_count, total_count in top:
+            print(
+                f"{self_count:>8}  {total_count:>8}  "
+                f"{name:<{name_width}}"
+            )
+    if args.collapsed:
+        from pathlib import Path
+
+        path = Path(args.collapsed)
+        path.write_text(snapshot.collapsed())
+        print(f"wrote collapsed stacks to {path}")
+    if failed:
+        print(f"workload failed: {failed[0]}", file=sys.stderr)
+        return 1
+    return 0 if snapshot.stack_samples > 0 else 1
+
+
+def cmd_slo(args) -> int:
+    """Evaluate the default objectives against one instrumented run."""
+    from repro.obs import MetricsRegistry, SloEngine, default_slos
+
+    registry = MetricsRegistry()
+    run_metrics_workload(scale=args.scale, seed=args.seed, registry=registry)
+    engine = SloEngine(registry, default_slos(), metrics=registry)
+    engine.evaluate()
+    report = engine.evaluate()
+    name_width = max(len(s.name) for s in report.statuses)
+    print(
+        f"{'objective':<{name_width}}  {'target':>7}  {'compliance':>10}  "
+        f"{'budget':>7}  {'burn':>8}  state"
+    )
+    for status in report.statuses:
+        burn = max(status.burn_rates.values()) if status.burn_rates else 0.0
+        print(
+            f"{status.name:<{name_width}}  {status.target:>6.1%}  "
+            f"{status.compliance:>9.2%}  {status.budget_remaining:>6.0%}  "
+            f"{burn:>8.2f}  {status.state}"
+        )
+    print(
+        f"health score: {report.health_score:.1f}/100 "
+        f"(worst: {report.worst})"
+    )
     return 0
 
 
@@ -837,6 +1058,8 @@ _COMMANDS = {
     "defend": cmd_defend,
     "metrics": cmd_metrics,
     "top": cmd_top,
+    "profile": cmd_profile,
+    "slo": cmd_slo,
     "figures": cmd_figures,
     "chaos": cmd_chaos,
     "snapshot": cmd_snapshot,

@@ -39,6 +39,7 @@ import dataclasses
 import json
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
@@ -148,8 +149,8 @@ def encode_record(event: StreamEvent) -> bytes:
 class _WalMetrics:
     """Exported WAL telemetry (shared by writer and reader)."""
 
-    __slots__ = ("appends", "bytes_written", "fsyncs", "segments", "replayed",
-                 "torn_tails")
+    __slots__ = ("appends", "bytes_written", "fsyncs", "fsync_seconds",
+                 "segments", "replayed", "torn_tails")
 
     def __init__(self, metrics: MetricsRegistry) -> None:
         self.appends = metrics.counter(
@@ -163,6 +164,11 @@ class _WalMetrics:
         self.fsyncs = metrics.counter(
             "repro_wal_fsyncs_total",
             "fsync(2) calls issued by WAL writers (batching knob).",
+        ).child()
+        self.fsync_seconds = metrics.histogram(
+            "repro_wal_fsync_seconds",
+            "Wall time per WAL fsync batch (flush + fsync); feeds the "
+            "wal-fsync-p99 durability SLO.",
         ).child()
         self.segments = metrics.counter(
             "repro_wal_segments_opened_total",
@@ -284,12 +290,16 @@ class WalWriter:
         disables the *implicit* syncs (batching, rotation, close).
         """
         if self._file is not None and self._since_sync > 0:
+            started = time.perf_counter()
             self._file.flush()
             os.fsync(self._file.fileno())
             self.fsyncs += 1
             self._since_sync = 0
             if self._metrics is not None:
                 self._metrics.fsyncs.inc()
+                self._metrics.fsync_seconds.observe(
+                    time.perf_counter() - started
+                )
 
     def close(self) -> None:
         """Sync (per the knob) and close; further appends raise."""

@@ -40,6 +40,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.points import POINT_DURABLE_WORKER
 from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import ProfiledSection, SamplingProfiler
 from repro.obs.tracing import Tracer
 from repro.stream.bus import EventBus
 from repro.stream.detectors import StreamDetectorConfig
@@ -54,7 +55,7 @@ class DurableWorkerError(ReproError):
 class _WorkerMetrics:
     """Per-partition labeled counters for the worker life cycle."""
 
-    __slots__ = ("crashes", "recoveries", "applied")
+    __slots__ = ("crashes", "recoveries", "applied", "replay_lag")
 
     def __init__(self, metrics: MetricsRegistry, label: str) -> None:
         self.crashes = metrics.counter(
@@ -70,6 +71,12 @@ class _WorkerMetrics:
         self.applied = metrics.counter(
             "repro_durable_events_applied_total",
             "Events applied to a live detector shard, by partition.",
+            ("partition",),
+        ).labels(label)
+        self.replay_lag = metrics.gauge(
+            "repro_durable_replay_lag_events",
+            "Events WAL-appended but not yet applied to the live shard "
+            "(grows while a worker is down, drops to 0 on recovery).",
             ("partition",),
         ).labels(label)
 
@@ -139,6 +146,7 @@ class DetectorWorker:
         self.events_applied = 0
         self.recoveries = 0
         self.replayed_events = 0
+        self.replay_lag = 0
         self._since_snapshot = 0
         self._metrics = (
             _WorkerMetrics(metrics, self.label)
@@ -167,6 +175,9 @@ class DetectorWorker:
         """
         self.wal.append(event)
         if self.crashed:
+            self.replay_lag += 1
+            if self._metrics is not None:
+                self._metrics.replay_lag.set(self.replay_lag)
             return
         try:
             if self.faults is not None:
@@ -191,8 +202,10 @@ class DetectorWorker:
     def _crash(self, event: StreamEvent, exc: Exception) -> None:
         self.crashed = True
         self.ledger = None  # the in-memory shard dies with the worker
+        self.replay_lag += 1  # the fatal event reached the WAL, not the shard
         if self._metrics is not None:
             self._metrics.crashes.inc()
+            self._metrics.replay_lag.set(self.replay_lag)
         if self._logger is not None:
             self._logger.error(
                 "durable.worker_crash",
@@ -260,9 +273,11 @@ class DetectorWorker:
         self.events_applied += replayed
         self.recoveries += 1
         self.replayed_events += replayed
+        self.replay_lag = 0
         self._since_snapshot = 0
         if self._metrics is not None:
             self._metrics.recoveries.inc()
+            self._metrics.replay_lag.set(0)
         if self._logger is not None:
             self._logger.info(
                 "durable.recovered",
@@ -425,19 +440,30 @@ class RecoveryCoordinator:
         self,
         pipeline: PartitionedDetectorPipeline,
         log: Optional[LogHub] = None,
+        profiler: Optional[SamplingProfiler] = None,
     ) -> None:
         self.pipeline = pipeline
         self._logger = (
             log.logger("durable.coordinator") if log is not None else None
         )
+        self._profiler = profiler
         self.recoveries = 0
 
     def recover_crashed(self) -> List[int]:
-        """Recover every crashed worker; returns the partitions revived."""
+        """Recover every crashed worker; returns the partitions revived.
+
+        With a profiler attached, the replay work is attributed to a
+        ``durable.recover`` section so recovery storms show up as their
+        own band in the collapsed-stack export.
+        """
         revived = []
         for partition in self.pipeline.crashed_partitions():
             worker = self.pipeline.workers[partition]
-            replayed = worker.recover()
+            if self._profiler is not None:
+                with ProfiledSection(self._profiler, "durable.recover"):
+                    replayed = worker.recover()
+            else:
+                replayed = worker.recover()
             revived.append(partition)
             self.recoveries += 1
             if self._logger is not None:

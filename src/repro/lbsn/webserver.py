@@ -32,6 +32,17 @@ an operator would scrape.  Three debug routes complete the picture:
   log ring as JSONL, filterable by the same keys
   :meth:`repro.obs.log.LogHub.records` takes; ``?trace_id=`` is the
   one-request flight-recorder query the obs layer exists for.
+
+When a :class:`~repro.obs.profiler.SamplingProfiler` and/or
+:class:`~repro.obs.slo.SloEngine` are attached, three more routes join:
+
+* ``GET /debug/profile`` — the profiler snapshot as JSON, or the raw
+  Brendan-Gregg collapsed-stack text with ``?format=collapsed`` (pipe it
+  straight into a flamegraph renderer).
+* ``GET /debug/slo`` — every objective's compliance, error budget, burn
+  rates, and alert state (one fresh evaluation per request).
+* ``GET /debug/health`` — the weighted health-score roll-up; the same
+  number ``repro slo`` computes offline from the same registry state.
 """
 
 from __future__ import annotations
@@ -47,6 +58,8 @@ from repro.lbsn.models import User, Venue
 from repro.lbsn.service import LbsnService
 from repro.obs.log import LogHub
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SloEngine
 from repro.obs.timeseries import registry_to_dict
 from repro.simnet.http import (
     HTTP_GATEWAY_TIMEOUT,
@@ -72,6 +85,10 @@ JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 #: Content type of the JSONL ``/debug/logs`` route.
 JSONL_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 
+#: Content type of the collapsed-stack ``/debug/profile?format=collapsed``
+#: export (plain folded lines, flamegraph-tool ready).
+COLLAPSED_CONTENT_TYPE = "text/plain; charset=utf-8"
+
 
 class LbsnWebServer:
     """Renders the service's state as public HTML pages."""
@@ -84,6 +101,8 @@ class LbsnWebServer:
         metrics: Optional[MetricsRegistry] = None,
         log: Optional[LogHub] = None,
         faults: Optional[FaultInjector] = None,
+        profiler: Optional[SamplingProfiler] = None,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         self.service = service
         self.show_whos_been_here = show_whos_been_here
@@ -97,6 +116,10 @@ class LbsnWebServer:
         self.faults = faults if faults is not None else getattr(
             service, "faults", None
         )
+        #: Profiler behind ``/debug/profile`` (opt-in, no service default).
+        self.profiler = profiler
+        #: SLO engine behind ``/debug/slo`` and ``/debug/health``.
+        self.slo = slo
 
     def install_routes(self, router: Router) -> None:
         """Attach the site's routes (and ``/metrics`` when instrumented)."""
@@ -109,6 +132,11 @@ class LbsnWebServer:
             router.add("GET", r"/debug/traces", self._debug_traces)
         if self.log is not None:
             router.add("GET", r"/debug/logs", self._debug_logs)
+        if self.profiler is not None:
+            router.add("GET", r"/debug/profile", self._debug_profile)
+        if self.slo is not None:
+            router.add("GET", r"/debug/slo", self._debug_slo)
+            router.add("GET", r"/debug/health", self._debug_health)
 
     # Fault middleware ------------------------------------------------------
 
@@ -214,6 +242,42 @@ class LbsnWebServer:
             body=body,
             headers={
                 "Content-Type": JSONL_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    def _debug_profile(self, request: HttpRequest, match) -> HttpResponse:
+        snapshot = self.profiler.snapshot()
+        if request.params.get("format") == "collapsed":
+            body = snapshot.collapsed()
+            content_type = COLLAPSED_CONTENT_TYPE
+        else:
+            body = json.dumps(snapshot.to_dict(), sort_keys=True)
+            content_type = JSON_CONTENT_TYPE
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": content_type,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    def _debug_slo(self, request: HttpRequest, match) -> HttpResponse:
+        body = json.dumps(self.slo.evaluate().to_dict(), sort_keys=True)
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": JSON_CONTENT_TYPE,
+                "Content-Length": str(len(body.encode("utf-8"))),
+            },
+        )
+
+    def _debug_health(self, request: HttpRequest, match) -> HttpResponse:
+        body = json.dumps(self.slo.evaluate().health_dict(), sort_keys=True)
+        return HttpResponse(
+            body=body,
+            headers={
+                "Content-Type": JSON_CONTENT_TYPE,
                 "Content-Length": str(len(body.encode("utf-8"))),
             },
         )

@@ -19,6 +19,12 @@ service takes an optional ``event_bus``:
   queries; also home of the shared JSON serializer
   (:func:`registry_to_dict`) behind ``repro metrics --format json`` and
   ``GET /debug/vars``.
+* :mod:`repro.obs.profiler` — wall-clock sampling profiler walking
+  ``sys._current_frames()``: folded stacks per thread, collapsed-format
+  export, top-N hotspot tables, :class:`ProfiledSection` phase tags.
+* :mod:`repro.obs.slo` — declarative service-level objectives over the
+  registry: error budgets, multi-window multi-burn-rate alerting, and a
+  weighted health-score roll-up (``/debug/slo``, ``/debug/health``).
 
 Instrumented layers: :mod:`repro.lbsn` (pipeline outcomes, commit spans,
 store gauges/locks, per-check-in log records), :mod:`repro.stream` (bus
@@ -53,6 +59,28 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
     default_registry,
+)
+from repro.obs.profiler import (
+    ProfiledSection,
+    ProfileSnapshot,
+    ProfilerError,
+    SamplingProfiler,
+    fold_stack,
+)
+from repro.obs.slo import (
+    AvailabilityObjective,
+    BurnRatePolicy,
+    LatencyObjective,
+    Objective,
+    ObjectiveStatus,
+    RatioObjective,
+    SloEngine,
+    SloError,
+    SloReport,
+    budget_remaining,
+    burn_rate,
+    default_slos,
+    window_label,
 )
 from repro.obs.timeseries import (
     TimeSeriesError,
@@ -90,4 +118,22 @@ __all__ = [
     "TimeSeriesRecorder",
     "registry_to_dict",
     "registry_to_json",
+    "ProfiledSection",
+    "ProfileSnapshot",
+    "ProfilerError",
+    "SamplingProfiler",
+    "fold_stack",
+    "AvailabilityObjective",
+    "BurnRatePolicy",
+    "LatencyObjective",
+    "Objective",
+    "ObjectiveStatus",
+    "RatioObjective",
+    "SloEngine",
+    "SloError",
+    "SloReport",
+    "budget_remaining",
+    "burn_rate",
+    "default_slos",
+    "window_label",
 ]

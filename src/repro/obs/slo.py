@@ -1,0 +1,779 @@
+"""Service-level objectives, error budgets, and burn-rate alerting.
+
+PRs 2–3 gave the reproduction metrics, traces, and logs; this module adds
+the *judgement* layer: declarative objectives evaluated straight off the
+:class:`~repro.obs.metrics.MetricsRegistry`, error budgets derived from
+them, and the multi-window multi-burn-rate alerting rule the SRE workbook
+prescribes — a fast page when a short **and** a medium window both burn
+budget quickly, a slow ticket when a medium and a long window both burn it
+steadily.  A weighted health score rolls every objective into one number
+(the ``/debug/health`` route and the ``repro top`` panel).
+
+Objective kinds:
+
+* :class:`LatencyObjective` — evaluated from a histogram's cumulative
+  buckets: the fraction of observations at or under ``threshold_s`` must
+  stay at or above ``target`` (e.g. 99% of ``checkin.commit`` spans
+  inside 25 ms).
+* :class:`AvailabilityObjective` — evaluated from an outcome counter
+  family: the labeled *good* children over all children.
+* :class:`RatioObjective` — the general form: a good family/label-set
+  over a total family/label-set (e.g. durable events applied over WAL
+  events appended — worker replay currency).
+
+The engine is read-only toward the observed registry (it never registers
+families it merely evaluates — the DURABILITY.md catalogue guard depends
+on that) and keeps its own bounded ``(timestamp, good, total)`` ring per
+objective, so window math needs no external TSDB and runs equally well on
+wall time or a :class:`~repro.simnet.clock.SimClock`.  Alert transitions
+are a three-state machine (``ok`` / ``slow`` / ``fast``) emitting
+trace-stamped structured log events (``slo.alert`` / ``slo.resolved``)
+and counting into ``repro_slo_alerts_total``.
+
+Thread-safety: sampling/evaluation run under one engine lock; the
+registry reads use each child's own lock.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ReproError
+from repro.obs.context import TraceContext, current_trace
+from repro.obs.log import LogHub
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "AvailabilityObjective",
+    "BurnRatePolicy",
+    "LatencyObjective",
+    "Objective",
+    "ObjectiveStatus",
+    "RatioObjective",
+    "SloEngine",
+    "SloError",
+    "SloReport",
+    "budget_remaining",
+    "burn_rate",
+    "default_slos",
+    "window_label",
+]
+
+
+class SloError(ReproError):
+    """Misuse of the SLO API (bad targets, bad windows, bad weights)."""
+
+
+#: One sampled compliance point: (timestamp, cumulative good, cumulative total).
+SloPoint = Tuple[float, float, float]
+
+STATE_OK = "ok"
+STATE_SLOW = "slow"
+STATE_FAST = "fast"
+
+#: Alert severity → log level name used for the ``slo.alert`` record.
+_SEVERITY_LEVELS = {STATE_FAST: "error", STATE_SLOW: "warning"}
+
+
+def window_label(seconds: float) -> str:
+    """Human window name: ``300 → "5m"``, ``21600 → "6h"``."""
+    if seconds % 3600 == 0:
+        return f"{int(seconds // 3600)}h"
+    if seconds % 60 == 0:
+        return f"{int(seconds // 60)}m"
+    return f"{seconds:g}s"
+
+
+# ---------------------------------------------------------------------------
+# Pure window math (the hypothesis property suite brute-forces these)
+# ---------------------------------------------------------------------------
+
+
+def burn_rate(
+    points: Sequence[SloPoint],
+    now: float,
+    window_s: float,
+    target: float,
+) -> float:
+    """Budget burn rate over the trailing window ending at ``now``.
+
+    The window holds every point with ``timestamp >= now - window_s``;
+    with fewer than two points (or no traffic across them) the rate is
+    0.0.  A rate of 1.0 means the error budget is being consumed exactly
+    at the sustainable pace; 14.4 means a 30-day budget would be gone in
+    ~2 days.
+    """
+    horizon = now - window_s
+    window = [p for p in points if p[0] >= horizon]
+    if len(window) < 2:
+        return 0.0
+    d_total = window[-1][2] - window[0][2]
+    d_good = window[-1][1] - window[0][1]
+    if d_total <= 0:
+        return 0.0
+    bad_fraction = min(1.0, max(0.0, (d_total - d_good) / d_total))
+    return bad_fraction / (1.0 - target)
+
+
+def budget_remaining(good: float, total: float, target: float) -> float:
+    """Fraction of the error budget still unspent, clamped to [0, 1].
+
+    The budget is ``total * (1 - target)`` bad events; with no traffic
+    the budget is untouched (1.0).  Never negative — a blown budget
+    floors at 0.0 (a property test pins this).
+    """
+    if total <= 0:
+        return 1.0
+    bad = max(0.0, total - good)
+    allowed = total * (1.0 - target)
+    if allowed <= 0:
+        return 0.0 if bad > 0 else 1.0
+    return max(0.0, min(1.0, 1.0 - bad / allowed))
+
+
+# ---------------------------------------------------------------------------
+# Objectives
+# ---------------------------------------------------------------------------
+
+
+class Objective:
+    """One declared objective: a target over a good/total ratio.
+
+    Subclasses implement :meth:`good_total`, reading *cumulative* good
+    and total event counts off a registry.  Objectives never register
+    metric families — a family the code does not emit simply reads as
+    no traffic (``(0, 0)``), which keeps the engine deployable against
+    partially-instrumented stacks.
+    """
+
+    kind = "objective"
+
+    def __init__(
+        self,
+        name: str,
+        target: float,
+        weight: float = 1.0,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise SloError("objective name must be non-empty")
+        if not (0.0 < target < 1.0):
+            raise SloError(f"{name}: target must be in (0, 1): {target}")
+        if weight <= 0:
+            raise SloError(f"{name}: weight must be > 0: {weight}")
+        self.name = name
+        self.target = target
+        self.weight = weight
+        self.description = description
+
+    def good_total(
+        self, registry: MetricsRegistry
+    ) -> Tuple[float, float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _sum_children(
+    registry: MetricsRegistry,
+    family_name: str,
+    labelsets: Optional[Sequence[Tuple[str, ...]]],
+) -> float:
+    """Sum a family's children (all, or the listed label-value tuples).
+
+    Counters and gauges contribute their value, histograms their
+    observation count — the same convention as
+    :meth:`MetricsRegistry.snapshot`.  A missing family sums to 0.
+    """
+    family = registry.get(family_name)
+    if family is None:
+        return 0.0
+    wanted = None if labelsets is None else {
+        tuple(labels) for labels in labelsets
+    }
+    total = 0.0
+    for labelvalues, child in family.children():
+        if wanted is not None and labelvalues not in wanted:
+            continue
+        if family.kind == "histogram":
+            total += child.count
+        else:
+            total += child.value
+    return total
+
+
+class LatencyObjective(Objective):
+    """``target`` of observations must land at or under ``threshold_s``.
+
+    Evaluated from the histogram's cumulative buckets: *good* is the
+    cumulative count at the first bucket bound >= ``threshold_s`` (so a
+    threshold between bounds rounds up to the next bound), *total* is
+    the +Inf count.  One consistent read — both come from the same
+    locked bucket snapshot.
+    """
+
+    kind = "latency"
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        threshold_s: float,
+        labels: Sequence[str] = (),
+        target: float = 0.99,
+        weight: float = 1.0,
+        description: str = "",
+    ) -> None:
+        if threshold_s <= 0:
+            raise SloError(f"{name}: threshold_s must be > 0: {threshold_s}")
+        super().__init__(name, target, weight, description)
+        self.family = family
+        self.labels = tuple(str(value) for value in labels)
+        self.threshold_s = threshold_s
+
+    def good_total(self, registry: MetricsRegistry) -> Tuple[float, float]:
+        family = registry.get(self.family)
+        if family is None or family.kind != "histogram":
+            return (0.0, 0.0)
+        for labelvalues, child in family.children():
+            if labelvalues == self.labels:
+                buckets = child.bucket_counts()
+                total = float(buckets[-1][1])  # the +Inf cumulative count
+                good = total  # threshold beyond the last finite bound
+                for bound, cumulative in buckets:
+                    if bound >= self.threshold_s:
+                        good = float(cumulative)
+                        break
+                return (good, total)
+        return (0.0, 0.0)
+
+
+class RatioObjective(Objective):
+    """``target`` of ``total_family`` events must show up in ``good_family``.
+
+    The general good-over-total form: both sides are (possibly distinct)
+    families, each summed over all children or a listed subset of
+    label-value tuples.  ``good`` is clamped to ``total`` so slightly
+    racy reads of two families can never report negative bad counts.
+    """
+
+    kind = "ratio"
+
+    def __init__(
+        self,
+        name: str,
+        good_family: str,
+        total_family: str,
+        good_labels: Optional[Sequence[Sequence[str]]] = None,
+        total_labels: Optional[Sequence[Sequence[str]]] = None,
+        target: float = 0.99,
+        weight: float = 1.0,
+        description: str = "",
+    ) -> None:
+        super().__init__(name, target, weight, description)
+        self.good_family = good_family
+        self.total_family = total_family
+        self.good_labels = (
+            None
+            if good_labels is None
+            else tuple(tuple(str(v) for v in ls) for ls in good_labels)
+        )
+        self.total_labels = (
+            None
+            if total_labels is None
+            else tuple(tuple(str(v) for v in ls) for ls in total_labels)
+        )
+
+    def good_total(self, registry: MetricsRegistry) -> Tuple[float, float]:
+        good = _sum_children(registry, self.good_family, self.good_labels)
+        total = _sum_children(registry, self.total_family, self.total_labels)
+        return (min(good, total), total)
+
+
+class AvailabilityObjective(RatioObjective):
+    """``target`` of one counter family's events must carry a good label."""
+
+    kind = "availability"
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        good_labels: Sequence[Sequence[str]],
+        target: float = 0.99,
+        weight: float = 1.0,
+        description: str = "",
+    ) -> None:
+        super().__init__(
+            name,
+            good_family=family,
+            total_family=family,
+            good_labels=good_labels,
+            total_labels=None,
+            target=target,
+            weight=weight,
+            description=description,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Alerting policy and report shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Multi-window multi-burn-rate thresholds (SRE-workbook shaped).
+
+    A **fast** alert (page) fires when both the short and the long fast
+    window burn above ``fast_threshold``; a **slow** alert (ticket) when
+    both slow windows burn above ``slow_threshold``.  Requiring the pair
+    keeps a single spiky sample from paging, and the long window keeps
+    the alert from resolving the instant the spike ends.
+    """
+
+    fast_short_s: float = 300.0
+    fast_long_s: float = 3600.0
+    fast_threshold: float = 14.4
+    slow_short_s: float = 3600.0
+    slow_long_s: float = 21600.0
+    slow_threshold: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fast_short_s",
+            "fast_long_s",
+            "slow_short_s",
+            "slow_long_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise SloError(f"{name} must be > 0")
+        if self.fast_short_s >= self.fast_long_s:
+            raise SloError("fast_short_s must be < fast_long_s")
+        if self.slow_short_s >= self.slow_long_s:
+            raise SloError("slow_short_s must be < slow_long_s")
+        if self.fast_threshold <= 0 or self.slow_threshold <= 0:
+            raise SloError("burn thresholds must be > 0")
+
+    def windows(self) -> List[float]:
+        """Every distinct window, ascending."""
+        return sorted(
+            {
+                self.fast_short_s,
+                self.fast_long_s,
+                self.slow_short_s,
+                self.slow_long_s,
+            }
+        )
+
+
+@dataclass
+class ObjectiveStatus:
+    """One objective's evaluated state at a point in time."""
+
+    name: str
+    kind: str
+    target: float
+    weight: float
+    description: str
+    good: float
+    total: float
+    compliance: float
+    budget_remaining: float
+    burn_rates: Dict[str, float]
+    state: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "weight": self.weight,
+            "description": self.description,
+            "good": self.good,
+            "total": self.total,
+            "compliance": self.compliance,
+            "budget_remaining": self.budget_remaining,
+            "burn_rates": dict(self.burn_rates),
+            "state": self.state,
+        }
+
+
+@dataclass
+class SloReport:
+    """One evaluation pass: every objective plus the health roll-up."""
+
+    now: float
+    health_score: float
+    worst: Optional[str]
+    statuses: List[ObjectiveStatus]
+
+    def status(self, name: str) -> ObjectiveStatus:
+        for status in self.statuses:
+            if status.name == name:
+                return status
+        raise SloError(f"no objective named {name!r} in this report")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``/debug/slo`` body."""
+        return {
+            "now": self.now,
+            "health_score": self.health_score,
+            "worst_objective": self.worst,
+            "objectives": [status.to_dict() for status in self.statuses],
+        }
+
+    def health_dict(self) -> Dict[str, Any]:
+        """The ``/debug/health`` body (and ``repro slo``'s roll-up)."""
+        return {
+            "health_score": self.health_score,
+            "worst_objective": self.worst,
+            "objectives": {
+                status.name: {
+                    "budget_remaining": status.budget_remaining,
+                    "state": status.state,
+                    "weight": status.weight,
+                }
+                for status in self.statuses
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class SloEngine:
+    """Evaluates declared objectives against a live registry.
+
+    Parameters
+    ----------
+    registry:
+        The observed registry (read-only: the engine never registers
+        families there on the objectives' behalf).
+    objectives:
+        The declared objective catalogue (see :func:`default_slos`).
+    metrics:
+        Optional registry for the engine's own telemetry — usually the
+        *same* registry, so health and burn gauges ride the ordinary
+        scrape.  Families: ``repro_slo_evaluations_total``,
+        ``repro_slo_budget_remaining``, ``repro_slo_burn_rate``,
+        ``repro_slo_alerts_total``, ``repro_slo_health_score``.
+    log:
+        Optional hub for ``slo.alert`` / ``slo.resolved`` records
+        (logger ``obs.slo``), each stamped with a ``trace_id``.
+    clock:
+        Time source for samples: a callable returning seconds, or any
+        object with a ``now()`` method (a ``SimClock``).  Defaults to
+        wall time.
+    max_points:
+        Ring bound per objective; must retain at least two points.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: Sequence[Objective],
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
+        policy: Optional[BurnRatePolicy] = None,
+        clock: Optional[Any] = None,
+        max_points: int = 512,
+    ) -> None:
+        if not objectives:
+            raise SloError("at least one objective is required")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise SloError(f"duplicate objective names: {names}")
+        if max_points < 2:
+            raise SloError(f"max_points must be >= 2: {max_points}")
+        self.registry = registry
+        self.objectives: Tuple[Objective, ...] = tuple(objectives)
+        self.policy = policy or BurnRatePolicy()
+        self.max_points = max_points
+        self._now: Callable[[], float] = (
+            time.time
+            if clock is None
+            else (clock.now if hasattr(clock, "now") else clock)
+        )
+        self._lock = threading.Lock()
+        self._rings: Dict[str, Deque[SloPoint]] = {
+            name: deque(maxlen=max_points) for name in names
+        }
+        self._states: Dict[str, str] = {name: STATE_OK for name in names}
+        self._logger = log.logger("obs.slo") if log is not None else None
+        if metrics is not None:
+            self._evaluations = metrics.counter(
+                "repro_slo_evaluations_total",
+                "SLO evaluation passes run by the engine.",
+            ).child()
+            self._budget_gauge = metrics.gauge(
+                "repro_slo_budget_remaining",
+                "Fraction of the error budget unspent, per objective.",
+                ("objective",),
+            )
+            self._burn_gauge = metrics.gauge(
+                "repro_slo_burn_rate",
+                "Error-budget burn rate, per objective and window.",
+                ("objective", "window"),
+            )
+            self._alerts = metrics.counter(
+                "repro_slo_alerts_total",
+                "Burn-rate alert firings, per objective and severity.",
+                ("objective", "severity"),
+            )
+            self._health_gauge = metrics.gauge(
+                "repro_slo_health_score",
+                "Weighted budget-remaining roll-up across objectives "
+                "(0-100).",
+            ).child()
+        else:
+            self._evaluations = None
+            self._budget_gauge = None
+            self._burn_gauge = None
+            self._alerts = None
+            self._health_gauge = None
+
+    # Sampling ----------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> float:
+        """Append one cumulative (good, total) point per objective."""
+        stamp = self._now() if now is None else float(now)
+        with self._lock:
+            for objective in self.objectives:
+                good, total = objective.good_total(self.registry)
+                self._rings[objective.name].append((stamp, good, total))
+        return stamp
+
+    def points(self, name: str) -> List[SloPoint]:
+        """The retained ring for one objective (oldest first)."""
+        with self._lock:
+            try:
+                return list(self._rings[name])
+            except KeyError:
+                raise SloError(f"unknown objective: {name!r}") from None
+
+    # Evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, now: Optional[float] = None, sample: bool = True
+    ) -> SloReport:
+        """Sample (by default) and judge every objective.
+
+        Returns the full :class:`SloReport`; alert-state transitions
+        fire their log records and counters as a side effect.
+        """
+        if sample:
+            stamp = self.sample(now)
+        else:
+            stamp = self._now() if now is None else float(now)
+        policy = self.policy
+        statuses: List[ObjectiveStatus] = []
+        transitions: List[Tuple[Objective, str, str, ObjectiveStatus]] = []
+        with self._lock:
+            for objective in self.objectives:
+                points = list(self._rings[objective.name])
+                if points:
+                    _, good, total = points[-1]
+                else:
+                    good, total = objective.good_total(self.registry)
+                compliance = (good / total) if total > 0 else 1.0
+                remaining = budget_remaining(good, total, objective.target)
+                burns = {
+                    window_label(window): burn_rate(
+                        points, stamp, window, objective.target
+                    )
+                    for window in policy.windows()
+                }
+                fast = (
+                    burns[window_label(policy.fast_short_s)]
+                    > policy.fast_threshold
+                    and burns[window_label(policy.fast_long_s)]
+                    > policy.fast_threshold
+                )
+                slow = (
+                    burns[window_label(policy.slow_short_s)]
+                    > policy.slow_threshold
+                    and burns[window_label(policy.slow_long_s)]
+                    > policy.slow_threshold
+                )
+                state = STATE_FAST if fast else (
+                    STATE_SLOW if slow else STATE_OK
+                )
+                status = ObjectiveStatus(
+                    name=objective.name,
+                    kind=objective.kind,
+                    target=objective.target,
+                    weight=objective.weight,
+                    description=objective.description,
+                    good=good,
+                    total=total,
+                    compliance=compliance,
+                    budget_remaining=remaining,
+                    burn_rates=burns,
+                    state=state,
+                )
+                previous = self._states[objective.name]
+                if state != previous:
+                    self._states[objective.name] = state
+                    transitions.append((objective, previous, state, status))
+                statuses.append(status)
+        report = self._roll_up(stamp, statuses)
+        self._export(report)
+        for objective, previous, state, status in transitions:
+            self._announce(objective, previous, state, status)
+        return report
+
+    def _roll_up(
+        self, stamp: float, statuses: List[ObjectiveStatus]
+    ) -> SloReport:
+        total_weight = sum(status.weight for status in statuses)
+        score = 100.0 * sum(
+            status.weight * status.budget_remaining for status in statuses
+        ) / total_weight
+        short_label = window_label(self.policy.fast_short_s)
+        worst = max(
+            statuses,
+            key=lambda status: (
+                status.burn_rates.get(short_label, 0.0),
+                -status.budget_remaining,
+                status.name,
+            ),
+        )
+        return SloReport(
+            now=stamp,
+            health_score=score,
+            worst=worst.name,
+            statuses=statuses,
+        )
+
+    def _export(self, report: SloReport) -> None:
+        if self._evaluations is None:
+            return
+        self._evaluations.inc()
+        self._health_gauge.set(report.health_score)
+        for status in report.statuses:
+            self._budget_gauge.labels(status.name).set(
+                status.budget_remaining
+            )
+            for window, rate in status.burn_rates.items():
+                self._burn_gauge.labels(status.name, window).set(rate)
+
+    def _announce(
+        self,
+        objective: Objective,
+        previous: str,
+        state: str,
+        status: ObjectiveStatus,
+    ) -> None:
+        if state != STATE_OK and self._alerts is not None:
+            self._alerts.labels(objective.name, state).inc()
+        if self._logger is None:
+            return
+        ambient = current_trace()
+        trace_id = (
+            ambient.trace_id if ambient is not None
+            else TraceContext.mint().trace_id
+        )
+        if state == STATE_OK:
+            self._logger.info(
+                "slo.resolved",
+                trace_id=trace_id,
+                objective=objective.name,
+                previous=previous,
+                budget_remaining=status.budget_remaining,
+            )
+        else:
+            level = _SEVERITY_LEVELS[state]
+            getattr(self._logger, level)(
+                "slo.alert",
+                trace_id=trace_id,
+                objective=objective.name,
+                severity=state,
+                previous=previous,
+                budget_remaining=status.budget_remaining,
+                burn_rates=dict(status.burn_rates),
+            )
+
+    # Introspection -----------------------------------------------------
+
+    def states(self) -> Dict[str, str]:
+        """Current alert state per objective."""
+        with self._lock:
+            return dict(self._states)
+
+
+# ---------------------------------------------------------------------------
+# The repo's default objective catalogue
+# ---------------------------------------------------------------------------
+
+
+def default_slos() -> List[Objective]:
+    """The reproduction's stock objectives, over metrics it already emits.
+
+    Objectives over families a given deployment never registers (the
+    durable pair, for a process that runs no WAL) read as no-traffic:
+    full budget, zero burn — declaring them is free.
+    """
+    return [
+        LatencyObjective(
+            "checkin-commit-p99",
+            family="repro_span_seconds",
+            labels=("checkin.commit",),
+            threshold_s=0.025,
+            target=0.99,
+            weight=3.0,
+            description="99% of check-in commits inside 25 ms.",
+        ),
+        AvailabilityObjective(
+            "checkin-availability",
+            family="repro_lbsn_checkins_total",
+            good_labels=(("valid",), ("flagged",)),
+            target=0.75,
+            weight=2.0,
+            description=(
+                "Check-ins answered with a reward decision (valid or "
+                "flagged) rather than rejected outright."
+            ),
+        ),
+        LatencyObjective(
+            "defense-verdict-p99",
+            family="repro_defense_check_seconds",
+            labels=("distance-bounding",),
+            threshold_s=0.025,
+            target=0.99,
+            weight=1.0,
+            description="99% of distance-bounding verdicts inside 25 ms.",
+        ),
+        LatencyObjective(
+            "wal-fsync-p99",
+            family="repro_wal_fsync_seconds",
+            threshold_s=0.1,
+            target=0.99,
+            weight=1.0,
+            description="99% of WAL fsync batches inside 100 ms.",
+        ),
+        RatioObjective(
+            "detector-replay-currency",
+            good_family="repro_durable_events_applied_total",
+            total_family="repro_wal_appends_total",
+            target=0.95,
+            weight=1.0,
+            description=(
+                "Share of WAL-appended events already applied to live "
+                "detector shards (the inverse of replay lag)."
+            ),
+        ),
+    ]

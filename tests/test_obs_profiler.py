@@ -1,0 +1,374 @@
+"""The sampling profiler: folding, aggregation, sections, and routes.
+
+Determinism strategy: almost every test drives :meth:`SamplingProfiler.
+sample_once` synchronously from the test thread (which the pass skips)
+against helper threads parked at *known* program points — an
+``Event``-gated spin loop pins the thread inside a named function, so
+the folded stack's content is predictable without racing a background
+sampler.  Only the lifecycle tests start the real daemon thread.
+"""
+
+import json
+import re
+import sys
+import threading
+
+import pytest
+
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import (
+    COLLAPSED_CONTENT_TYPE,
+    JSON_CONTENT_TYPE,
+    LbsnWebServer,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    DEFAULT_SECTION,
+    ProfiledSection,
+    ProfileSnapshot,
+    ProfilerError,
+    SamplingProfiler,
+    fold_stack,
+)
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+THREADS = 8
+
+
+class _Spinner:
+    """A thread parked in a recognisably-named function until released."""
+
+    def __init__(self, name="spinner", section=None, profiler=None):
+        self.ready = threading.Event()
+        self.release = threading.Event()
+        self._section = section
+        self._profiler = profiler
+        self.thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+
+    def _run(self):
+        if self._section is not None:
+            with ProfiledSection(self._profiler, self._section):
+                self._park_here()
+        else:
+            self._park_here()
+
+    def _park_here(self):
+        self.ready.set()
+        while not self.release.is_set():
+            sum(i for i in range(64))
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.ready.wait(timeout=10.0)
+        return self
+
+    def __exit__(self, *exc):
+        self.release.set()
+        self.thread.join(timeout=10.0)
+
+
+def _sample_until(profiler, predicate, attempts=2000):
+    """Drive synchronous passes until ``predicate(snapshot)`` holds."""
+    for _ in range(attempts):
+        profiler.sample_once()
+        snapshot = profiler.snapshot()
+        if predicate(snapshot):
+            return snapshot
+    raise AssertionError(
+        f"predicate never satisfied after {attempts} passes: "
+        f"{profiler.snapshot().stacks}"
+    )
+
+
+class TestFoldStack:
+    def test_root_first_module_dot_function(self):
+        frame = sys._getframe()
+        folded = fold_stack(frame, max_depth=64)
+        frames = folded.split(";")
+        # This test function is the leaf; the runner is above it.
+        assert frames[-1].endswith(
+            ".test_root_first_module_dot_function"
+        )
+        assert len(frames) > 1
+
+    def test_max_depth_keeps_leaf_and_marks_elided_root(self):
+        def deeper(n):
+            if n == 0:
+                return fold_stack(sys._getframe(), max_depth=3)
+            return deeper(n - 1)
+
+        folded = deeper(10)
+        frames = folded.split(";")
+        assert frames[0] == "…"
+        assert len(frames) == 4  # ellipsis + 3 kept frames
+        assert frames[-1].endswith(".deeper")
+
+
+class TestSampling:
+    def test_sample_once_records_other_threads_not_caller(self):
+        profiler = SamplingProfiler()
+        with _Spinner(name="park-target") as spinner:
+            snapshot = _sample_until(
+                profiler,
+                lambda s: any(
+                    key[0] == "park-target" and "_park_here" in key[2]
+                    for key in s.stacks
+                ),
+            )
+        threads_seen = {key[0] for key in snapshot.stacks}
+        assert "park-target" in threads_seen
+        assert threading.current_thread().name not in threads_seen
+
+    def test_sample_counts_and_self_metrics(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(metrics=registry)
+        with _Spinner():
+            for _ in range(5):
+                profiler.sample_once()
+        assert profiler.samples == 5
+        assert registry.get("repro_profiler_samples_total").value == 5.0
+        assert registry.get("repro_profiler_sample_seconds").count == 5
+        assert registry.get("repro_profiler_stacks_dropped_total").value == 0.0
+
+    def test_bounded_table_drops_and_counts_new_stacks(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(max_stacks=1, metrics=registry)
+        with _Spinner(name="a"), _Spinner(name="b"):
+            snapshot = _sample_until(profiler, lambda s: s.dropped > 0)
+        assert len(snapshot.stacks) == 1
+        assert registry.get("repro_profiler_stacks_dropped_total").value > 0
+
+    def test_reset_clears_table_and_counters(self):
+        profiler = SamplingProfiler()
+        with _Spinner():
+            profiler.sample_once()
+        profiler.reset()
+        snapshot = profiler.snapshot()
+        assert snapshot.samples == 0
+        assert snapshot.stacks == {}
+
+
+class TestSections:
+    def test_section_labels_only_the_entering_thread(self):
+        profiler = SamplingProfiler()
+        with _Spinner(
+            name="tagged", section="phase-a", profiler=profiler
+        ), _Spinner(name="plain"):
+            snapshot = _sample_until(
+                profiler,
+                lambda s: any(k[0] == "tagged" for k in s.stacks)
+                and any(k[0] == "plain" for k in s.stacks),
+            )
+        tagged = {k[1] for k in snapshot.stacks if k[0] == "tagged"}
+        plain = {k[1] for k in snapshot.stacks if k[0] == "plain"}
+        assert tagged == {"phase-a"}
+        assert plain == {DEFAULT_SECTION}
+
+    def test_nested_sections_restore_the_outer_label(self):
+        profiler = SamplingProfiler()
+        ident = threading.get_ident()
+        with profiler.section("outer"):
+            with profiler.section("inner"):
+                assert profiler._sections[ident] == "inner"
+            assert profiler._sections[ident] == "outer"
+        assert ident not in profiler._sections
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ProfilerError):
+            ProfiledSection(SamplingProfiler(), "")
+
+
+class TestSnapshotExports:
+    def _synthetic(self):
+        return ProfileSnapshot(
+            hz=97.0,
+            samples=10,
+            dropped=0,
+            elapsed_s=0.1,
+            stacks={
+                ("worker", "-", "m.a;m.b;m.hot"): 6,
+                ("worker", "-", "m.a;m.hot;m.hot"): 3,
+                ("worker", "storm", "m.a;m.cold"): 1,
+            },
+        )
+
+    def test_collapsed_format_lines(self):
+        text = self._synthetic().collapsed()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "worker;m.a;m.b;m.hot 6" in lines
+        assert "worker;[storm];m.a;m.cold 1" in lines
+        # Every line is `frames count`.
+        for line in lines:
+            assert re.fullmatch(r"[^ ]+ \d+", line)
+
+    def test_top_self_vs_total(self):
+        rows = {name: (s, t) for name, s, t in self._synthetic().top(10)}
+        # m.hot leafs 6+3 samples; appears on 9 stacks total (set-per-stack
+        # semantics: recursion doesn't double-count a sample).
+        assert rows["m.hot"] == (9, 9)
+        assert rows["m.a"] == (0, 10)
+        assert rows["m.b"] == (0, 6)
+        assert rows["m.cold"] == (1, 1)
+
+    def test_top_sorted_by_self_samples(self):
+        names = [name for name, _, _ in self._synthetic().top(10)]
+        assert names[0] == "m.hot"
+
+    def test_to_dict_shape(self):
+        doc = self._synthetic().to_dict()
+        assert doc["stack_samples"] == 10
+        assert doc["unique_stacks"] == 3
+        assert doc["top"][0]["function"] == "m.hot"
+        assert doc["top"][0]["self_pct"] == pytest.approx(90.0)
+        json.dumps(doc)  # must be JSON-ready
+
+    def test_empty_snapshot(self):
+        empty = ProfileSnapshot(97.0, 0, 0, 0.0, {})
+        assert empty.collapsed() == ""
+        assert empty.top(5) == []
+        assert empty.to_dict()["stack_samples"] == 0
+
+
+class TestLifecycle:
+    def test_start_stop_background_sampler(self):
+        profiler = SamplingProfiler(hz=500.0)
+        with _Spinner():
+            with profiler:
+                assert profiler.running
+                deadline = threading.Event()
+                for _ in range(100):
+                    if profiler.samples > 0:
+                        break
+                    deadline.wait(0.01)
+            assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.snapshot().elapsed_s > 0
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        try:
+            with pytest.raises(ProfilerError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_idempotent(self):
+        profiler = SamplingProfiler()
+        profiler.stop()
+        profiler.stop()
+
+    def test_validation(self):
+        with pytest.raises(ProfilerError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ProfilerError):
+            SamplingProfiler(max_stacks=0)
+        with pytest.raises(ProfilerError):
+            SamplingProfiler(max_depth=0)
+
+
+class TestConcurrentWorkload:
+    """The profiler under the obs-suite's standard 8-thread pressure."""
+
+    def test_eight_threads_all_attributed(self):
+        profiler = SamplingProfiler()
+        spinners = [
+            _Spinner(name=f"conc-{i}", section=f"sec-{i}", profiler=profiler)
+            for i in range(THREADS)
+        ]
+        for spinner in spinners:
+            spinner.__enter__()
+        try:
+            snapshot = _sample_until(
+                profiler,
+                lambda s: len({k[0] for k in s.stacks}) >= THREADS,
+                attempts=5000,
+            )
+        finally:
+            for spinner in spinners:
+                spinner.__exit__()
+        for i in range(THREADS):
+            keys = [k for k in snapshot.stacks if k[0] == f"conc-{i}"]
+            assert keys, f"thread conc-{i} never sampled"
+            assert {k[1] for k in keys} == {f"sec-{i}"}
+        # Accounting is consistent under concurrency.
+        assert snapshot.stack_samples == sum(snapshot.stacks.values())
+        assert snapshot.dropped == 0
+
+    def test_concurrent_sampling_and_snapshots(self):
+        """Many threads sampling + snapshotting the same profiler race-free."""
+        profiler = SamplingProfiler()
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(50):
+                    profiler.sample_once()
+                    profiler.snapshot().collapsed()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, name=f"hammer-{i}", daemon=True)
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert profiler.samples == THREADS * 50
+
+
+class TestProfileRoute:
+    @pytest.fixture()
+    def web(self):
+        registry = MetricsRegistry()
+        service = LbsnService(metrics=registry)
+        profiler = SamplingProfiler(metrics=registry)
+        with _Spinner(name="route-target"):
+            for _ in range(3):
+                profiler.sample_once()
+        webserver = LbsnWebServer(service, profiler=profiler)
+        router = Router()
+        webserver.install_routes(router)
+        network = Network(seed=0)
+        transport = HttpTransport(router, network)
+        return transport, network.create_egress()
+
+    def test_json_body(self, web):
+        transport, egress = web
+        response = transport.get("/debug/profile", egress)
+        assert response.ok
+        assert response.headers["Content-Type"] == JSON_CONTENT_TYPE
+        assert int(response.headers["Content-Length"]) == len(
+            response.body.encode("utf-8")
+        )
+        doc = json.loads(response.body)
+        assert doc["samples"] == 3
+        assert doc["unique_stacks"] >= 1
+
+    def test_collapsed_body(self, web):
+        transport, egress = web
+        response = transport.get(
+            "/debug/profile", egress, params={"format": "collapsed"}
+        )
+        assert response.ok
+        assert response.headers["Content-Type"] == COLLAPSED_CONTENT_TYPE
+        assert "route-target;" in response.body
+
+    def test_route_absent_without_profiler(self):
+        service = LbsnService(metrics=MetricsRegistry())
+        webserver = LbsnWebServer(service)
+        router = Router()
+        webserver.install_routes(router)
+        network = Network(seed=0)
+        transport = HttpTransport(router, network)
+        response = transport.get("/debug/profile", network.create_egress())
+        assert not response.ok

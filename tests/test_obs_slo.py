@@ -1,0 +1,434 @@
+"""The SLO engine: objectives, budgets, burn-rate alerts, health routes.
+
+Time never comes from the wall clock here — every ``evaluate(now=...)``
+pins its own timestamp, so window membership (and therefore burn rates
+and alert transitions) is exact.  Traffic comes from synthetic counter
+and histogram families written directly into a registry.
+"""
+
+import json
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.lbsn.webserver import JSON_CONTENT_TYPE, LbsnWebServer
+from repro.obs.log import ERROR, INFO, WARNING, LogHub
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    AvailabilityObjective,
+    BurnRatePolicy,
+    LatencyObjective,
+    RatioObjective,
+    SloEngine,
+    SloError,
+    budget_remaining,
+    burn_rate,
+    default_slos,
+    window_label,
+)
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+
+HOUR = 3600.0
+
+
+def _availability_registry(good=0.0, bad=0.0):
+    registry = MetricsRegistry()
+    family = registry.counter("svc_requests_total", "requests", ("outcome",))
+    if good:
+        family.labels("ok").inc(good)
+    if bad:
+        family.labels("error").inc(bad)
+    return registry, family
+
+
+def _engine(registry, target=0.9, weight=1.0, **kwargs):
+    objective = AvailabilityObjective(
+        "availability",
+        family="svc_requests_total",
+        good_labels=(("ok",),),
+        target=target,
+        weight=weight,
+    )
+    return SloEngine(registry, [objective], **kwargs)
+
+
+class TestPureMath:
+    def test_budget_remaining_basics(self):
+        assert budget_remaining(0, 0, 0.99) == 1.0  # no traffic, full budget
+        assert budget_remaining(100, 100, 0.99) == 1.0
+        # 1000 total at target 0.9 → 100 allowed bad; 50 bad → half left.
+        assert budget_remaining(950, 1000, 0.9) == pytest.approx(0.5)
+        assert budget_remaining(900, 1000, 0.9) == pytest.approx(0.0)
+
+    def test_budget_never_negative(self):
+        assert budget_remaining(0, 1000, 0.9) == 0.0
+        assert budget_remaining(500, 1000, 0.999) == 0.0
+
+    def test_burn_rate_window_membership(self):
+        target = 0.9
+        points = [(0.0, 100.0, 100.0), (60.0, 100.0, 200.0)]
+        # All bad over the window: bad fraction 1.0 / budget 0.1 = 10x.
+        assert burn_rate(points, 60.0, 300.0, target) == pytest.approx(10.0)
+        # A window too short to hold both points has no rate.
+        assert burn_rate(points, 60.0, 30.0, target) == 0.0
+
+    def test_burn_rate_degenerate_inputs(self):
+        assert burn_rate([], 0.0, 300.0, 0.9) == 0.0
+        assert burn_rate([(0.0, 1.0, 1.0)], 0.0, 300.0, 0.9) == 0.0
+        # No traffic across the window → no burn.
+        same = [(0.0, 5.0, 5.0), (60.0, 5.0, 5.0)]
+        assert burn_rate(same, 60.0, 300.0, 0.9) == 0.0
+
+    def test_window_label(self):
+        assert window_label(300.0) == "5m"
+        assert window_label(3600.0) == "1h"
+        assert window_label(21600.0) == "6h"
+        assert window_label(7.5) == "7.5s"
+
+
+class TestObjectives:
+    def test_validation(self):
+        with pytest.raises(SloError):
+            AvailabilityObjective("", "f", good_labels=(("ok",),))
+        with pytest.raises(SloError):
+            AvailabilityObjective("x", "f", good_labels=(("ok",),), target=1.0)
+        with pytest.raises(SloError):
+            AvailabilityObjective(
+                "x", "f", good_labels=(("ok",),), weight=0.0
+            )
+        with pytest.raises(SloError):
+            LatencyObjective("x", "f", threshold_s=0.0)
+
+    def test_latency_objective_reads_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        spans = registry.histogram("spans", "spans", ("span",))
+        child = spans.labels("checkin.commit")
+        for _ in range(98):
+            child.observe(0.001)
+        child.observe(0.03)  # over a 25 ms threshold
+        child.observe(2.0)
+        objective = LatencyObjective(
+            "p99", family="spans", labels=("checkin.commit",),
+            threshold_s=0.025,
+        )
+        good, total = objective.good_total(registry)
+        assert (good, total) == (98.0, 100.0)
+
+    def test_latency_threshold_rounds_up_to_next_bound(self):
+        registry = MetricsRegistry()
+        spans = registry.histogram("spans", "spans")
+        spans.observe(0.03)  # lands in the 0.05 bucket
+        # 0.03 is not a bucket bound; good counts through the 0.05 bound.
+        objective = LatencyObjective("p", family="spans", threshold_s=0.03)
+        assert objective.good_total(registry) == (1.0, 1.0)
+
+    def test_latency_objective_missing_family_or_labels(self):
+        registry = MetricsRegistry()
+        objective = LatencyObjective(
+            "p", family="absent", threshold_s=0.01, labels=("x",)
+        )
+        assert objective.good_total(registry) == (0.0, 0.0)
+        registry.histogram("spans", "spans", ("span",))
+        assert LatencyObjective(
+            "p2", family="spans", threshold_s=0.01, labels=("never",)
+        ).good_total(registry) == (0.0, 0.0)
+
+    def test_availability_objective_sums_good_labels(self):
+        registry, family = _availability_registry(good=90, bad=10)
+        family.labels("flagged").inc(5)
+        objective = AvailabilityObjective(
+            "avail",
+            family="svc_requests_total",
+            good_labels=(("ok",), ("flagged",)),
+        )
+        assert objective.good_total(registry) == (95.0, 105.0)
+
+    def test_ratio_objective_across_families_clamps_good(self):
+        registry = MetricsRegistry()
+        registry.counter("applied", "applied").inc(120)
+        registry.counter("appended", "appended").inc(100)
+        objective = RatioObjective(
+            "currency", good_family="applied", total_family="appended"
+        )
+        # Racy reads can overshoot; good is clamped to total.
+        assert objective.good_total(registry) == (100.0, 100.0)
+
+    def test_ratio_objective_histogram_total_uses_count(self):
+        registry = MetricsRegistry()
+        registry.counter("good", "good").inc(3)
+        hist = registry.histogram("lat", "lat")
+        for _ in range(4):
+            hist.observe(0.01)
+        objective = RatioObjective(
+            "r", good_family="good", total_family="lat"
+        )
+        assert objective.good_total(registry) == (3.0, 4.0)
+
+    def test_default_slos_cover_the_paper_pipeline(self):
+        names = {objective.name for objective in default_slos()}
+        assert "checkin-commit-p99" in names
+        assert "checkin-availability" in names
+        assert "wal-fsync-p99" in names
+        assert "detector-replay-currency" in names
+
+
+class TestEngine:
+    def test_engine_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(SloError):
+            SloEngine(registry, [])
+        objective = AvailabilityObjective(
+            "a", "f", good_labels=(("ok",),)
+        )
+        with pytest.raises(SloError):
+            SloEngine(registry, [objective, objective])
+        with pytest.raises(SloError):
+            SloEngine(registry, [objective], max_points=1)
+        with pytest.raises(SloError):
+            BurnRatePolicy(fast_short_s=3600.0)
+
+    def test_rings_are_bounded(self):
+        registry, _ = _availability_registry(good=1)
+        engine = _engine(registry, max_points=4)
+        for i in range(10):
+            engine.sample(now=float(i))
+        points = engine.points("availability")
+        assert len(points) == 4
+        assert points[0][0] == 6.0
+        with pytest.raises(SloError):
+            engine.points("nope")
+
+    def test_healthy_report(self):
+        registry, _ = _availability_registry(good=100)
+        engine = _engine(registry)
+        engine.evaluate(now=0.0)
+        report = engine.evaluate(now=60.0)
+        status = report.status("availability")
+        assert status.compliance == 1.0
+        assert status.budget_remaining == 1.0
+        assert status.state == "ok"
+        assert set(status.burn_rates) == {"5m", "1h", "6h"}
+        assert report.health_score == 100.0
+        assert report.worst == "availability"
+
+    def test_burn_and_fast_alert(self):
+        registry, family = _availability_registry(good=1000)
+        hub = LogHub()
+        engine = _engine(
+            registry, target=0.99, metrics=registry, log=hub
+        )
+        engine.evaluate(now=0.0)
+        family.labels("error").inc(100)  # pure-bad burst
+        report = engine.evaluate(now=60.0)
+        status = report.status("availability")
+        # bad fraction 1.0 over every window / 0.01 budget = 100x burn.
+        assert status.burn_rates["5m"] == pytest.approx(100.0)
+        assert status.burn_rates["1h"] == pytest.approx(100.0)
+        assert status.state == "fast"
+        snapshot = registry.snapshot()
+        assert snapshot["repro_slo_alerts_total"][
+            ("availability", "fast")
+        ] == 1.0
+        alerts = hub.records(event="slo.alert")
+        assert len(alerts) == 1
+        assert alerts[0].level == ERROR
+        assert alerts[0].fields["severity"] == "fast"
+        assert alerts[0].fields["trace_id"]
+
+    def test_slow_alert_then_resolve(self):
+        registry, family = _availability_registry(good=1000)
+        hub = LogHub()
+        engine = _engine(registry, target=0.9, log=hub, metrics=registry)
+        engine.evaluate(now=0.0)
+        family.labels("error").inc(100)
+        report = engine.evaluate(now=60.0)
+        status = report.status("availability")
+        # 10x burn: above the slow threshold (6), below fast (14.4).
+        assert status.burn_rates["1h"] == pytest.approx(10.0)
+        assert status.state == "slow"
+        warnings = hub.records(event="slo.alert")
+        assert warnings[-1].level == WARNING
+        # Far enough ahead that the burst ages out of every window.
+        resolved = engine.evaluate(now=8 * HOUR)
+        assert resolved.status("availability").state == "ok"
+        records = hub.records(event="slo.resolved")
+        assert len(records) == 1
+        assert records[0].level == INFO
+        assert records[0].fields["previous"] == "slow"
+
+    def test_fast_needs_both_windows(self):
+        # A burst visible in the 5m window but diluted over 1h must not
+        # page: points where the 1h window holds earlier good traffic.
+        registry, family = _availability_registry(good=10_000)
+        engine = _engine(registry, target=0.99)
+        engine.evaluate(now=0.0)
+        family.labels("ok").inc(10_000)
+        engine.evaluate(now=55 * 60.0)
+        family.labels("error").inc(30)
+        report = engine.evaluate(now=58 * 60.0)
+        status = report.status("availability")
+        assert status.burn_rates["5m"] == pytest.approx(100.0)
+        assert status.burn_rates["1h"] < 14.4
+        assert status.state == "ok"
+
+    def test_budget_spent_lowers_health_score(self):
+        registry, family = _availability_registry(good=900, bad=50)
+        # target 0.9: 100 allowed bad per 1000; 50 bad → 47.4%... compute:
+        engine = _engine(registry, target=0.9, weight=2.0)
+        report = engine.evaluate(now=0.0)
+        status = report.status("availability")
+        expected = 1.0 - 50.0 / (950.0 * 0.1)
+        assert status.budget_remaining == pytest.approx(expected)
+        assert report.health_score == pytest.approx(100.0 * expected)
+
+    def test_health_score_weights(self):
+        registry, _ = _availability_registry(good=100)
+        full = AvailabilityObjective(
+            "full", "svc_requests_total", good_labels=(("ok",),),
+            target=0.9, weight=3.0,
+        )
+        empty = RatioObjective(
+            "empty", good_family="no_good", total_family="svc_requests_total",
+            target=0.5, weight=1.0,
+        )
+        engine = SloEngine(registry, [full, empty])
+        report = engine.evaluate(now=0.0)
+        assert report.status("empty").budget_remaining == 0.0
+        # (3*1.0 + 1*0.0) / 4 = 0.75
+        assert report.health_score == pytest.approx(75.0)
+        assert report.worst == "empty"
+
+    def test_metrics_export(self):
+        registry, _ = _availability_registry(good=100)
+        engine = _engine(registry, metrics=registry)
+        engine.evaluate(now=0.0)
+        engine.evaluate(now=60.0)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_slo_evaluations_total"][()] == 2.0
+        assert snapshot["repro_slo_budget_remaining"][
+            ("availability",)
+        ] == 1.0
+        assert snapshot["repro_slo_health_score"][()] == 100.0
+        assert ("availability", "5m") in snapshot["repro_slo_burn_rate"]
+
+    def test_clock_injection(self):
+        class FakeClock:
+            def __init__(self):
+                self.t = 123.0
+
+            def now(self):
+                return self.t
+
+        registry, _ = _availability_registry(good=1)
+        clock = FakeClock()
+        engine = _engine(registry, clock=clock)
+        engine.sample()
+        assert engine.points("availability")[0][0] == 123.0
+
+    def test_report_json_shapes(self):
+        registry, _ = _availability_registry(good=100)
+        engine = _engine(registry)
+        report = engine.evaluate(now=0.0)
+        doc = report.to_dict()
+        assert doc["objectives"][0]["name"] == "availability"
+        health = report.health_dict()
+        assert health["health_score"] == 100.0
+        assert health["objectives"]["availability"]["state"] == "ok"
+        json.dumps(doc)
+        json.dumps(health)
+
+
+class TestSloRoutes:
+    @pytest.fixture()
+    def stack(self):
+        registry = MetricsRegistry()
+        service = LbsnService(metrics=registry)
+        venue = service.create_venue("Spot", GeoPoint(40.7, -74.0))
+        user = service.register_user("probe")
+        service.check_in(user.user_id, venue.venue_id, venue.location)
+        engine = SloEngine(registry, default_slos(), metrics=registry)
+        webserver = LbsnWebServer(service, slo=engine)
+        router = Router()
+        webserver.install_routes(router)
+        network = Network(seed=0)
+        transport = HttpTransport(router, network)
+        return transport, network.create_egress(), engine
+
+    def test_debug_slo_route(self, stack):
+        transport, egress, _ = stack
+        response = transport.get("/debug/slo", egress)
+        assert response.ok
+        assert response.headers["Content-Type"] == JSON_CONTENT_TYPE
+        doc = json.loads(response.body)
+        names = {o["name"] for o in doc["objectives"]}
+        assert "checkin-availability" in names
+        assert 0.0 <= doc["health_score"] <= 100.0
+
+    def test_debug_health_matches_offline_evaluation(self, stack):
+        transport, egress, engine = stack
+        offline = engine.evaluate().health_dict()
+        response = transport.get("/debug/health", egress)
+        assert response.ok
+        served = json.loads(response.body)
+        # Counters have not moved between the two evaluations, so the
+        # budget-derived score is bit-identical.
+        assert served["health_score"] == offline["health_score"]
+        assert served["objectives"] == offline["objectives"]
+
+    def test_routes_absent_without_engine(self, stack):
+        service = LbsnService(metrics=MetricsRegistry())
+        webserver = LbsnWebServer(service)
+        router = Router()
+        webserver.install_routes(router)
+        network = Network(seed=0)
+        transport = HttpTransport(router, network)
+        egress = network.create_egress()
+        assert not transport.get("/debug/slo", egress).ok
+        assert not transport.get("/debug/health", egress).ok
+
+
+class TestCli:
+    def test_repro_slo_prints_table_and_health(self, capsys):
+        from repro.cli import main
+
+        code = main(["slo", "--scale", "0.0002", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkin-commit-p99" in out
+        assert "health score:" in out
+
+    def test_top_health_panel_renders_and_clamps(self):
+        from repro.cli import _format_health_panel
+        from repro.obs.slo import ObjectiveStatus, SloReport
+
+        status = ObjectiveStatus(
+            name="an-objective-with-a-very-long-name",
+            kind="ratio", target=0.99, weight=1.0, description="",
+            good=1.0, total=2.0, compliance=0.5, budget_remaining=0.0,
+            burn_rates={"5m": 50.0, "1h": 50.0, "6h": 50.0}, state="fast",
+        )
+        report = SloReport(
+            now=0.0, health_score=0.0, worst=status.name, statuses=[status]
+        )
+        lines = _format_health_panel(report, width=40)
+        assert all(len(line) <= 40 for line in lines)
+        assert any("alerting:" in line for line in lines)
+
+    def test_top_rows_clamp_to_width(self):
+        from repro.cli import _format_top_rows
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_a_very_long_metric_family_name_total",
+            "long", ("one_label", "another_label"),
+        ).labels("value-one-is-long", "value-two-is-longer").inc()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample()
+        recorder.sample()
+        lines = _format_top_rows(recorder, limit=5, width=40)
+        assert len(lines) >= 2
+        assert all(len(line) <= 40 for line in lines)
+        assert lines[1].endswith("…")

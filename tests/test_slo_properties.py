@@ -1,0 +1,161 @@
+"""Property tests for the SLO window math (hypothesis).
+
+Two invariants the alerting stack leans on:
+
+1. **The budget never goes negative** — ``budget_remaining`` is clamped
+   to [0, 1] for *any* good/total/target combination, including good >
+   total (racy cross-family reads) and targets arbitrarily close to 1.
+2. **The alert decision equals a brute-force recomputation** — for a
+   generated traffic history, the state the engine reports after its
+   final evaluation matches an independently-written recomputation of
+   every window's burn over ``engine.points()``.  The re-derivation
+   below deliberately does NOT call :func:`repro.obs.slo.burn_rate` —
+   it reimplements the window rule from the definition, so a bug in the
+   production math cannot hide in the oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    AvailabilityObjective,
+    BurnRatePolicy,
+    SloEngine,
+    budget_remaining,
+)
+
+POLICY = BurnRatePolicy()
+
+amounts = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+targets = st.floats(
+    min_value=1e-6,
+    max_value=1.0 - 1e-6,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+#: One generated step of traffic: (seconds since previous step, good
+#: increment, bad increment).  Gaps up to 2 h let histories straddle —
+#: and age out of — every policy window (5 m / 1 h / 6 h).
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=7200.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestBudgetClamp:
+    @given(good=amounts, total=amounts, target=targets)
+    def test_budget_remaining_always_in_unit_interval(
+        self, good, total, target
+    ):
+        value = budget_remaining(good, total, target)
+        assert 0.0 <= value <= 1.0
+
+    @given(total=amounts, target=targets)
+    def test_all_bad_traffic_floors_at_zero(self, total, target):
+        value = budget_remaining(0.0, total, target)
+        if total > 0:
+            assert value == 0.0
+        else:
+            assert value == 1.0
+
+    @given(good=amounts, target=targets)
+    def test_clean_traffic_keeps_full_budget(self, good, target):
+        assert budget_remaining(good, good, target) == 1.0
+
+
+def _brute_force_state(points, now, target):
+    """Re-derive the alert state from the window rule's definition.
+
+    Independent of the module under test: windows are membership-filtered
+    and differenced inline, then the fast/slow pairing applied exactly as
+    the docs state it.
+    """
+
+    def window_burn(window_s):
+        inside = [p for p in points if p[0] >= now - window_s]
+        if len(inside) < 2:
+            return 0.0
+        first, last = inside[0], inside[-1]
+        d_total = last[2] - first[2]
+        d_good = last[1] - first[1]
+        if d_total <= 0:
+            return 0.0
+        bad_fraction = (d_total - d_good) / d_total
+        bad_fraction = min(1.0, max(0.0, bad_fraction))
+        return bad_fraction / (1.0 - target)
+
+    fast = (
+        window_burn(POLICY.fast_short_s) > POLICY.fast_threshold
+        and window_burn(POLICY.fast_long_s) > POLICY.fast_threshold
+    )
+    slow = (
+        window_burn(POLICY.slow_short_s) > POLICY.slow_threshold
+        and window_burn(POLICY.slow_long_s) > POLICY.slow_threshold
+    )
+    return "fast" if fast else ("slow" if slow else "ok")
+
+
+class TestAlertOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(history=steps, target=targets)
+    def test_engine_state_matches_brute_force(self, history, target):
+        registry = MetricsRegistry()
+        family = registry.counter("traffic_total", "traffic", ("outcome",))
+        objective = AvailabilityObjective(
+            "oracle",
+            family="traffic_total",
+            good_labels=(("ok",),),
+            target=target,
+        )
+        engine = SloEngine(registry, [objective], policy=POLICY)
+
+        now = 0.0
+        report = None
+        for gap, good_inc, bad_inc in history:
+            now += gap
+            if good_inc:
+                family.labels("ok").inc(good_inc)
+            if bad_inc:
+                family.labels("error").inc(bad_inc)
+            report = engine.evaluate(now=now)
+
+        expected = _brute_force_state(
+            engine.points("oracle"), now, target
+        )
+        assert report.status("oracle").state == expected
+        assert engine.states()["oracle"] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(history=steps, target=targets)
+    def test_budget_column_never_negative_along_history(
+        self, history, target
+    ):
+        registry = MetricsRegistry()
+        family = registry.counter("traffic_total", "traffic", ("outcome",))
+        objective = AvailabilityObjective(
+            "oracle",
+            family="traffic_total",
+            good_labels=(("ok",),),
+            target=target,
+        )
+        engine = SloEngine(registry, [objective])
+        now = 0.0
+        for gap, good_inc, bad_inc in history:
+            now += gap
+            if good_inc:
+                family.labels("ok").inc(good_inc)
+            if bad_inc:
+                family.labels("error").inc(bad_inc)
+            status = engine.evaluate(now=now).status("oracle")
+            assert 0.0 <= status.budget_remaining <= 1.0
+            for rate in status.burn_rates.values():
+                assert rate >= 0.0

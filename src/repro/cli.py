@@ -138,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
             "/debug/vars JSON shape (default text)"
         ),
     )
+    metrics.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        help=(
+            "shard the service's datastore N ways; N > 1 adds the "
+            "per-shard repro_store_shard_* families to the snapshot "
+            "(default 1: the single-lock store)"
+        ),
+    )
 
     top = sub.add_parser(
         "top",
@@ -504,7 +514,13 @@ def cmd_defend(args) -> int:
     return 0
 
 
-def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
+def run_metrics_workload(
+    scale: float,
+    seed: int,
+    registry=None,
+    log=None,
+    store_shards: int = 1,
+):
     """Run one end-to-end instrumented workload; returns the registry.
 
     Exercises every instrumented layer so the registry ends up holding the
@@ -518,6 +534,12 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
 
     Returns ``(registry, exposition, tracer)`` where ``exposition`` is the
     text served by the ``/metrics`` route at the end of the run.
+
+    ``store_shards > 1`` runs the service on a
+    :class:`~repro.lbsn.sharded.ShardedDataStore`, which adds the
+    per-shard ``repro_store_shard_*`` families to the catalogue; the
+    default keeps the single-lock store (and registers no shard-labelled
+    series, which the doc-parity tests rely on).
     """
     import threading
 
@@ -546,7 +568,9 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
     hub = log if log is not None else LogHub(metrics=registry)
     bus = EventBus(metrics=registry, log=hub)
     SuspicionLedger(metrics=registry, log=hub).attach(bus)
-    service = LbsnService(event_bus=bus, metrics=registry, log=hub)
+    service = LbsnService(
+        event_bus=bus, metrics=registry, log=hub, store_shards=store_shards
+    )
     world = build_world(scale=scale, seed=seed, service=service)
     stack = build_web_stack(world, seed=seed + 1)
     crawl_full_site(
@@ -628,7 +652,7 @@ def run_metrics_workload(scale: float, seed: int, registry=None, log=None):
 def cmd_metrics(args) -> int:
     """Dump the snapshot of one instrumented run (text or JSON)."""
     registry, exposition, tracer = run_metrics_workload(
-        scale=args.scale, seed=args.seed
+        scale=args.scale, seed=args.seed, store_shards=args.store_shards
     )
     if args.format == "json":
         from repro.obs import registry_to_json

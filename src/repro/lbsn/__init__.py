@@ -49,7 +49,12 @@ from repro.lbsn.specials import (
     undefended_special_venues,
     venues_with_specials,
 )
-from repro.lbsn.store import DataStore
+from repro.lbsn.sharded import (
+    DEFAULT_SHARDS,
+    ShardedDataStore,
+    shard_for_key,
+)
+from repro.lbsn.store import DataStore, EventSequencer
 from repro.lbsn.webserver import LbsnWebServer
 
 __all__ = [
@@ -88,6 +93,10 @@ __all__ = [
     "undefended_special_venues",
     "venues_with_specials",
     "DataStore",
+    "EventSequencer",
+    "DEFAULT_SHARDS",
+    "ShardedDataStore",
+    "shard_for_key",
     "LbsnWebServer",
 ]
 

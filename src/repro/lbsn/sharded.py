@@ -1,0 +1,475 @@
+"""Sharded datastore: N independent locks behind the ``DataStore`` API.
+
+The paper measured Foursquare at 1.89 M users / 5.6 M venues; funnelling
+every check-in at that scale through one global RLock is the wall the
+ROADMAP calls out (and the one PR 4's *commit-contention* faults exist to
+poke).  :class:`ShardedDataStore` splits the tables into N plain
+:class:`~repro.lbsn.store.DataStore` shards:
+
+* **Routing** is plain modulo — users (and their check-in rows plus the
+  per-user index) live on shard ``user_id % N``; venues (their spatial
+  grid cells plus the per-venue order index) live on shard
+  ``venue_id % N``.  Deterministic, stateless, and stable: the same key
+  maps to the same shard on every instance with the same N, which the
+  hypothesis routing suite pins down.
+* **Commit order** stays global: every shard shares one
+  :class:`~repro.lbsn.store.EventSequencer`, so sequence numbers remain
+  dense and commit-ordered across shards and the online/offline
+  SuspicionLedger parity + WAL replay digests of ``repro.durable``
+  survive sharding unchanged.
+* **A commit spans at most two shards**: the user shard takes its lock
+  for the row insert + seq allocation, releases, then the venue shard
+  takes its lock for the order-index append.  Locks are never nested,
+  so there is no ordering protocol to get wrong.
+* **Group commit** (:meth:`ShardedDataStore.add_checkins_committed`)
+  coalesces a batch into one lock acquisition + one contiguous seq block
+  per shard *group*, then one index append per venue shard — the E25
+  capacity bench's headline lever.
+
+Observability: shards are constructed bare (``metrics=None``) and the
+facade exports the per-shard families instead —
+``repro_store_shard_users/venues/checkins{shard=...}`` gauges and the
+``repro_store_shard_commit_seconds{shard=...}`` histogram (facade-side
+commit section time, lock wait included, which is exactly the contention
+signal a single shard's internal hold time would hide).  The label-less
+aggregate gauges keep their single-store names so existing dashboards
+and ``/debug/vars`` consumers read the same totals either way.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack, contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.faults.injector import FaultInjector
+from repro.faults.points import POINT_STORE_COMMIT
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import CheckIn, User, Venue
+from repro.lbsn.store import BATCH_SIZE_BUCKETS, DataStore, EventSequencer
+from repro.obs.log import DEBUG, LogHub
+from repro.obs.metrics import MetricsRegistry
+from repro.simnet.ids import SequentialIdAllocator
+
+#: Default shard count: small enough that per-shard metric families stay
+#: readable, large enough that modulo routing spreads hot users.
+DEFAULT_SHARDS = 4
+
+
+def shard_for_key(key: int, shards: int) -> int:
+    """The shard index owning ``key`` under ``shards``-way modulo routing."""
+    return key % shards
+
+
+class ShardedDataStore:
+    """N modulo-routed :class:`DataStore` shards behind the same API.
+
+    Drop-in for :class:`DataStore` wherever the service layer (or a test)
+    holds a ``store`` reference: every public method of the single-lock
+    store exists here with the same signature and contracts (live-list
+    reads, all-or-nothing commits, commit-ordered sequence numbers).
+    """
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[LogHub] = None,
+        faults: Optional[FaultInjector] = None,
+        sequencer: Optional[EventSequencer] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shard_count = int(shards)
+        self.sequencer = sequencer if sequencer is not None else EventSequencer()
+        #: Fault injector checked by the facade (``store.commit`` fires
+        #: before routing, so aborted commits touch no shard at all).
+        self.faults = faults
+        self._logger = log.logger("lbsn.store") if log is not None else None
+        # Shards are bare: no metrics (the facade exports labeled
+        # families), no log (the facade emits store.commit), no faults
+        # (checked once up front, not once per touched shard).
+        self.shards: Tuple[DataStore, ...] = tuple(
+            DataStore(sequencer=self.sequencer)
+            for _ in range(self.shard_count)
+        )
+        self.user_ids = SequentialIdAllocator()
+        self.venue_ids = SequentialIdAllocator()
+        self.checkin_ids = SequentialIdAllocator()
+        if metrics is not None:
+            labels = [str(index) for index in range(self.shard_count)]
+            shard_users = metrics.gauge(
+                "repro_store_shard_users",
+                "Users resident, per store shard.",
+                ("shard",),
+            )
+            shard_venues = metrics.gauge(
+                "repro_store_shard_venues",
+                "Venues resident, per store shard.",
+                ("shard",),
+            )
+            shard_checkins = metrics.gauge(
+                "repro_store_shard_checkins",
+                "Check-in rows resident, per store shard (rows live on "
+                "the user's shard).",
+                ("shard",),
+            )
+            shard_commit = metrics.histogram(
+                "repro_store_shard_commit_seconds",
+                "Facade-side commit section time per user shard, lock "
+                "wait included.",
+                ("shard",),
+            )
+            self._g_users = [shard_users.labels(label) for label in labels]
+            self._g_venues = [shard_venues.labels(label) for label in labels]
+            self._g_checkins = [
+                shard_checkins.labels(label) for label in labels
+            ]
+            self._h_commit = [shard_commit.labels(label) for label in labels]
+            # Label-less aggregates under the single-store names, so the
+            # totals read the same whether or not the store is sharded.
+            self._gauge_users = metrics.gauge(
+                "repro_store_users", "Users resident in the datastore."
+            ).child()
+            self._gauge_venues = metrics.gauge(
+                "repro_store_venues", "Venues resident in the datastore."
+            ).child()
+            self._gauge_checkins = metrics.gauge(
+                "repro_store_checkins",
+                "Check-in rows resident in the datastore.",
+            ).child()
+            self._batch_commits = metrics.counter(
+                "repro_store_batch_commits_total",
+                "Group-commit batches applied.",
+            ).child()
+            self._batch_checkins = metrics.counter(
+                "repro_store_batch_checkins_total",
+                "Check-ins committed through the group-commit path.",
+            ).child()
+            self._batch_size = metrics.histogram(
+                "repro_store_batch_size",
+                "Check-ins coalesced per group-commit batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            ).child()
+        else:
+            self._g_users = None
+            self._g_venues = None
+            self._g_checkins = None
+            self._h_commit = None
+            self._gauge_users = None
+            self._gauge_venues = None
+            self._gauge_checkins = None
+            self._batch_commits = None
+            self._batch_checkins = None
+            self._batch_size = None
+
+    # Routing ------------------------------------------------------------
+
+    def shard_index(self, key: int) -> int:
+        """The shard owning ``key`` (user id or venue id)."""
+        return key % self.shard_count
+
+    def _user_shard(self, user_id: int) -> DataStore:
+        return self.shards[user_id % self.shard_count]
+
+    def _venue_shard(self, venue_id: int) -> DataStore:
+        return self.shards[venue_id % self.shard_count]
+
+    @contextmanager
+    def locked(self) -> Iterator[None]:
+        """Hold EVERY shard lock (in shard order) across a composite op.
+
+        The coarse escape hatch for rare multi-entity invariant checks;
+        acquisition is always in ascending shard order, so two concurrent
+        :meth:`locked` calls cannot deadlock.
+        """
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.locked())
+            yield
+
+    # Users --------------------------------------------------------------
+
+    def add_user(self, user: User) -> User:
+        """Insert a user on its home shard."""
+        self._user_shard(user.user_id).add_user(user)
+        if self._g_users is not None:
+            self._g_users[user.user_id % self.shard_count].inc()
+            self._gauge_users.inc()
+        return user
+
+    def get_user(self, user_id: int) -> Optional[User]:
+        """User by numeric ID, or None."""
+        return self._user_shard(user_id).get_user(user_id)
+
+    def get_user_by_username(self, username: str) -> Optional[User]:
+        """User by username, or None (usernames index on the home shard)."""
+        for shard in self.shards:
+            user = shard.get_user_by_username(username)
+            if user is not None:
+                return user
+        return None
+
+    def require_user(self, user_id: int) -> User:
+        """User by ID, raising :class:`ServiceError` when missing."""
+        user = self.get_user(user_id)
+        if user is None:
+            raise ServiceError(f"no such user: {user_id}")
+        return user
+
+    def user_count(self) -> int:
+        """Total registered users across shards."""
+        return sum(shard.user_count() for shard in self.shards)
+
+    def iter_users(self) -> List[User]:
+        """Snapshot list of all users, shard 0 first."""
+        users: List[User] = []
+        for shard in self.shards:
+            users.extend(shard.iter_users())
+        return users
+
+    # Venues -------------------------------------------------------------
+
+    def add_venue(self, venue: Venue) -> Venue:
+        """Insert a venue on its home shard and index its location."""
+        self._venue_shard(venue.venue_id).add_venue(venue)
+        if self._g_venues is not None:
+            self._g_venues[venue.venue_id % self.shard_count].inc()
+            self._gauge_venues.inc()
+        return venue
+
+    def get_venue(self, venue_id: int) -> Optional[Venue]:
+        """Venue by numeric ID, or None."""
+        return self._venue_shard(venue_id).get_venue(venue_id)
+
+    def require_venue(self, venue_id: int) -> Venue:
+        """Venue by ID, raising :class:`ServiceError` when missing."""
+        venue = self.get_venue(venue_id)
+        if venue is None:
+            raise ServiceError(f"no such venue: {venue_id}")
+        return venue
+
+    def venue_count(self) -> int:
+        """Total registered venues across shards."""
+        return sum(shard.venue_count() for shard in self.shards)
+
+    def iter_venues(self) -> List[Venue]:
+        """Snapshot list of all venues, shard 0 first."""
+        venues: List[Venue] = []
+        for shard in self.shards:
+            venues.extend(shard.iter_venues())
+        return venues
+
+    def venues_near(
+        self, point: GeoPoint, radius_m: float
+    ) -> List[Venue]:
+        """Venues within ``radius_m`` of ``point``, nearest first.
+
+        Each shard's grid answers independently; the facade merges the
+        per-shard hit lists on ``(distance, venue_id)`` so the combined
+        order is deterministic regardless of shard count.
+        """
+        hits: List[Tuple[float, int, Venue]] = []
+        for shard in self.shards:
+            for venue, distance in shard.venues_near_with_distance(
+                point, radius_m
+            ):
+                hits.append((distance, venue.venue_id, venue))
+        hits.sort(key=lambda hit: (hit[0], hit[1]))
+        return [venue for _, _, venue in hits]
+
+    def nearest_venue(
+        self, point: GeoPoint, max_radius_m: float = 50_000.0
+    ) -> Optional[Venue]:
+        """The closest venue to ``point`` within ``max_radius_m``."""
+        best: Optional[Tuple[float, int, Venue]] = None
+        for shard in self.shards:
+            hit = shard.nearest_venue_with_distance(
+                point, max_radius_m=max_radius_m
+            )
+            if hit is None:
+                continue
+            venue, distance = hit
+            candidate = (distance, venue.venue_id, venue)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        return None if best is None else best[2]
+
+    # Check-ins ----------------------------------------------------------
+
+    def add_checkin(self, checkin: CheckIn) -> CheckIn:
+        """Record a check-in attempt (any status), no seq allocation."""
+        self._user_shard(checkin.user_id).insert_checkin_rows((checkin,))
+        self._venue_shard(checkin.venue_id).index_checkins_at_venue(
+            (checkin,)
+        )
+        if self._g_checkins is not None:
+            self._g_checkins[checkin.user_id % self.shard_count].inc()
+            self._gauge_checkins.inc()
+        return checkin
+
+    def allocate_event_seq(self) -> int:
+        """Allocate one stream-event sequence number (global sequencer)."""
+        return self.sequencer.allocate()
+
+    def add_checkin_committed(
+        self, checkin: CheckIn, trace_id: Optional[str] = None
+    ) -> Tuple[CheckIn, int]:
+        """Append a check-in AND allocate its event sequence atomically.
+
+        Same contract as the single-lock store: the fault point fires
+        before any shard mutates; the row insert and seq allocation share
+        the user shard's lock hold, so per-user commit order equals seq
+        order.  The venue-order index lands under the venue shard's lock
+        immediately after — a reader between the two sees the row but not
+        yet the venue entry, the same window :meth:`DataStore.add_checkin`
+        callers already tolerate for the service-level indices.
+        """
+        if self.faults is not None:
+            self.faults.check(POINT_STORE_COMMIT, trace_id=trace_id)
+        shard_index = checkin.user_id % self.shard_count
+        commit_hist = self._h_commit
+        started = time.perf_counter() if commit_hist is not None else 0.0
+        start = self.shards[shard_index].commit_checkin_rows((checkin,))
+        self._venue_shard(checkin.venue_id).index_checkins_at_venue(
+            (checkin,)
+        )
+        if commit_hist is not None:
+            commit_hist[shard_index].observe(time.perf_counter() - started)
+            self._g_checkins[shard_index].inc()
+            self._gauge_checkins.inc()
+        logger = self._logger
+        if logger is not None and logger.enabled_for(DEBUG):
+            logger.debug(
+                "store.commit",
+                trace_id=trace_id,
+                checkin_id=checkin.checkin_id,
+                user_id=checkin.user_id,
+                venue_id=checkin.venue_id,
+                seq=start,
+                shard=shard_index,
+            )
+        return checkin, start
+
+    def add_checkins_committed(
+        self,
+        checkins: Sequence[CheckIn],
+        trace_id: Optional[str] = None,
+    ) -> List[Tuple[CheckIn, int]]:
+        """Group-commit a batch: one lock hold + seq block per shard group.
+
+        Check-ins are grouped by user shard preserving input order, each
+        group commits through one
+        :meth:`DataStore.commit_checkin_rows` call (one lock acquisition,
+        one contiguous block from the shared sequencer), then venue-order
+        index appends are grouped per venue shard the same way.  Every
+        fault check runs up front, before any shard mutates, so a fired
+        fault aborts the whole batch atomically.
+
+        ``result[i]`` pairs ``checkins[i]`` with its seq.  Within a shard
+        group seqs are contiguous and in input order; across groups the
+        blocks interleave, but the global order stays dense and each
+        user's check-ins (one user → one shard) stay in input order — the
+        invariant the conformance harness and hypothesis suite check.
+        """
+        checkins = list(checkins)
+        if not checkins:
+            return []
+        if self.faults is not None:
+            for checkin in checkins:
+                self.faults.check(POINT_STORE_COMMIT, trace_id=trace_id)
+        # One pass builds both routings; fixed per-shard slots indexed by
+        # shard number beat dict-of-lists setdefault at batch sizes worth
+        # group-committing (3 dict probes per check-in gone).
+        shard_count = self.shard_count
+        groups: List[List[CheckIn]] = [[] for _ in range(shard_count)]
+        positions: List[List[int]] = [[] for _ in range(shard_count)]
+        venue_groups: List[List[CheckIn]] = [
+            [] for _ in range(shard_count)
+        ]
+        for position, checkin in enumerate(checkins):
+            user_shard = checkin.user_id % shard_count
+            groups[user_shard].append(checkin)
+            positions[user_shard].append(position)
+            venue_groups[checkin.venue_id % shard_count].append(checkin)
+        results: List[Optional[Tuple[CheckIn, int]]] = [None] * len(checkins)
+        commit_hist = self._h_commit
+        shards = self.shards
+        group_count = 0
+        for shard_index in range(shard_count):
+            group = groups[shard_index]
+            if not group:
+                continue
+            group_count += 1
+            started = (
+                time.perf_counter() if commit_hist is not None else 0.0
+            )
+            start = shards[shard_index].commit_checkin_rows(group)
+            if commit_hist is not None:
+                commit_hist[shard_index].observe(
+                    time.perf_counter() - started
+                )
+                self._g_checkins[shard_index].inc(len(group))
+            # Pair rows with their seqs in C (zip + range), then scatter
+            # back to input positions with a bare store per row.
+            for position, pair in zip(
+                positions[shard_index],
+                zip(group, range(start, start + len(group))),
+            ):
+                results[position] = pair
+        for shard_index in range(shard_count):
+            venue_group = venue_groups[shard_index]
+            if venue_group:
+                shards[shard_index].index_checkins_at_venue(venue_group)
+        if self._gauge_checkins is not None:
+            self._gauge_checkins.inc(len(checkins))
+        if self._batch_commits is not None:
+            self._batch_commits.inc()
+            self._batch_checkins.inc(len(checkins))
+            self._batch_size.observe(len(checkins))
+        logger = self._logger
+        if logger is not None and logger.enabled_for(DEBUG):
+            logger.debug(
+                "store.commit",
+                trace_id=trace_id,
+                batch=len(checkins),
+                shards=group_count,
+            )
+        return results  # type: ignore[return-value]
+
+    def event_seq_watermark(self) -> int:
+        """The next sequence number that will be allocated."""
+        return self.sequencer.watermark()
+
+    def get_checkin(self, checkin_id: int) -> Optional[CheckIn]:
+        """Look up one check-in by ID (scans shards; rows key by user)."""
+        for shard in self.shards:
+            checkin = shard.get_checkin(checkin_id)
+            if checkin is not None:
+                return checkin
+        return None
+
+    def checkins_of_user(self, user_id: int) -> List[CheckIn]:
+        """All recorded check-ins by a user, oldest first (live list)."""
+        return self._user_shard(user_id).checkins_of_user(user_id)
+
+    def checkins_at_venue(self, venue_id: int) -> List[CheckIn]:
+        """All recorded check-ins at a venue, venue-commit order (live)."""
+        return self._venue_shard(venue_id).checkins_at_venue(venue_id)
+
+    def checkin_count(self) -> int:
+        """Total recorded check-ins (rows count once, on the user shard)."""
+        return sum(shard.checkin_count() for shard in self.shards)
+
+    def last_checkin_of_user(self, user_id: int) -> Optional[CheckIn]:
+        """Most recent recorded check-in by ``user_id``, or None."""
+        return self._user_shard(user_id).last_checkin_of_user(user_id)
+
+    def recent_checkins_of_user(
+        self, user_id: int, limit: int
+    ) -> List[CheckIn]:
+        """Up to ``limit`` most recent check-ins by a user, newest first."""
+        return self._user_shard(user_id).recent_checkins_of_user(
+            user_id, limit
+        )

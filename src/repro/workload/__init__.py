@@ -97,3 +97,19 @@ __all__ += [
     "committed_state_digest",
     "run_chaos",
 ]
+
+from repro.workload.capacity import (
+    CapacityConfig,
+    CapacityResult,
+    run_capacity,
+    run_capacity_suite,
+    speedup,
+)
+
+__all__ += [
+    "CapacityConfig",
+    "CapacityResult",
+    "run_capacity",
+    "run_capacity_suite",
+    "speedup",
+]

@@ -9,6 +9,7 @@ from repro.geo.coordinates import GeoPoint
 from repro.geo.distance import destination_point
 from repro.lbsn.models import CheckIn, User, Venue
 from repro.lbsn.store import DataStore
+from repro.obs.metrics import MetricsRegistry
 
 ABQ = GeoPoint(35.0844, -106.6504)
 
@@ -148,3 +149,159 @@ class TestConcurrency:
         assert not errors
         assert store.checkin_count() == 600
         assert len(store.checkins_at_venue(1)) == 600
+
+
+class TestBatchCommit:
+    def test_batch_allocates_contiguous_block_in_input_order(self):
+        store = DataStore()
+        rows = [make_checkin(i + 1, user_id=1, venue_id=1) for i in range(5)]
+        pairs = store.add_checkins_committed(rows)
+        assert [c.checkin_id for c, _ in pairs] == [1, 2, 3, 4, 5]
+        seqs = [seq for _, seq in pairs]
+        assert seqs == list(range(seqs[0], seqs[0] + 5))
+        assert store.event_seq_watermark() == seqs[-1] + 1
+        assert len(store.checkins_of_user(1)) == 5
+        assert len(store.checkins_at_venue(1)) == 5
+
+    def test_empty_batch_is_a_no_op(self):
+        store = DataStore()
+        assert store.add_checkins_committed([]) == []
+        assert store.event_seq_watermark() == 0
+
+    def test_duplicate_inside_batch_aborts_whole_batch(self):
+        store = DataStore()
+        rows = [
+            make_checkin(1, user_id=1),
+            make_checkin(2, user_id=1),
+            make_checkin(1, user_id=1),
+        ]
+        with pytest.raises(ServiceError):
+            store.add_checkins_committed(rows)
+        # All-or-nothing: no row landed, no seq slot was burned.
+        assert store.checkin_count() == 0
+        assert store.event_seq_watermark() == 0
+
+    def test_duplicate_against_existing_row_aborts_whole_batch(self):
+        store = DataStore()
+        store.add_checkin(make_checkin(2))
+        with pytest.raises(ServiceError):
+            store.add_checkins_committed(
+                [make_checkin(1), make_checkin(2)]
+            )
+        assert store.checkin_count() == 1
+        assert store.event_seq_watermark() == 0
+
+    def test_batch_metrics_recorded(self):
+        registry = MetricsRegistry()
+        store = DataStore(metrics=registry)
+        store.add_checkins_committed(
+            [make_checkin(i + 1) for i in range(4)]
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["repro_store_batch_commits_total"][()] == 1
+        assert snapshot["repro_store_batch_checkins_total"][()] == 4
+
+
+class TestShardingSeamMethods:
+    """The row/index split ``ShardedDataStore`` composes across shards."""
+
+    def test_insert_checkin_rows_skips_venue_index(self):
+        store = DataStore()
+        store.insert_checkin_rows([make_checkin(1, user_id=3, venue_id=7)])
+        assert store.checkin_count() == 1
+        assert len(store.checkins_of_user(3)) == 1
+        assert store.checkins_at_venue(7) == []
+
+    def test_index_checkins_at_venue_completes_the_commit(self):
+        store = DataStore()
+        row = make_checkin(1, user_id=3, venue_id=7)
+        store.insert_checkin_rows([row])
+        store.index_checkins_at_venue([row])
+        assert store.checkins_at_venue(7) == [row]
+
+    def test_commit_checkin_rows_returns_block_start(self):
+        store = DataStore()
+        rows = [make_checkin(i + 1, user_id=1) for i in range(3)]
+        start = store.commit_checkin_rows(rows)
+        assert start == 0
+        assert store.event_seq_watermark() == 3
+
+
+class TestLockHoldInstrumentation:
+    """Regression: attaching metrics mid-commit must not observe garbage.
+
+    The old pattern read ``self._lock_hold`` twice — once to decide
+    whether to stamp ``started`` (else ``0.0``) and again to decide
+    whether to observe.  An instrument attached between the two reads
+    recorded ``perf_counter() - 0.0`` (~machine uptime) into the
+    histogram.  The fix binds the instrument once per commit.
+    """
+
+    @staticmethod
+    def _hold_child(registry):
+        return registry.histogram(
+            "repro_store_lock_hold_seconds",
+            "Store-lock hold time across composite sections.",
+        ).child()
+
+    def _attach_mid_commit(self, store, registry):
+        """Attach the instrument from inside the locked commit section."""
+        original = store._insert_checkin_row_locked
+
+        def hooked(checkin):
+            store._lock_hold = self._hold_child(registry)
+            store._insert_checkin_row_locked = original
+            original(checkin)
+
+        store._insert_checkin_row_locked = hooked
+
+    def test_mid_commit_attach_observes_nothing_garbage(self):
+        registry = MetricsRegistry()
+        store = DataStore()  # no metrics: _lock_hold starts detached
+        self._attach_mid_commit(store, registry)
+        store.add_checkin_committed(make_checkin(1))
+        hold = store._lock_hold
+        # The in-flight commit bound None and must skip the observation;
+        # the next commit observes one sane (sub-second) hold time.
+        assert hold._count == 0
+        store.add_checkin_committed(make_checkin(2))
+        assert hold._count == 1
+        assert hold._sum < 1.0
+
+    def test_mid_commit_attach_during_batch(self):
+        registry = MetricsRegistry()
+        store = DataStore()
+        original = store._validate_new_rows_locked
+
+        def hooked(checkins):
+            store._lock_hold = self._hold_child(registry)
+            store._validate_new_rows_locked = original
+            original(checkins)
+
+        store._validate_new_rows_locked = hooked
+        store.add_checkins_committed(
+            [make_checkin(1), make_checkin(2)]
+        )
+        assert store._lock_hold._count == 0
+        store.add_checkins_committed([make_checkin(3)])
+        assert store._lock_hold._count == 1
+        assert store._lock_hold._sum < 1.0
+
+    def test_mid_section_detach_in_locked_is_safe(self):
+        registry = MetricsRegistry()
+        store = DataStore(metrics=registry)
+        hold = store._lock_hold
+        count_before = hold._count
+        with store.locked():
+            store._lock_hold = None  # detached mid-section
+        # The section still observes on the instrument it entered with.
+        assert hold._count == count_before + 1
+
+    def test_steady_state_hold_times_stay_sane(self):
+        registry = MetricsRegistry()
+        store = DataStore(metrics=registry)
+        for index in range(10):
+            store.add_checkin_committed(make_checkin(index + 1))
+        hold = store._lock_hold
+        assert hold._count == 10
+        assert hold._sum < 1.0

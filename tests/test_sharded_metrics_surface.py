@@ -1,0 +1,178 @@
+"""Operational surface of the sharded store: web routes and the CLI.
+
+Satellite coverage for the sharding PR: when a service runs on a
+:class:`~repro.lbsn.sharded.ShardedDataStore`, its per-shard telemetry
+(``repro_store_shard_*``) must be visible everywhere an operator looks —
+the ``/metrics`` Prometheus scrape, the ``/debug/vars`` JSON dump, and
+the ``repro metrics`` CLI snapshot — while the label-less aggregate
+families keep reading the same as on a single-lock store.
+"""
+
+import json
+
+import pytest
+
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.service import LbsnService
+from repro.lbsn.sharded import ShardedDataStore
+from repro.lbsn.webserver import (
+    JSON_CONTENT_TYPE,
+    METRICS_CONTENT_TYPE,
+    LbsnWebServer,
+)
+from repro.obs import MetricsRegistry
+from repro.simnet.http import HttpTransport, Router
+from repro.simnet.network import Network
+from repro.stream import EventBus
+
+SHARDS = 4
+CHECKINS = 8
+BASE = GeoPoint(35.0844, -106.6504)
+
+
+@pytest.fixture(scope="module")
+def sharded_web():
+    """A sharded service with traffic on every shard, behind the router.
+
+    The event bus matters: committed check-ins only flow through
+    ``add_checkin_committed`` (the path that feeds the per-shard commit
+    histogram) when the service publishes stream events.
+    """
+    registry = MetricsRegistry()
+    bus = EventBus(metrics=registry)
+    service = LbsnService(
+        event_bus=bus, metrics=registry, store_shards=SHARDS
+    )
+    assert isinstance(service.store, ShardedDataStore)
+    users = [
+        service.register_user(f"shard-user-{i}") for i in range(CHECKINS)
+    ]
+    venues = [
+        service.create_venue(f"shard-venue-{i}", BASE)
+        for i in range(CHECKINS)
+    ]
+    for user, venue in zip(users, venues):
+        result = service.check_in(user.user_id, venue.venue_id, BASE)
+        assert result.rewarded
+    webserver = LbsnWebServer(service)
+    router = Router()
+    webserver.install_routes(router)
+    network = Network(seed=0)
+    transport = HttpTransport(router, network)
+    return {
+        "registry": registry,
+        "service": service,
+        "transport": transport,
+        "egress": network.create_egress(),
+    }
+
+
+class TestMetricsRoute:
+    def test_scrape_exposes_per_shard_gauges(self, sharded_web):
+        response = sharded_web["transport"].get(
+            "/metrics", sharded_web["egress"]
+        )
+        assert response.ok
+        assert response.headers["Content-Type"] == METRICS_CONTENT_TYPE
+        for shard in range(SHARDS):
+            assert f'repro_store_shard_users{{shard="{shard}"}}' in (
+                response.body
+            )
+            assert f'repro_store_shard_checkins{{shard="{shard}"}}' in (
+                response.body
+            )
+        assert "repro_store_shard_commit_seconds_bucket" in response.body
+
+    def test_scrape_keeps_labelless_aggregates(self, sharded_web):
+        """Dashboards keyed on the single-store names keep working."""
+        response = sharded_web["transport"].get(
+            "/metrics", sharded_web["egress"]
+        )
+        body = response.body
+        assert "# TYPE repro_store_checkins gauge" in body
+        assert "# TYPE repro_store_users gauge" in body
+
+    def test_shard_gauges_sum_to_aggregates(self, sharded_web):
+        flat = sharded_web["registry"].snapshot()
+        for family, total_family in (
+            ("repro_store_shard_users", "repro_store_users"),
+            ("repro_store_shard_venues", "repro_store_venues"),
+            ("repro_store_shard_checkins", "repro_store_checkins"),
+        ):
+            per_shard = flat[family]
+            assert set(per_shard) == {
+                (str(shard),) for shard in range(SHARDS)
+            }
+            assert sum(per_shard.values()) == flat[total_family][()]
+        assert flat["repro_store_checkins"][()] == float(CHECKINS)
+
+
+class TestDebugVarsRoute:
+    def test_debug_vars_carries_shard_samples(self, sharded_web):
+        response = sharded_web["transport"].get(
+            "/debug/vars", sharded_web["egress"]
+        )
+        assert response.ok
+        assert response.headers["Content-Type"] == JSON_CONTENT_TYPE
+        parsed = json.loads(response.body)
+        family = parsed["repro_store_shard_checkins"]
+        assert family["kind"] == "gauge"
+        by_shard = {
+            sample["labels"]["shard"]: sample["value"]
+            for sample in family["samples"]
+        }
+        assert set(by_shard) == {str(shard) for shard in range(SHARDS)}
+        assert sum(by_shard.values()) == float(CHECKINS)
+
+    def test_commit_histogram_counted_every_commit(self, sharded_web):
+        parsed = json.loads(
+            sharded_web["transport"]
+            .get("/debug/vars", sharded_web["egress"])
+            .body
+        )
+        family = parsed["repro_store_shard_commit_seconds"]
+        assert family["kind"] == "histogram"
+        # Buckets are cumulative; +Inf is each child's observation count.
+        total = sum(
+            sample["buckets"]["+Inf"] for sample in family["samples"]
+        )
+        assert total == CHECKINS
+
+
+class TestMetricsCli:
+    def test_cli_snapshot_includes_shard_labels(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "metrics",
+                "--scale",
+                "0.0002",
+                "--seed",
+                "5",
+                "--store-shards",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'repro_store_shard_checkins{shard="0"}' in out
+        assert 'repro_store_shard_checkins{shard="1"}' in out
+        # Aggregates stay exposed under the single-store names.
+        assert "# TYPE repro_store_checkins gauge" in out
+
+    def test_cli_store_shards_default_is_single_lock(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["metrics"])
+        assert args.store_shards == 1
+
+    def test_workload_wires_the_sharded_store(self):
+        from repro.cli import run_metrics_workload
+
+        registry, exposition, _ = run_metrics_workload(
+            scale=0.0002, seed=5, registry=MetricsRegistry(), store_shards=2
+        )
+        names = set(registry.names())
+        assert "repro_store_shard_users" in names
+        assert "repro_store_shard_commit_seconds" in names
+        assert 'repro_store_shard_users{shard="0"}' in exposition

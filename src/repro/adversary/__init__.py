@@ -1,0 +1,41 @@
+"""Coordinated adversaries: multi-account rings vs. the honeypot tier.
+
+The paper's attacker is one device faking GPS (§3); this package models
+the follow-on literature's stronger attacker — colluding account rings
+that corroborate each other's fake presence from one shared device — and
+drives the measurement workload that scores the matching honeypot-venue
+defense (:mod:`repro.defense.honeypot`) by catch rate and false-positive
+rate.  See ``docs/ADVERSARY.md`` and the E26 bench.
+"""
+
+from repro.adversary.ring import (
+    MAX_RING_ACCOUNTS,
+    MIN_RING_ACCOUNTS,
+    RingConfig,
+    RingCoordinator,
+    RingEntry,
+    RingReport,
+    RingSchedule,
+)
+from repro.adversary.workload import (
+    AdversaryConfig,
+    AdversaryReport,
+    TrustingVerifier,
+    enumerate_targets,
+    run_adversary,
+)
+
+__all__ = [
+    "MAX_RING_ACCOUNTS",
+    "MIN_RING_ACCOUNTS",
+    "RingConfig",
+    "RingCoordinator",
+    "RingEntry",
+    "RingReport",
+    "RingSchedule",
+    "AdversaryConfig",
+    "AdversaryReport",
+    "TrustingVerifier",
+    "enumerate_targets",
+    "run_adversary",
+]

@@ -260,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the same seeds and assert byte-identical digests",
     )
+    chaos.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        help="run the storm against an N-way sharded datastore "
+        "(default 1: the single-lock store)",
+    )
 
     snapshot = sub.add_parser(
         "snapshot",
@@ -289,6 +296,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=100,
         help="auto-checkpoint every N applied events per shard "
         "(default 100; 0 = final snapshot only)",
+    )
+    snapshot.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        help="back the service with an N-way sharded datastore "
+        "(default 1: the single-lock store)",
+    )
+
+    adversary = sub.add_parser(
+        "adversary",
+        help="coordinated cheater rings vs. the honeypot tier; "
+        "catch-rate/false-positive scoreboard (E26)",
+    )
+    _add_common(adversary)
+    adversary.add_argument(
+        "--rings",
+        type=int,
+        default=3,
+        help="coordinated rings to run (default 3)",
+    )
+    adversary.add_argument(
+        "--ring-size",
+        type=int,
+        default=4,
+        help="colluding accounts per ring, 2-16 (default 4)",
+    )
+    adversary.add_argument(
+        "--targets-per-ring",
+        type=int,
+        default=24,
+        help="target venues each ring samples from the crawl "
+        "enumeration (default 24)",
+    )
+    adversary.add_argument(
+        "--honeypot-density",
+        type=float,
+        default=0.01,
+        help="honeypots seeded as a fraction of the venue count "
+        "(default 0.01; 0 disables the tier)",
+    )
+    adversary.add_argument(
+        "--honest-accounts",
+        type=int,
+        default=50,
+        help="honest control-group accounts driven for the "
+        "false-positive measurement (default 50)",
+    )
+    adversary.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        help="run the scenario against an N-way sharded datastore "
+        "(default 1: the single-lock store)",
+    )
+    adversary.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the same seeds and exit non-zero unless the "
+        "catch/FP digests are byte-identical",
     )
 
     walreplay = sub.add_parser(
@@ -928,6 +995,7 @@ def cmd_chaos(args) -> int:
         fetch_failure=args.fetch_failure,
         subscriber_failure=args.subscriber_failure,
         faults_enabled=not args.no_faults,
+        store_shards=args.store_shards,
     )
     metrics = MetricsRegistry()
     log = LogHub(metrics=metrics)
@@ -1010,6 +1078,7 @@ def cmd_snapshot(args) -> int:
         partitions=args.partitions,
         checkins=args.checkins,
         snapshot_every=args.snapshot_every,
+        store_shards=args.store_shards,
     )
     report = write_durable_tree(config, args.out)
     print(
@@ -1028,6 +1097,72 @@ def cmd_snapshot(args) -> int:
         print(f"  partition-{partition:02d} digest: {digest}")
     print(f"  combined digest: {report.victim_combined}")
     return 0
+
+
+def cmd_adversary(args) -> int:
+    """E26: coordinated rings vs. honeypots, with the scoreboard."""
+    from repro.adversary import AdversaryConfig, run_adversary
+    from repro.obs.log import LogHub
+    from repro.obs.metrics import MetricsRegistry
+
+    config = AdversaryConfig(
+        scale=args.scale,
+        seed=args.seed,
+        rings=args.rings,
+        ring_size=args.ring_size,
+        targets_per_ring=args.targets_per_ring,
+        honeypot_density=args.honeypot_density,
+        honest_accounts=args.honest_accounts,
+        store_shards=args.store_shards,
+    )
+    metrics = MetricsRegistry()
+    log = LogHub(metrics=metrics)
+    report = run_adversary(config, metrics=metrics, log=log)
+    print(
+        f"adversary seed={config.seed} scale={config.scale} "
+        f"shards={config.store_shards} "
+        f"({report.wall_seconds:.2f}s wall, simulated time throughout)"
+    )
+    print(
+        f"  board: {report.honeypots_seeded} honeypots seeded, "
+        f"target pool {report.target_pool} "
+        f"({report.honeypot_targets} honeypots in pool)"
+    )
+    print(
+        f"  rings: {config.rings} x {config.ring_size} accounts, "
+        f"corroboration {report.ring_corroboration:.2f}, "
+        f"{report.honeypot_checkins} honeypot check-ins observed"
+    )
+    print(
+        f"  catch rate: {report.catch_rate:.3f} "
+        f"({len(report.flagged_ring_accounts)}/"
+        f"{len(report.ring_accounts)} ring accounts flagged)"
+    )
+    print(
+        f"  false positives: {report.false_positive_rate:.3f} "
+        f"({len(report.flagged_honest_accounts)}/"
+        f"{len(report.honest_accounts)} honest accounts, "
+        f"{report.honest_checkins} honest check-ins driven)"
+    )
+    print(
+        f"  inline refusals: {report.post_flag_refusals}/"
+        f"{report.post_flag_attempts} post-flag attempts refused"
+    )
+    print(f"  catch digest: {report.catch_digest}")
+    print(f"  fp digest: {report.fp_digest}")
+    ok = True
+    if args.verify:
+        replay = run_adversary(config)
+        catch_ok = replay.catch_digest == report.catch_digest
+        fp_ok = replay.fp_digest == report.fp_digest
+        print(
+            f"  replay: catch digest identical={catch_ok}, "
+            f"fp digest identical={fp_ok}"
+        )
+        if not (catch_ok and fp_ok):
+            print("  VERIFY FAILED: replay digests diverged", file=sys.stderr)
+        ok = catch_ok and fp_ok
+    return 0 if ok else 1
 
 
 def cmd_wal_replay(args) -> int:
@@ -1087,6 +1222,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "chaos": cmd_chaos,
     "snapshot": cmd_snapshot,
+    "adversary": cmd_adversary,
     "wal-replay": cmd_wal_replay,
 }
 

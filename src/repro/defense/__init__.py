@@ -91,3 +91,15 @@ __all__ += [
     "DeviceRegistry",
     "registry_locator",
 ]
+
+from repro.defense.honeypot import (
+    RULE_HONEYPOT,
+    HoneypotFlag,
+    HoneypotRegistry,
+)
+
+__all__ += [
+    "RULE_HONEYPOT",
+    "HoneypotFlag",
+    "HoneypotRegistry",
+]

@@ -80,6 +80,12 @@ class SuspicionLedger:
         self._suspects: Dict[int, SuspicionReport] = {}
         #: Trace that raised each live flag (user_id → trace_id).
         self._flag_traces: Dict[int, Optional[str]] = {}
+        #: Externally attested suspects (user_id → rule).  Pinned users
+        #: stay over the reporting bar regardless of their three-factor
+        #: scores: the evidence came from outside the scoring model
+        #: (e.g. a honeypot-venue check-in, which no volume threshold
+        #: should be able to launder away).  See :meth:`pin`.
+        self._pinned: Dict[int, str] = {}
         self._lock = threading.Lock()
         self.events_processed = 0
         self.last_seq = -1
@@ -162,6 +168,8 @@ class SuspicionLedger:
         return report
 
     def _reportable(self, report: SuspicionReport) -> bool:
+        if report.user_id in self._pinned:
+            return True
         if report.total_checkins < self.config.min_total_checkins:
             return False
         if report.combined_score >= self.config.report_threshold:
@@ -199,6 +207,54 @@ class SuspicionLedger:
             self._flag_traces.pop(user_id, None)
         if self._suspects_metric is not None:
             self._suspects_metric.set(len(self._suspects))
+
+    # External attestation ----------------------------------------------
+
+    def pin(
+        self,
+        user_id: int,
+        rule: str,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Force ``user_id`` over the reporting bar on external evidence.
+
+        Defense tiers outside the three-factor scoring model — the
+        honeypot registry foremost (:mod:`repro.defense.honeypot`) — call
+        this when they hold proof of cheating that no score can express.
+        A pinned user is reportable regardless of check-in volume or
+        factor scores, survives the lazy rescore-on-read that would
+        otherwise evict a low-volume account, and carries ``rule`` as the
+        reason plus the flagging event's ``trace_id`` so
+        :meth:`flag_trace_id` links the flag back to the exact request.
+
+        Pinning is idempotent: re-pinning an already-pinned user updates
+        the rule but raises no second flag.
+        """
+        with self._lock:
+            newly_flagged = user_id not in self._suspects
+            self._pinned[user_id] = rule
+            if newly_flagged:
+                if self._flags_metric is not None:
+                    self._flags_metric.inc()
+                self._flag_traces[user_id] = trace_id
+                report = self.score_user(user_id)
+                self._suspects[user_id] = report
+                if self._logger is not None:
+                    self._logger.info(
+                        "ledger.flag",
+                        trace_id=trace_id,
+                        user_id=user_id,
+                        rule=rule,
+                        combined_score=round(report.combined_score, 4),
+                        total_checkins=report.total_checkins,
+                    )
+            if self._suspects_metric is not None:
+                self._suspects_metric.set(len(self._suspects))
+
+    def pinned_rule(self, user_id: int) -> Optional[str]:
+        """The external rule holding this user on the ledger, if any."""
+        with self._lock:
+            return self._pinned.get(user_id)
 
     # Read side ----------------------------------------------------------
     #
@@ -266,6 +322,10 @@ class SuspicionLedger:
                     [user_id, self._flag_traces[user_id]]
                     for user_id in sorted(self._flag_traces)
                 ],
+                "pinned": [
+                    [user_id, self._pinned[user_id]]
+                    for user_id in sorted(self._pinned)
+                ],
                 "activity": self.activity.state_dict(),
                 "rewards": self.rewards.state_dict(),
                 "geography": self.geography.state_dict(),
@@ -282,6 +342,11 @@ class SuspicionLedger:
             }
             self._flag_traces = {
                 user_id: trace for user_id, trace in doc["flag_traces"]
+            }
+            # Pre-pinning snapshots (SNAPSHOT_VERSION 1 trees written
+            # before the adversary PR) simply carry no pins.
+            self._pinned = {
+                user_id: rule for user_id, rule in doc.get("pinned", [])
             }
             self.activity.load_state_dict(doc["activity"])
             self.rewards.load_state_dict(doc["rewards"])

@@ -96,12 +96,14 @@ class BehaviorGenerator:
         venues: GeneratedVenues,
         horizon_days: float = DEFAULT_HORIZON_DAYS,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if horizon_days <= 0:
             raise ReproError(f"horizon must be positive: {horizon_days}")
         self.venues = venues
         self.horizon_s = horizon_days * SECONDS_PER_DAY
-        self._rng = random.Random(seed)
+        #: All randomness flows through this instance (same-seed replay).
+        self._rng = rng if rng is not None else random.Random(seed)
         # Per-pool zipf cumulative weights, cached by pool identity: venue
         # popularity is heavy-tailed (the thesis found 1.29 M venues with
         # exactly one check-in and 2.01 M with a single visitor), so city

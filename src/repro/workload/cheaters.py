@@ -81,12 +81,17 @@ class CheaterGenerator:
         venues: GeneratedVenues,
         horizon_s: float,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.service = service
         self.population = population
         self.venues = venues
         self.horizon_s = horizon_s
-        self._rng = random.Random(seed)
+        #: Every draw comes from this instance — never the module-level
+        #: ``random`` functions — so two generators built with the same
+        #: seed (or handed the same ``rng``) emit byte-identical event
+        #: streams; ring replay and the E26 digests depend on it.
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def generate(
         self, scale_activity: float = 1.0

@@ -131,10 +131,12 @@ class PopulationGenerator:
         service: LbsnService,
         config: Optional[PopulationConfig] = None,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.service = service
         self.config = config or PopulationConfig()
-        self._rng = random.Random(seed)
+        #: All randomness flows through this instance (same-seed replay).
+        self._rng = rng if rng is not None else random.Random(seed)
         self._username_counter = 0
 
     def generate(self, count: int) -> GeneratedPopulation:

@@ -136,10 +136,12 @@ class VenueGenerator:
         service: LbsnService,
         config: Optional[VenueGeneratorConfig] = None,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.service = service
         self.config = config or VenueGeneratorConfig()
-        self._rng = random.Random(seed)
+        #: All randomness flows through this instance (same-seed replay).
+        self._rng = rng if rng is not None else random.Random(seed)
         self._bbox = contiguous_us_bbox()
         self._branch_counters: Dict[str, int] = {}
 

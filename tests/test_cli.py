@@ -331,3 +331,128 @@ class TestSnapshotAndWalReplay:
         segment.write_bytes(bytes(raw))
         assert main(["wal-replay", "--dir", str(clone)]) == 1
         assert "REPLAY FAILED" in capsys.readouterr().err
+
+
+def _fake_adversary_report(catch_digest, fp_digest="fp-1"):
+    from repro.adversary import AdversaryConfig, AdversaryReport
+
+    return AdversaryReport(
+        config=AdversaryConfig(),
+        honeypots_seeded=3,
+        target_pool=10,
+        honeypot_targets=3,
+        ring_accounts=[1, 2, 3, 4],
+        flagged_ring_accounts=[1, 2, 3, 4],
+        ring_corroboration=1.0,
+        honest_accounts=[5, 6],
+        flagged_honest_accounts=[],
+        honest_checkins=12,
+        post_flag_attempts=4,
+        post_flag_refusals=4,
+        honeypot_checkins=4,
+        ledger_suspects=4,
+        catch_digest=catch_digest,
+        fp_digest=fp_digest,
+        wall_seconds=0.01,
+    )
+
+
+class TestAdversaryCommand:
+    """The E26 scoreboard verb: rings vs honeypots with a small world."""
+
+    KNOBS = [
+        "--rings", "1", "--ring-size", "2",
+        "--targets-per-ring", "6", "--honest-accounts", "5",
+    ]
+
+    def test_adversary_prints_the_scoreboard(self, capsys):
+        assert main(["adversary"] + SMALL + self.KNOBS) == 0
+        out = capsys.readouterr().out
+        assert "honeypots seeded" in out
+        assert "catch rate:" in out
+        assert "false positives:" in out
+        assert "inline refusals:" in out
+        assert "catch digest:" in out
+
+    def test_store_shards_reaches_the_adversary_config(
+        self, monkeypatch, capsys
+    ):
+        import repro.adversary as adversary_mod
+
+        captured = {}
+
+        def fake(config, metrics=None, log=None):
+            captured["config"] = config
+            return _fake_adversary_report("same")
+
+        monkeypatch.setattr(adversary_mod, "run_adversary", fake)
+        assert (
+            main(["adversary"] + SMALL + ["--store-shards", "4"]) == 0
+        )
+        assert captured["config"].store_shards == 4
+        assert "shards=4" in capsys.readouterr().out
+
+    def test_store_shards_reaches_the_chaos_config(self, monkeypatch):
+        import repro.workload.chaos as chaos_mod
+
+        captured = {}
+
+        def fake(config, metrics=None, log=None):
+            captured["config"] = config
+            return _fake_chaos_report("same")
+
+        monkeypatch.setattr(chaos_mod, "run_chaos", fake)
+        assert main(["chaos"] + SMALL + ["--store-shards", "4"]) == 0
+        assert captured["config"].store_shards == 4
+
+    def test_store_shards_defaults_to_one_everywhere(self):
+        for command in ("adversary", "chaos", "snapshot"):
+            args = build_parser().parse_args([command])
+            assert args.store_shards == 1
+
+
+class TestAdversaryVerifyExitCodes:
+    """--verify must turn scoreboard divergence into a non-zero exit."""
+
+    def test_verify_passes_when_replay_agrees(self, monkeypatch, capsys):
+        import repro.adversary as adversary_mod
+
+        monkeypatch.setattr(
+            adversary_mod,
+            "run_adversary",
+            lambda config, metrics=None, log=None: _fake_adversary_report(
+                "same"
+            ),
+        )
+        assert main(["adversary", "--verify"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "catch digest identical=True" in out
+        assert "fp digest identical=True" in out
+
+    def test_verify_fails_on_catch_divergence(self, monkeypatch, capsys):
+        import repro.adversary as adversary_mod
+
+        digests = iter(["run-one", "run-two"])
+        monkeypatch.setattr(
+            adversary_mod,
+            "run_adversary",
+            lambda config, metrics=None, log=None: _fake_adversary_report(
+                next(digests)
+            ),
+        )
+        assert main(["adversary", "--verify"] + SMALL) == 1
+        assert "VERIFY FAILED" in capsys.readouterr().err
+
+    def test_verify_fails_on_fp_divergence(self, monkeypatch, capsys):
+        import repro.adversary as adversary_mod
+
+        fp_digests = iter(["fp-one", "fp-two"])
+        monkeypatch.setattr(
+            adversary_mod,
+            "run_adversary",
+            lambda config, metrics=None, log=None: _fake_adversary_report(
+                "same", fp_digest=next(fp_digests)
+            ),
+        )
+        assert main(["adversary", "--verify"] + SMALL) == 1
+        assert "VERIFY FAILED" in capsys.readouterr().err

@@ -1,0 +1,260 @@
+"""Honeypot-venue defense tier: seeding, the visibility law, flagging.
+
+The registry's contract has two halves.  Seeding must put fake venues
+into the *store* (and thus every crawl surface) while keeping them out
+of every :class:`GeneratedVenues` list honest itineraries draw from —
+the visibility law.  Flagging must catch any account whose check-in
+stream touches a honeypot, exactly once, with the triggering trace, and
+pin it onto the live ledger.
+"""
+
+import pytest
+
+from repro.analysis.detection import DetectorConfig
+from repro.defense.honeypot import (
+    HONEYPOT_SPECIAL_TEXT,
+    RULE_HONEYPOT,
+    HoneypotRegistry,
+)
+from repro.errors import ReproError
+from repro.geo.coordinates import GeoPoint
+from repro.lbsn.models import VenueCategory
+from repro.lbsn.service import LbsnService
+from repro.obs.log import LogHub
+from repro.obs.metrics import MetricsRegistry
+from repro.stream.bus import EventBus
+from repro.stream.events import CheckInAccepted, CheckInRejected
+from repro.stream.ledger import SuspicionLedger
+from repro.workload.scenario import build_world
+
+HERE = GeoPoint(35.0844, -106.6504)
+
+
+def small_service(venues: int = 20) -> LbsnService:
+    service = LbsnService()
+    for index in range(venues):
+        service.create_venue(
+            name=f"Real Venue {index}",
+            location=GeoPoint(
+                HERE.latitude + index * 0.01, HERE.longitude
+            ),
+            category=VenueCategory.COFFEE,
+        )
+    return service
+
+
+def accepted(user_id, venue_id, ts=0.0, seq=1, trace_id=None):
+    return CheckInAccepted(
+        seq=seq,
+        timestamp=ts,
+        user_id=user_id,
+        venue_id=venue_id,
+        venue_location=HERE,
+        reported_location=HERE,
+        trace_id=trace_id,
+    )
+
+
+class TestSeeding:
+    def test_density_sets_count_from_store_size(self):
+        service = small_service(venues=200)
+        registry = HoneypotRegistry(service)
+        created = registry.seed(density=0.05, seed=1)
+        assert len(created) == 10
+        assert registry.honeypot_ids() == sorted(created)
+
+    def test_density_floor_is_one_venue(self):
+        service = small_service(venues=20)
+        registry = HoneypotRegistry(service)
+        assert len(registry.seed(density=0.001, seed=1)) == 1
+
+    def test_zero_density_seeds_nothing(self):
+        registry = HoneypotRegistry(small_service())
+        assert registry.seed(density=0.0, seed=1) == []
+
+    def test_explicit_count_overrides_density(self):
+        registry = HoneypotRegistry(small_service())
+        assert len(registry.seed(density=0.9, seed=1, count=3)) == 3
+
+    def test_empty_world_refuses_to_seed(self):
+        registry = HoneypotRegistry(LbsnService())
+        with pytest.raises(ReproError):
+            registry.seed(density=0.01, seed=1)
+
+    def test_honeypots_wear_the_prime_target_profile(self):
+        # §3.4's easy-target query — mayor-only special, no mayor — is
+        # what exhaustive-enumeration attackers filter for; honeypots
+        # must match it exactly or they catch nothing.
+        service = small_service()
+        registry = HoneypotRegistry(service)
+        for venue_id in registry.seed(density=0.2, seed=3):
+            venue = service.store.require_venue(venue_id)
+            assert venue.special is not None
+            assert venue.special.mayor_only
+            assert venue.special.description == HONEYPOT_SPECIAL_TEXT
+            assert venue.mayor_id is None
+            assert registry.is_honeypot(venue_id)
+
+    def test_seeding_is_deterministic(self):
+        locations = []
+        for _ in range(2):
+            service = small_service()
+            registry = HoneypotRegistry(service)
+            ids = registry.seed(density=0.2, seed=9)
+            locations.append(
+                [
+                    (
+                        service.store.require_venue(venue_id).name,
+                        round(
+                            service.store.require_venue(
+                                venue_id
+                            ).location.latitude,
+                            9,
+                        ),
+                    )
+                    for venue_id in ids
+                ]
+            )
+        assert locations[0] == locations[1]
+
+    def test_real_venues_are_not_honeypots(self):
+        service = small_service()
+        registry = HoneypotRegistry(service)
+        registry.seed(density=0.2, seed=1)
+        assert not registry.is_honeypot(1)
+
+
+class TestVisibilityLaw:
+    def test_seeded_after_world_build_invisible_to_itineraries(self):
+        # Honeypots live in the store (crawlable) but in none of the
+        # GeneratedVenues lists honest persona itineraries sample from.
+        world = build_world(scale=0.0002, seed=5)
+        registry = HoneypotRegistry(world.service)
+        created = set(registry.seed(density=0.05, seed=7))
+        venues = world.venues
+        visible = set(venues.venue_ids) | set(venues.small_town_venue_ids)
+        for pool in venues.venue_ids_by_city.values():
+            visible.update(pool)
+        assert not created & visible
+        # ... and yet every one of them is a real, crawlable store venue.
+        for venue_id in created:
+            assert world.service.store.get_venue(venue_id) is not None
+
+
+class TestFlagging:
+    def test_accepted_checkin_at_honeypot_flags_account(self):
+        service = small_service()
+        registry = HoneypotRegistry(service)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        registry.on_event(accepted(7, trap, trace_id="tr-7"))
+        assert registry.flagged_accounts() == [7]
+        flag = registry.flag_of(7)
+        assert flag.venue_id == trap
+        assert flag.trace_id == "tr-7"
+
+    def test_rejected_attempt_still_flags(self):
+        # Attempting is proof enough: the account selected a venue no
+        # honest itinerary contains, whatever the cheater code said.
+        service = small_service()
+        registry = HoneypotRegistry(service)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        registry.on_event(
+            CheckInRejected(
+                seq=1,
+                timestamp=0.0,
+                user_id=8,
+                venue_id=trap,
+                venue_location=HERE,
+                reported_location=HERE,
+                rule="super-human speed",
+            )
+        )
+        assert registry.flagged_accounts() == [8]
+
+    def test_flag_is_once_per_account_but_checkins_all_count(self):
+        service = small_service()
+        metrics = MetricsRegistry()
+        registry = HoneypotRegistry(service, metrics=metrics)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        first = accepted(7, trap, ts=0.0, trace_id="tr-first")
+        registry.on_event(first)
+        registry.on_event(accepted(7, trap, ts=10.0, trace_id="tr-later"))
+        assert registry.checkins_observed == 2
+        assert len(registry) == 1
+        assert registry.flag_of(7).trace_id == "tr-first"
+        assert metrics.get("repro_honeypot_checkins_total").value == 2
+        assert metrics.get("repro_honeypot_flags_total").value == 1
+        assert metrics.get("repro_honeypot_flagged_accounts").value == 1
+
+    def test_non_honeypot_checkins_ignored(self):
+        registry = HoneypotRegistry(small_service())
+        registry.seed(density=0.01, seed=1)
+        registry.on_event(accepted(7, 1))
+        assert registry.checkins_observed == 0
+        assert registry.flagged_accounts() == []
+
+    def test_flag_pins_account_onto_ledger_with_trace(self):
+        service = small_service()
+        ledger = SuspicionLedger(DetectorConfig(min_total_checkins=100))
+        registry = HoneypotRegistry(service, ledger=ledger)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        registry.on_event(accepted(7, trap, trace_id="tr-pin"))
+        assert ledger.is_suspect(7)
+        assert ledger.pinned_rule(7) == RULE_HONEYPOT
+        assert ledger.flag_trace_id(7) == "tr-pin"
+
+    def test_flag_emits_trace_stamped_record(self):
+        hub = LogHub()
+        service = small_service()
+        registry = HoneypotRegistry(service, log=hub)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        registry.on_event(accepted(7, trap, trace_id="tr-log"))
+        records = [
+            record
+            for record in hub.records()
+            if record.event == "honeypot.flag"
+        ]
+        assert len(records) == 1
+        assert records[0].fields["trace_id"] == "tr-log"
+        assert records[0].fields["user_id"] == 7
+        assert records[0].fields["rule"] == RULE_HONEYPOT
+
+    def test_venue_gauge_tracks_seeded_count(self):
+        metrics = MetricsRegistry()
+        registry = HoneypotRegistry(small_service(), metrics=metrics)
+        registry.seed(density=0.01, seed=1, count=4)
+        assert metrics.get("repro_honeypot_venues").value == 4
+
+
+class TestLiveWiring:
+    def test_checkin_through_service_trips_the_trap(self):
+        # End to end over the real bus: check-in → commit → publish →
+        # honeypot flag → ledger pin, all in one request.
+        service = small_service()
+        bus = EventBus()
+        service.event_bus = bus
+        ledger = SuspicionLedger(
+            DetectorConfig(min_total_checkins=100)
+        ).attach(bus)
+        registry = HoneypotRegistry(service, ledger=ledger).attach(bus)
+        trap = registry.seed(density=0.01, seed=1)[0]
+        user = service.register_user("Crawler Alt")
+        venue = service.store.require_venue(trap)
+        service.check_in(user.user_id, trap, venue.location)
+        assert registry.flagged_accounts() == [user.user_id]
+        assert ledger.pinned_rule(user.user_id) == RULE_HONEYPOT
+        # The ledger's flag trace is the check-in request's own trace.
+        assert ledger.flag_trace_id(user.user_id) == (
+            registry.flag_of(user.user_id).trace_id
+        )
+
+    def test_honest_traffic_through_service_stays_clean(self):
+        service = small_service()
+        bus = EventBus()
+        service.event_bus = bus
+        registry = HoneypotRegistry(service).attach(bus)
+        registry.seed(density=0.01, seed=1)
+        user = service.register_user("Honest Regular")
+        venue = service.store.require_venue(1)
+        service.check_in(user.user_id, 1, venue.location)
+        assert registry.flagged_accounts() == []
